@@ -1,0 +1,175 @@
+(* Bechamel benchmarks: one Test.make per table and figure of the paper,
+   plus ablation benches for the design choices DESIGN.md calls out
+   (partitioning strategy, points-to precision, MPB staging).
+
+   Each test body regenerates its artifact at reduced parameters so one
+   iteration stays in the tens of milliseconds; `dune exec bench/main.exe`
+   prints milliseconds per regeneration. *)
+
+open Bechamel
+open Toolkit
+
+(* --- reduced-parameter building blocks ------------------------------------ *)
+
+let tiny_pi = Workloads.Pi.make ~params:{ Workloads.Pi.steps = 8192 } ()
+
+let tiny_stream =
+  Workloads.Stream.make
+    ~params:{ Workloads.Stream.n = 4096; reps = 2; block = 256 } ()
+
+let tiny_suite =
+  [ tiny_pi;
+    Workloads.Sum35.make ~params:{ Workloads.Sum35.bound = 20_000 } ();
+    Workloads.Primes.make ~params:{ Workloads.Primes.limit = 1_000 } ();
+    tiny_stream;
+    Workloads.Dot.make ~params:{ Workloads.Dot.n = 4096; reps = 2; block = 256 } ();
+    Workloads.Lu.make ~params:{ Workloads.Lu.n = 32; block = 256 } () ]
+
+let run w mode = ignore (Workloads.Workload.run w mode)
+
+let assert_verified (r : Workloads.Workload.result) =
+  if not r.Workloads.Workload.verified then failwith "bench: not verified"
+
+(* --- tables ----------------------------------------------------------------- *)
+
+let table_4_1 =
+  Test.make ~name:"table-4.1 (stages 1-3 on Example 4.1)"
+    (Staged.stage (fun () -> ignore (Exp.Experiments.table_4_1 ())))
+
+let table_4_2 =
+  Test.make ~name:"table-4.2 (sharing-status snapshots)"
+    (Staged.stage (fun () -> ignore (Exp.Experiments.table_4_2 ())))
+
+let table_6_1 =
+  Test.make ~name:"table-6.1 (configuration render)"
+    (Staged.stage (fun () -> ignore (Exp.Experiments.table_6_1 ())))
+
+let translate_example =
+  Test.make ~name:"example-4.2 (full 5-stage translation)"
+    (Staged.stage (fun () ->
+         ignore
+           (Translate.Driver.translate_source ~file:Exp.Example41.file
+              Exp.Example41.source)))
+
+(* --- figures ----------------------------------------------------------------- *)
+
+let fig_6_1 =
+  Test.make ~name:"fig-6.1 (pthread baseline vs rcce off-chip, 6 benchmarks)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun w ->
+             run w (Workloads.Workload.Pthread_baseline 8);
+             run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 8)))
+           tiny_suite))
+
+let fig_6_2 =
+  Test.make ~name:"fig-6.2 (off-chip vs MPB placement, 6 benchmarks)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun w ->
+             run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 8));
+             run w (Workloads.Workload.Rcce (Workloads.Workload.On_chip, 8)))
+           tiny_suite))
+
+let fig_6_3 =
+  Test.make ~name:"fig-6.3 (pi core-count sweep)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun cores ->
+             run tiny_pi
+               (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, cores)))
+           [ 1; 4; 16; 48 ]))
+
+(* --- ablations ----------------------------------------------------------------- *)
+
+let items = Exp.Experiments.synthetic_items ~count:64 ~seed:7
+
+let ablation_partition strategy =
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation-A (partition, %s)"
+         (Partition.Partitioner.strategy_to_string strategy))
+    (Staged.stage (fun () ->
+         ignore
+           (Partition.Partitioner.partition ~strategy Partition.Memspec.scc
+              ~capacity:(16 * 1024) items)))
+
+let ablation_points_to include_possible =
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation (points-to, include_possible=%b)"
+         include_possible)
+    (Staged.stage
+       (let program = Exp.Example41.parse () in
+        fun () -> ignore (Analysis.Pipeline.analyze ~include_possible program)))
+
+let ablation_mpb_staging placement name =
+  Test.make ~name:(Printf.sprintf "ablation (stream %s, 8 cores)" name)
+    (Staged.stage (fun () ->
+         let r =
+           Workloads.Workload.run tiny_stream
+             (Workloads.Workload.Rcce (placement, 8))
+         in
+         assert_verified r))
+
+let sync_sensitivity_bench =
+  Test.make ~name:"sync-sensitivity (pi vs histogram, 8 units)"
+    (Staged.stage (fun () ->
+         ignore
+           (Exp.Experiments.sync_sensitivity_data
+              ~scale:Exp.Experiments.Quick ~units:8 ())))
+
+let dvfs_bench =
+  Test.make ~name:"dvfs sweep (pi across the envelope)"
+    (Staged.stage (fun () ->
+         ignore (Exp.Experiments.dvfs_data ~scale:Exp.Experiments.Quick ())))
+
+let interp_end_to_end =
+  Test.make ~name:"ablation-B (translated pi interpreted, 4 cores)"
+    (Staged.stage
+       (let src = Exp.Csrc.pi ~nt:4 ~steps:2048 in
+        let translated, _ =
+          Translate.Driver.translate_source ~file:"pi.c" src
+        in
+        fun () -> ignore (Cexec.Interp.run_rcce ~ncores:4 translated)))
+
+(* --- runner ------------------------------------------------------------------ *)
+
+let tests =
+  [ table_4_1; table_4_2; table_6_1; translate_example; fig_6_1; fig_6_2;
+    fig_6_3;
+    ablation_partition Partition.Partitioner.Size_ascending;
+    ablation_partition Partition.Partitioner.Access_density;
+    ablation_partition Partition.Partitioner.All_off_chip;
+    ablation_points_to false;
+    ablation_points_to true;
+    ablation_mpb_staging Workloads.Workload.Off_chip "off-chip";
+    ablation_mpb_staging Workloads.Workload.On_chip "MPB-staged";
+    sync_sensitivity_bench; dvfs_bench; interp_end_to_end ]
+
+let benchmark test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  Analyze.all ols instance raw
+
+let () =
+  print_endline "hsmc benchmarks: wall time per artifact regeneration\n";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns_per_run ] ->
+              Printf.printf "%-62s %10.3f ms/run\n" name (ns_per_run /. 1e6)
+          | Some _ | None -> Printf.printf "%-62s (no estimate)\n" name)
+        results;
+      flush stdout)
+    tests

@@ -1,0 +1,58 @@
+(* experiments — regenerate the paper's tables and figures.
+
+     experiments all                  everything, full scale
+     experiments all --quick          everything, small parameters
+     experiments fig-6.1              one section
+*)
+
+open Cmdliner
+
+let sections =
+  [ ("table-4.1", fun _scale -> Exp.Experiments.table_4_1 ());
+    ("table-4.2", fun _scale -> Exp.Experiments.table_4_2 ());
+    ("table-6.1", fun _scale -> Exp.Experiments.table_6_1 ());
+    ("translate-example",
+     fun _scale -> Exp.Experiments.translation_example ());
+    ("fig-6.1", fun scale -> Exp.Experiments.fig_6_1 ~scale ());
+    ("fig-6.2", fun scale -> Exp.Experiments.fig_6_2 ~scale ());
+    ("fig-6.3", fun scale -> Exp.Experiments.fig_6_3 ~scale ());
+    ("ablation-partition",
+     fun _scale -> Exp.Experiments.ablation_partition ());
+    ("interp", fun scale -> Exp.Experiments.interp_experiment ~scale ());
+    ("dvfs", fun scale -> Exp.Experiments.dvfs_experiment ~scale ());
+    ("sync", fun scale -> Exp.Experiments.sync_sensitivity ~scale ());
+    ("model-sensitivity",
+     fun scale -> Exp.Experiments.model_sensitivity ~scale ());
+    ("many-to-one",
+     fun scale -> Exp.Experiments.many_to_one_scaling ~scale ()) ]
+
+let run_cmd which quick =
+  let scale =
+    if quick then Exp.Experiments.Quick else Exp.Experiments.Full
+  in
+  match which with
+  | "all" -> print_string (Exp.Experiments.run_all ~scale ())
+  | name -> begin
+      match List.assoc_opt name sections with
+      | Some f -> print_string (f scale)
+      | None ->
+          Printf.eprintf "experiments: unknown section %S (have: all, %s)\n"
+            name
+            (String.concat ", " (List.map fst sections));
+          exit 1
+    end
+
+let which_arg =
+  Arg.(value & pos 0 string "all" & info [] ~docv:"SECTION")
+
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Small parameters (seconds, not minutes).")
+
+let main =
+  Cmd.v
+    (Cmd.info "experiments" ~version:"1.0.0"
+       ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run_cmd $ which_arg $ quick_arg)
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,259 @@
+(* hsmcc — the Pthread-to-RCCE source-to-source translator CLI.
+
+     hsmcc translate file.c            translated C on stdout
+     hsmcc analyze file.c              Tables 4.1/4.2-style analysis report
+     hsmcc run file.c --cores 8        interpret on the simulated SCC
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("hsmcc: " ^ msg);
+      exit 1
+
+let parse_source path =
+  match Cfront.Parser.program ~file:path (read_file path) with
+  | program -> Ok program
+  | exception Cfront.Srcloc.Error (loc, msg) ->
+      Error (Printf.sprintf "%s: %s" (Cfront.Srcloc.to_string loc) msg)
+  | exception Sys_error msg -> Error msg
+
+let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
+    ~optimize =
+  {
+    Translate.Pass.default_options with
+    Translate.Pass.ncores;
+    capacity;
+    strategy =
+      (if density then Partition.Partitioner.Access_density
+       else Partition.Partitioner.Size_ascending);
+    sound_locals;
+    many_to_one;
+    optimize;
+  }
+
+(* --- translate ------------------------------------------------------------ *)
+
+let translate_cmd path ncores capacity density sound_locals many_to_one
+    optimize verbose =
+  let program = or_die (parse_source path) in
+  let options =
+    options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
+      ~optimize
+  in
+  match Translate.Driver.translate_program ~options program with
+  | translated, report ->
+      print_string (Cfront.Pretty.program translated);
+      if verbose then begin
+        prerr_endline "-- pass notes:";
+        List.iter
+          (fun n -> prerr_endline ("--   " ^ n))
+          report.Translate.Driver.notes
+      end
+  | exception Translate.Driver.Error e ->
+      prerr_endline ("hsmcc: " ^ Translate.Driver.error_to_string e);
+      exit 1
+
+(* --- analyze -------------------------------------------------------------- *)
+
+let analyze_cmd path =
+  let program = or_die (parse_source path) in
+  match Analysis.Pipeline.analyze program with
+  | a ->
+      print_endline "Per-variable information (post Stage 3):";
+      print_string (Exp.Tabulate.render (Analysis.Pipeline.table_4_1 a));
+      print_newline ();
+      print_endline "Sharing status after each stage:";
+      print_string (Exp.Tabulate.render (Analysis.Pipeline.table_4_2 a));
+      print_newline ();
+      print_endline "Points-to relationships:";
+      let rels =
+        Analysis.Points_to.relationships a.Analysis.Pipeline.points_to
+      in
+      if rels = [] then print_endline "  (none)"
+      else
+        List.iter
+          (fun (ptr, tgt, d) ->
+            Printf.printf "  %s -> %s (%s)\n"
+              (Ir.Var_id.to_string ptr)
+              (Analysis.Points_to.target_to_string tgt)
+              (Analysis.Points_to.definiteness_to_string d))
+          rels
+  | exception Cfront.Srcloc.Error (loc, msg) ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: %s: %s" (Cfront.Srcloc.to_string loc) msg);
+      exit 1
+
+(* --- preprocess ------------------------------------------------------------ *)
+
+let preprocess_cmd path defines =
+  let defines =
+    List.map
+      (fun d ->
+        match String.index_opt d '=' with
+        | Some i ->
+            (String.sub d 0 i,
+             String.sub d (i + 1) (String.length d - i - 1))
+        | None -> (d, "1"))
+      defines
+  in
+  match Cfront.Preproc.expand ~file:path ~defines (read_file path) with
+  | expanded -> print_string expanded
+  | exception Cfront.Srcloc.Error (loc, msg) ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: %s: %s" (Cfront.Srcloc.to_string loc) msg);
+      exit 1
+  | exception Sys_error msg ->
+      prerr_endline ("hsmcc: " ^ msg);
+      exit 1
+
+(* --- cfg -------------------------------------------------------------------- *)
+
+let cfg_cmd path func =
+  let program = or_die (parse_source path) in
+  let functions = Cfront.Ast.functions program in
+  let selected =
+    match func with
+    | None -> functions
+    | Some name ->
+        List.filter
+          (fun (fn : Cfront.Ast.func) -> fn.Cfront.Ast.f_name = name)
+          functions
+  in
+  if selected = [] then begin
+    prerr_endline "hsmcc: no matching function";
+    exit 1
+  end;
+  List.iter
+    (fun fn -> print_string (Ir.Cfg.to_dot (Ir.Cfg.build fn)))
+    selected
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_cmd path ncores detect_races =
+  let program = or_die (parse_source path) in
+  let result =
+    try
+      if ncores <= 1 then Cexec.Interp.run_pthread ~detect_races program
+      else Cexec.Interp.run_rcce ~detect_races ~ncores program
+    with Cexec.Interp.Runtime_error msg ->
+      prerr_endline ("hsmcc: runtime error: " ^ msg);
+      exit 1
+  in
+  print_string result.Cexec.Interp.output;
+  Printf.eprintf "-- simulated time: %.3f ms\n"
+    (float_of_int result.Cexec.Interp.elapsed_ps /. 1e9);
+  List.iter
+    (fun r -> Printf.eprintf "-- %s\n" (Cexec.Lockset.report_to_string r))
+    result.Cexec.Interp.races;
+  if detect_races && result.Cexec.Interp.races = [] then
+    prerr_endline "-- no data races detected"
+
+(* --- command line ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let cores_arg =
+  Arg.(value & opt int 48 & info [ "cores" ] ~docv:"N"
+         ~doc:"Cores of the target chip.")
+
+let capacity_arg =
+  Arg.(value & opt int 0
+       & info [ "capacity" ] ~docv:"BYTES"
+           ~doc:"On-chip shared memory available to the partitioner \
+                 (0 = all shared data off-chip, the Figure 6.1 setup).")
+
+let density_arg =
+  Arg.(value & flag
+       & info [ "density" ]
+           ~doc:"Partition by access density instead of the paper's \
+                 ascending-size greedy.")
+
+let sound_locals_arg =
+  Arg.(value & flag
+       & info [ "sound-locals" ]
+           ~doc:"Hoist shared locals into shared memory (the thesis's \
+                 example output leaves them on the process stack).")
+
+let many_to_one_arg =
+  Arg.(value & flag
+       & info [ "many-to-one" ]
+           ~doc:"Map several threads onto one core with a task loop \
+                 instead of rejecting programs with more threads than \
+                 cores (the paper's section 7.2).")
+
+let optimize_arg =
+  Arg.(value & flag
+       & info [ "O"; "optimize" ]
+           ~doc:"Constant folding and dead-branch elimination (the \
+                 paper's section 7.3).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pass notes.")
+
+let translate_term =
+  Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
+        $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
+        $ verbose_arg)
+
+let translate_cmd_info =
+  Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")
+    translate_term
+
+let analyze_cmd_info =
+  Cmd.v (Cmd.info "analyze" ~doc:"Run Stages 1-3 and print the analysis")
+    Term.(const analyze_cmd $ file_arg)
+
+let run_cores_arg =
+  Arg.(value & opt int 1
+       & info [ "cores" ] ~docv:"N"
+           ~doc:"Interpret as an RCCE program on N cores (1 = Pthread \
+                 single-core baseline).")
+
+let detect_races_arg =
+  Arg.(value & flag
+       & info [ "detect-races" ]
+           ~doc:"Run the Eraser lockset race detector during execution.")
+
+let run_cmd_info =
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a program on the simulated SCC")
+    Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg)
+
+let defines_arg =
+  Arg.(value & opt_all string []
+       & info [ "D"; "define" ] ~docv:"NAME[=BODY]"
+           ~doc:"Seed an object-like macro (repeatable).")
+
+let preprocess_cmd_info =
+  Cmd.v (Cmd.info "preprocess" ~doc:"Expand macros and conditionals")
+    Term.(const preprocess_cmd $ file_arg $ defines_arg)
+
+let func_arg =
+  Arg.(value & opt (some string) None
+       & info [ "function" ] ~docv:"NAME"
+           ~doc:"Only this function (default: all).")
+
+let cfg_cmd_info =
+  Cmd.v
+    (Cmd.info "cfg"
+       ~doc:"Print control-flow graphs in Graphviz dot format")
+    Term.(const cfg_cmd $ file_arg $ func_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "hsmcc" ~version:"1.0.0"
+       ~doc:"Pthread-to-RCCE translation framework for hybrid shared \
+             memory manycores")
+    [ translate_cmd_info; analyze_cmd_info; run_cmd_info;
+      preprocess_cmd_info; cfg_cmd_info ]
+
+let () = exit (Cmd.eval main)

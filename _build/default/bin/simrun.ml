@@ -1,0 +1,101 @@
+(* simrun — run one benchmark of the paper's suite on the simulated SCC.
+
+     simrun pi --mode rcce-mpb --units 32
+     simrun stream --mode pthread --units 32
+*)
+
+open Cmdliner
+
+let run_cmd name mode units trace_out verbose =
+  match Workloads.Suite.find name with
+  | None ->
+      Printf.eprintf "simrun: unknown workload %S (have: %s)\n" name
+        (String.concat ", " Workloads.Suite.names);
+      exit 1
+  | Some w ->
+      let mode =
+        match mode with
+        | "pthread" -> Workloads.Workload.Pthread_baseline units
+        | "rcce-offchip" ->
+            Workloads.Workload.Rcce (Workloads.Workload.Off_chip, units)
+        | "rcce-mpb" ->
+            Workloads.Workload.Rcce (Workloads.Workload.On_chip, units)
+        | other ->
+            Printf.eprintf
+              "simrun: unknown mode %S (pthread | rcce-offchip | rcce-mpb)\n"
+              other;
+            exit 1
+      in
+      let cfg = Scc.Config.default in
+      let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
+      let r = Workloads.Workload.run ?trace ~cfg w mode in
+      Printf.printf "workload:   %s\n" r.Workloads.Workload.workload;
+      Printf.printf "mode:       %s\n"
+        (Workloads.Workload.mode_to_string r.Workloads.Workload.mode);
+      Printf.printf "elapsed:    %.3f ms simulated\n"
+        (Workloads.Workload.elapsed_ms r);
+      Printf.printf "verified:   %b\n" r.Workloads.Workload.verified;
+      let s = r.Workloads.Workload.stats in
+      Printf.printf "traffic:    %s\n" (Scc.Stats.summary s);
+      List.iter (fun n -> Printf.printf "note:       %s\n" n)
+        r.Workloads.Workload.notes;
+      if verbose then begin
+        print_endline "per-unit breakdown:";
+        let header =
+          [ "unit"; "compute ms"; "mem stall ms"; "barrier ms"; "lock ms";
+            "switches" ]
+        in
+        let ms ps = Printf.sprintf "%.3f" (float_of_int ps /. 1e9) in
+        let rows =
+          Array.to_list
+            (Array.mapi
+               (fun i (c : Scc.Stats.ctx_stats) ->
+                 [ string_of_int i;
+                   ms c.Scc.Stats.compute_ps;
+                   ms c.Scc.Stats.mem_stall_ps;
+                   ms c.Scc.Stats.barrier_wait_ps;
+                   ms c.Scc.Stats.lock_wait_ps;
+                   string_of_int c.Scc.Stats.context_switches ])
+               s.Scc.Stats.ctxs)
+        in
+        print_string (Exp.Tabulate.render (header :: rows))
+      end;
+      (match trace_out, trace with
+      | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc (Scc.Trace.to_chrome_json tr);
+          close_out oc;
+          Printf.printf "trace:      %d events -> %s (chrome://tracing)\n"
+            (Scc.Trace.length tr) path
+      | _, _ -> ());
+      if not r.Workloads.Workload.verified then exit 1
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let mode_arg =
+  Arg.(value & opt string "rcce-offchip"
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"pthread | rcce-offchip | rcce-mpb")
+
+let units_arg =
+  Arg.(value & opt int 32
+       & info [ "units" ] ~docv:"N" ~doc:"Threads or cores.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Per-unit time breakdown.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Write a Chrome-tracing timeline of the run.")
+
+let main =
+  Cmd.v
+    (Cmd.info "simrun" ~version:"1.0.0"
+       ~doc:"Run one benchmark on the simulated SCC")
+    Term.(const run_cmd $ name_arg $ mode_arg $ units_arg $ trace_arg
+          $ verbose_arg)
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/benchmark_study.ml: Array Exp List Printf Scc Sys Workloads

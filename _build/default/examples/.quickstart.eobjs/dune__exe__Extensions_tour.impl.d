@@ -1,0 +1,1 @@
+examples/extensions_tour.ml: Cexec Cfront Exp List Printf Rcce Scc String Translate

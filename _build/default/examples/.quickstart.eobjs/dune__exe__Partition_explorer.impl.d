@@ -1,0 +1,1 @@
+examples/partition_explorer.ml: Analysis Exp Ir List Partition Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Cexec Cfront Exp List Printf Translate

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Exp List Printf Scc

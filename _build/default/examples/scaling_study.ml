@@ -1,0 +1,31 @@
+(* Scaling study: the paper's Figure 6.3 plus the power model — how the
+   Pi benchmark scales from 1 to 48 cores, in time and in energy, and
+   where the DVFS envelope sits.
+
+     dune exec examples/scaling_study.exe
+*)
+
+let () =
+  print_endline "The SCC's published operating envelope:";
+  List.iter
+    (fun (p : Scc.Power.operating_point) ->
+      Printf.printf "  %.2f V, %4d MHz -> %5.1f W\n" p.Scc.Power.volts
+        p.Scc.Power.freq_mhz p.Scc.Power.watts)
+    Scc.Power.operating_points;
+  Printf.printf "  model at the paper's 800 MHz point: %.1f W\n\n"
+    (Scc.Power.chip_watts ~freq_mhz:800 ());
+
+  print_string (Exp.Experiments.fig_6_3 ~scale:Exp.Experiments.Quick ());
+
+  (* energy-delay: more cores finish sooner AND spend less total energy,
+     because the chip's static power burns for less time *)
+  print_endline "\nEnergy-delay product (lower is better):";
+  let rows = Exp.Experiments.fig_6_3_data ~scale:Exp.Experiments.Quick () in
+  let items =
+    List.map
+      (fun (r : Exp.Experiments.fig_6_3_row) ->
+        ( Printf.sprintf "%2d cores" r.Exp.Experiments.cores,
+          r.Exp.Experiments.energy_j *. r.Exp.Experiments.rcce_ms ))
+      rows
+  in
+  print_string (Exp.Tabulate.bar_chart ~unit:" J*ms" items)

@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Ast Cfront Ir List Option

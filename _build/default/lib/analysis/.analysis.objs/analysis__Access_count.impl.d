@@ -1,0 +1,1 @@
+lib/analysis/access_count.ml: Access Ast Cfront Ir List Option Scope_analysis String Thread_analysis Visit

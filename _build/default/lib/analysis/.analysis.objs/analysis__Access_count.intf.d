@@ -1,0 +1,1 @@
+lib/analysis/access_count.mli: Ir Scope_analysis Thread_analysis

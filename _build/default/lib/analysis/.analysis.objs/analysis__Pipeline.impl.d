@@ -1,0 +1,1 @@
+lib/analysis/pipeline.ml: Access_count Ast Cfront Ir List Points_to Scope_analysis Sharing Thread_analysis Varinfo

@@ -1,0 +1,1 @@
+lib/analysis/pipeline.mli: Access_count Ast Cfront Ir Points_to Scope_analysis Sharing Thread_analysis Varinfo

@@ -1,0 +1,1 @@
+lib/analysis/points_to.ml: Array Ast Cfront Ctype Hashtbl Ir List Map Scope_analysis Sharing Stdlib Thread_analysis Varinfo Visit

@@ -1,0 +1,1 @@
+lib/analysis/points_to.mli: Ir Scope_analysis

@@ -1,0 +1,1 @@
+lib/analysis/scope_analysis.ml: Access Ast Cfront Ir List Option Printf Sharing Varinfo Visit

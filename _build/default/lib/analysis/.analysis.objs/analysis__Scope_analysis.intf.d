@@ -1,0 +1,1 @@
+lib/analysis/scope_analysis.mli: Ir Varinfo

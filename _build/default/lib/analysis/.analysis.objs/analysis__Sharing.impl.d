@@ -1,0 +1,1 @@
+lib/analysis/sharing.ml: Format

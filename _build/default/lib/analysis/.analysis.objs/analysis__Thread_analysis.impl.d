@@ -1,0 +1,1 @@
+lib/analysis/thread_analysis.ml: Ast Cfront Ir List Option Scope_analysis Sharing Srcloc String Varinfo Visit

@@ -1,0 +1,1 @@
+lib/analysis/thread_analysis.mli: Ast Cfront Ir Scope_analysis Srcloc

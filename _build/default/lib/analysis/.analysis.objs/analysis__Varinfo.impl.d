@@ -1,0 +1,1 @@
+lib/analysis/varinfo.ml: Cfront Ctype Ir List Sharing String

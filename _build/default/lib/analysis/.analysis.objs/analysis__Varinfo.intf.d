@@ -1,0 +1,1 @@
+lib/analysis/varinfo.mli: Cfront Ctype Ir Sharing

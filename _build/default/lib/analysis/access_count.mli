@@ -1,0 +1,26 @@
+(** Dynamic access estimation for Stage 4 partitioning.
+
+    Static occurrence counts scaled by the trip counts of enclosing loops
+    (known bounds exactly, unknown loops get {!default_trip}) and by how
+    many times the enclosing function is launched as a thread. *)
+
+type estimate = { mutable est_reads : int; mutable est_writes : int }
+
+type t = {
+  estimates : estimate Ir.Var_id.Map.t;
+  thread_count : int;
+      (** statically-determined thread count, or {!default_trip} *)
+}
+
+val default_trip : int
+(** Multiplier assumed for loops with unknown bounds. *)
+
+val run : Scope_analysis.t -> Thread_analysis.t -> t
+
+val find : t -> Ir.Var_id.t -> estimate option
+
+val reads : t -> Ir.Var_id.t -> int
+val writes : t -> Ir.Var_id.t -> int
+
+val total : t -> Ir.Var_id.t -> int
+(** Estimated reads + writes. *)

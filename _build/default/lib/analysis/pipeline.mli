@@ -1,0 +1,35 @@
+open Cfront
+
+(** The analysis phase of the framework: Stages 1–3 in order, with a
+    snapshot of every variable's sharing status after each stage (the
+    columns of Table 4.2). *)
+
+type snapshot = Sharing.status Ir.Var_id.Map.t
+
+type t = {
+  scope : Scope_analysis.t;
+  threads : Thread_analysis.t;
+  points_to : Points_to.t;
+  access : Access_count.t;
+  after_stage1 : snapshot;
+  after_stage2 : snapshot;
+  after_stage3 : snapshot;
+}
+
+val analyze : ?include_possible:bool -> Ast.program -> t
+(** Run Stages 1–3.  [include_possible] also propagates sharing through
+    [Possible] points-to relations.
+    @raise Srcloc.Error on semantic errors (duplicate declarations). *)
+
+val status_in : snapshot -> Ir.Var_id.t -> Sharing.status
+
+val shared_variables : t -> Varinfo.t list
+(** All variables whose final status is Shared, in declaration order. *)
+
+val is_shared : t -> Ir.Var_id.t -> bool
+
+val table_4_1 : t -> string list list
+(** Header row plus one row per variable (the paper's Table 4.1). *)
+
+val table_4_2 : t -> string list list
+(** Header row plus per-variable status after Stages 1/2/3 (Table 4.2). *)

@@ -1,0 +1,25 @@
+(** Stage 1: variable scope analysis.
+
+    Extracts Table 4.1 basics for every variable (type, element count,
+    static read/write occurrence counts, use-in/def-in function lists) and
+    assigns the initial sharing status: globals [Shared], everything else
+    [Unknown].  The occurrence-count conventions are documented at the top
+    of the implementation. *)
+
+type t = {
+  symtab : Ir.Symtab.t;
+  table : Varinfo.t Ir.Var_id.Map.t;
+  all_vars : Ir.Var_id.t list;     (** declaration order *)
+  global_vars : Ir.Var_id.t list;
+  local_vars : Ir.Var_id.t list;   (** locals and parameters *)
+}
+
+val run : Ir.Symtab.t -> t
+
+val find : t -> Ir.Var_id.t -> Varinfo.t option
+
+val get : t -> Ir.Var_id.t -> Varinfo.t
+(** @raise Invalid_argument on an unknown variable. *)
+
+val infos : t -> Varinfo.t list
+(** All variable records in declaration order. *)

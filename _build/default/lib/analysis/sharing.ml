@@ -1,0 +1,46 @@
+(* Sharing status of a variable (the paper's Table 4.2 lattice).
+
+   A variable starts as [Unknown] ("null" in the paper).  Changes from
+   [Unknown] are always accepted; after that, the status "may be refined
+   from true to false or false to true once, but it will not revert". *)
+
+type status = Unknown | Shared | Private
+
+type record = { mutable status : status; mutable flipped : bool }
+
+exception Refinement_rejected of status * status
+
+let create () = { status = Unknown; flipped = false }
+
+let of_status status = { status; flipped = false }
+
+let status r = r.status
+
+let to_bool_option r =
+  match r.status with
+  | Unknown -> None
+  | Shared -> Some true
+  | Private -> Some false
+
+let refine r status =
+  match r.status, status with
+  | _, Unknown -> ()                       (* nothing to learn *)
+  | Unknown, _ -> r.status <- status
+  | Shared, Shared | Private, Private -> ()
+  | (Shared | Private), _ when not r.flipped ->
+      r.status <- status;
+      r.flipped <- true
+  | (Shared | Private), _ -> raise (Refinement_rejected (r.status, status))
+
+let can_refine r status =
+  match r.status, status with
+  | _, Unknown | Unknown, _ -> true
+  | Shared, Shared | Private, Private -> true
+  | (Shared | Private), _ -> not r.flipped
+
+let status_to_string = function
+  | Unknown -> "null"
+  | Shared -> "true"
+  | Private -> "false"
+
+let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)

@@ -1,0 +1,34 @@
+(** Sharing status of a variable (the paper's Table 4.2 lattice).
+
+    A variable starts as [Unknown] ("null" in the paper).  Changes from
+    [Unknown] are always accepted; after that the status may flip between
+    [Shared] and [Private] exactly once and never revert. *)
+
+type status = Unknown | Shared | Private
+
+type record
+
+exception Refinement_rejected of status * status
+(** Raised on a second [Shared]<->[Private] flip. *)
+
+val create : unit -> record
+(** A fresh record with status [Unknown]. *)
+
+val of_status : status -> record
+
+val status : record -> status
+
+val to_bool_option : record -> bool option
+(** [Some true] for [Shared], [Some false] for [Private], [None] for
+    [Unknown] — the paper's true/false/null column values. *)
+
+val refine : record -> status -> unit
+(** Apply the refinement rule.  Refining to [Unknown] is a no-op.
+    @raise Refinement_rejected on a second flip. *)
+
+val can_refine : record -> status -> bool
+
+val status_to_string : status -> string
+(** ["true"], ["false"] or ["null"], as printed in Table 4.2. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,66 @@
+open Cfront
+
+(* Per-variable information accumulated by Stages 1-3 (the paper's
+   Table 4.1): type, element count, static read/write occurrence counts,
+   and the functions in which the variable is used (read) or defined
+   (written). *)
+
+type t = {
+  id : Ir.Var_id.t;
+  ty : Ctype.t;
+  size : int;              (* element count: 1 for scalars, n for T[n] *)
+  mem_size : int;          (* bytes occupied under the 32-bit ABI *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable use_in : string list;   (* functions reading it, source order *)
+  mutable def_in : string list;   (* functions writing it, source order *)
+  sharing : Sharing.record;
+}
+
+let create (entry : Ir.Symtab.entry) =
+  let ty = entry.Ir.Symtab.ty in
+  {
+    id = entry.Ir.Symtab.id;
+    ty;
+    size = Ctype.element_count ty;
+    mem_size = Ctype.sizeof ty;
+    reads = 0;
+    writes = 0;
+    use_in = [];
+    def_in = [];
+    sharing = Sharing.create ();
+  }
+
+let add_once item items = if List.mem item items then items else items @ [ item ]
+
+let record_read t ~in_func =
+  t.reads <- t.reads + 1;
+  match in_func with
+  | None -> ()
+  | Some f -> t.use_in <- add_once f t.use_in
+
+let record_write t ~in_func =
+  t.writes <- t.writes + 1;
+  match in_func with
+  | None -> ()
+  | Some f -> t.def_in <- add_once f t.def_in
+
+let is_unused t = t.reads = 0 && t.writes = 0
+
+let list_or_null = function
+  | [] -> "null"
+  | fs -> String.concat ", " fs
+
+(* One row of the paper's Table 4.1. *)
+let to_row t =
+  [
+    t.id.Ir.Var_id.name;
+    Ctype.to_string t.ty;
+    string_of_int t.size;
+    string_of_int t.reads;
+    string_of_int t.writes;
+    list_or_null t.use_in;
+    list_or_null t.def_in;
+  ]
+
+let row_header = [ "Name"; "Type"; "Size"; "Rd"; "Wr"; "Use In"; "Def In" ]

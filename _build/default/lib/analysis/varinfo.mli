@@ -1,0 +1,29 @@
+open Cfront
+
+(** Per-variable information accumulated by Stages 1–3 (the paper's
+    Table 4.1). *)
+
+type t = {
+  id : Ir.Var_id.t;
+  ty : Ctype.t;
+  size : int;       (** element count: 1 for scalars, n for T[n] *)
+  mem_size : int;   (** bytes occupied under the 32-bit ABI *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable use_in : string list;  (** functions reading it, source order *)
+  mutable def_in : string list;  (** functions writing it, source order *)
+  sharing : Sharing.record;
+}
+
+val create : Ir.Symtab.entry -> t
+
+val record_read : t -> in_func:string option -> unit
+val record_write : t -> in_func:string option -> unit
+
+val is_unused : t -> bool
+(** Never read nor written outside its declaration. *)
+
+val to_row : t -> string list
+(** One row of Table 4.1: name, type, size, rd, wr, use-in, def-in. *)
+
+val row_header : string list

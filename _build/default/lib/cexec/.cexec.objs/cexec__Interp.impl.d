@@ -1,0 +1,1 @@
+lib/cexec/interp.ml: Analysis Array Ast Buffer Cfront Char Ctype Hashtbl List Lockset Option Printf Scc String Value

@@ -1,0 +1,1 @@
+lib/cexec/interp.mli: Ast Cfront Lockset Scc Value

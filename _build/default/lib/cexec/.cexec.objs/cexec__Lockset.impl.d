@@ -1,0 +1,1 @@
+lib/cexec/lockset.ml: Hashtbl Int List Printf Set

@@ -1,0 +1,1 @@
+lib/cexec/lockset.mli: Set

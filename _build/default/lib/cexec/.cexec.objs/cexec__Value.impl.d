@@ -1,0 +1,1 @@
+lib/cexec/value.ml: Ast Cfront Ctype Printf

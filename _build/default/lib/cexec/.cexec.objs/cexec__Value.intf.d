@@ -1,0 +1,1 @@
+lib/cexec/value.mli: Ast Cfront Ctype

@@ -1,0 +1,845 @@
+open Cfront
+
+(* A C interpreter over the SCC simulator: the translated RCCE programs
+   produced by the Stage 5 translator — and the original Pthread programs
+   they came from — execute with every load, store, synchronization call
+   and arithmetic operator charged to the simulated machine.
+
+   Execution modes mirror the paper's experimental setup:
+   - [run_pthread]: one process on core 0; [pthread_create] spawns
+     additional contexts on the same core (the unconverted program "can
+     only take advantage of a single core");
+   - [run_rcce ~ncores]: one process per core, each interpreting the
+     whole program from its own private globals, with RCCE collective
+     allocation, put/get-backed barrier and the test-and-set locks.
+
+   Data lives in a store keyed by simulated address; compute cycles are
+   accumulated per task and flushed as one engine effect at every memory
+   or synchronization operation, so event counts stay proportional to
+   memory traffic rather than to executed operators. *)
+
+exception Runtime_error of string
+
+let runtime_error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+exception Thread_exit
+
+type lvalue = { addr : int; ty : Ctype.t }
+
+(* State shared by every task of one simulated run. *)
+type shared = {
+  program : Ast.program;
+  eng : Scc.Engine.t;
+  store : (int, Value.t) Hashtbl.t;
+  strings : (string, int) Hashtbl.t;        (* literal -> address *)
+  string_at : (int, string) Hashtbl.t;      (* address -> literal *)
+  output : Buffer.t;
+  mutable mutexes : (string * int) list;    (* mutex name -> lock id *)
+  mutable barriers : (string * (int * int)) list;
+      (* pthread barrier name -> (engine barrier id, group count) *)
+  mutable rcce_flags : (string * int) list;   (* flag name -> flag index *)
+  mutable shm_log : int list;               (* collective RCCE_shmalloc *)
+  mutable mpb_alloc_log : int list;         (* collective RCCE_malloc *)
+  ncores : int;                             (* RCCE ranks; 1 for pthread *)
+  races : Lockset.t option;                 (* Eraser detector, if enabled *)
+}
+
+(* One process: an address space with its own globals. *)
+type process = {
+  sh : shared;
+  globals : (string, lvalue) Hashtbl.t;
+  core : int;
+  rank : int;   (* RCCE rank; 0 for the pthread process *)
+}
+
+(* One executing context (an RCCE process body or one Pthread). *)
+type task = {
+  proc : process;
+  api : Scc.Engine.api;
+  mutable frames : (string, lvalue) Hashtbl.t list;
+  mutable pending_cycles : int;
+  mutable shm_count : int;     (* per-task collective call counters *)
+  mutable mpb_count : int;
+  mutable held_locks : Lockset.Int_set.t;   (* for race detection *)
+}
+
+type outcome = Normal | Returned of Value.t | Broke | Continued
+
+(* --- cycle accounting ---------------------------------------------------- *)
+
+let flush_threshold = 8192
+
+let flush task =
+  if task.pending_cycles > 0 then begin
+    task.api.Scc.Engine.compute task.pending_cycles;
+    task.pending_cycles <- 0
+  end
+
+let charge task cycles =
+  task.pending_cycles <- task.pending_cycles + cycles;
+  if task.pending_cycles >= flush_threshold then flush task
+
+(* --- memory -------------------------------------------------------------- *)
+
+let value_bytes ty =
+  match ty with
+  | Ctype.Array (elt, _) -> Ctype.sizeof elt
+  | ty -> Ctype.sizeof ty
+
+let sync_races task =
+  match task.proc.sh.races with
+  | None -> ()
+  | Some detector -> Lockset.synchronize detector
+
+let observe task ~write addr =
+  match task.proc.sh.races with
+  | None -> ()
+  | Some detector ->
+      Lockset.access detector ~ctx:task.api.Scc.Engine.self
+        ~held:task.held_locks ~write addr
+
+(* Offset 0 of every region is a guard line (see Scc.Memmap.create), so
+   a small address can only come from NULL or NULL-adjacent pointer
+   arithmetic. *)
+let check_addr addr =
+  match Scc.Memmap.region_of_addr addr with
+  | Scc.Memmap.Private _ | Scc.Memmap.Shared_dram ->
+      if Scc.Memmap.offset_of_addr addr < 32 then
+        runtime_error "null pointer dereference (address %#x)" addr
+  | Scc.Memmap.Mpb _ -> ()
+
+let read_mem task { addr; ty } =
+  check_addr addr;
+  flush task;
+  observe task ~write:false addr;
+  task.api.Scc.Engine.load addr ~bytes:(value_bytes ty);
+  match Hashtbl.find_opt task.proc.sh.store addr with
+  | Some v -> v
+  | None -> Value.zero_of ty
+
+let write_mem task { addr; ty } v =
+  check_addr addr;
+  flush task;
+  observe task ~write:true addr;
+  task.api.Scc.Engine.store addr ~bytes:(value_bytes ty);
+  Hashtbl.replace task.proc.sh.store addr (Value.convert ty v)
+
+(* Untimed store initialization (global initializers run at load time). *)
+let poke task addr ty v =
+  Hashtbl.replace task.proc.sh.store addr (Value.convert ty v)
+
+let alloc_private task ~bytes =
+  Scc.Memmap.alloc
+    (Scc.Engine.memmap task.proc.sh.eng)
+    (Scc.Memmap.Private task.proc.core) ~bytes
+
+(* --- scoping -------------------------------------------------------------- *)
+
+let current_frame task =
+  match task.frames with
+  | frame :: _ -> frame
+  | [] -> runtime_error "no active stack frame"
+
+let lookup task name =
+  let rec in_frames = function
+    | [] -> Hashtbl.find_opt task.proc.globals name
+    | frame :: rest -> begin
+        match Hashtbl.find_opt frame name with
+        | Some lv -> Some lv
+        | None -> in_frames rest
+      end
+  in
+  in_frames task.frames
+
+let name_region task ~base ~bytes name =
+  match task.proc.sh.races with
+  | None -> ()
+  | Some detector -> Lockset.name_region detector ~base ~bytes name
+
+let declare task name ty =
+  let bytes = max (Ctype.sizeof ty) 4 in
+  let lv = { addr = alloc_private task ~bytes; ty } in
+  name_region task ~base:lv.addr ~bytes name;
+  Hashtbl.replace (current_frame task) name lv;
+  lv
+
+let string_value task s =
+  let sh = task.proc.sh in
+  let addr =
+    match Hashtbl.find_opt sh.strings s with
+    | Some addr -> addr
+    | None ->
+        let addr = alloc_private task ~bytes:(String.length s + 1) in
+        Hashtbl.replace sh.strings s addr;
+        Hashtbl.replace sh.string_at addr s;
+        addr
+  in
+  Value.Vptr { addr; elt = Ctype.Char }
+
+(* --- expression evaluation ------------------------------------------------ *)
+
+let rec eval task (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int_lit n -> Value.Vint n
+  | Ast.Float_lit f -> Value.Vfloat f
+  | Ast.Char_lit c -> Value.Vint (Char.code c)
+  | Ast.Str_lit s -> string_value task s
+  | Ast.Var "NULL" | Ast.Var "RCCE_FLAG_UNSET" -> Value.Vint 0
+  | Ast.Var "RCCE_FLAG_SET" -> Value.Vint 1
+  | Ast.Var name -> begin
+      match lookup task name with
+      | Some ({ ty = Ctype.Array (elt, _); addr } as _lv) ->
+          (* arrays decay to a pointer to their storage, no load *)
+          Value.Vptr { addr; elt }
+      | Some lv -> read_mem task lv
+      | None -> runtime_error "unbound variable '%s'" name
+    end
+  | Ast.Unary (Ast.Addr, inner) ->
+      let lv = eval_lvalue task inner in
+      let elt =
+        match lv.ty with Ctype.Array (elt, _) -> elt | ty -> ty
+      in
+      Value.Vptr { addr = lv.addr; elt }
+  | Ast.Unary (Ast.Deref, inner) -> begin
+      match eval task inner with
+      | Value.Vptr { addr; elt } -> read_mem task { addr; ty = elt }
+      | v -> runtime_error "dereference of non-pointer %s" (Value.to_string v)
+    end
+  | Ast.Unary ((Ast.Preinc | Ast.Predec | Ast.Postinc | Ast.Postdec) as op,
+               inner) ->
+      let lv = eval_lvalue task inner in
+      let old_v = read_mem task lv in
+      let delta = if op = Ast.Preinc || op = Ast.Postinc then 1 else -1 in
+      let new_v = Value.binop Ast.Add old_v (Value.Vint delta) in
+      charge task 1;
+      write_mem task lv new_v;
+      if op = Ast.Postinc || op = Ast.Postdec then old_v else new_v
+  | Ast.Unary (op, inner) ->
+      charge task 1;
+      Value.unop op (eval task inner)
+  | Ast.Binary (Ast.Land, a, b) ->
+      (* short-circuit *)
+      charge task 1;
+      if Value.is_truthy (eval task a) then
+        Value.Vint (if Value.is_truthy (eval task b) then 1 else 0)
+      else Value.Vint 0
+  | Ast.Binary (Ast.Lor, a, b) ->
+      charge task 1;
+      if Value.is_truthy (eval task a) then Value.Vint 1
+      else Value.Vint (if Value.is_truthy (eval task b) then 1 else 0)
+  | Ast.Binary (op, a, b) ->
+      let va = eval task a in
+      let vb = eval task b in
+      charge task (Value.binop_cycles op va vb);
+      Value.binop op va vb
+  | Ast.Assign (None, lhs, rhs) ->
+      let v = eval task rhs in
+      let lv = eval_lvalue task lhs in
+      write_mem task lv v;
+      v
+  | Ast.Assign (Some op, lhs, rhs) ->
+      let vb = eval task rhs in
+      let lv = eval_lvalue task lhs in
+      let va = read_mem task lv in
+      charge task (Value.binop_cycles op va vb);
+      let v = Value.binop op va vb in
+      write_mem task lv v;
+      v
+  | Ast.Cond (c, a, b) ->
+      charge task 2;
+      if Value.is_truthy (eval task c) then eval task a else eval task b
+  | Ast.Call (name, args) -> call task name args
+  | Ast.Index (arr, idx) -> begin
+      let base = eval task arr in
+      let i = Value.as_int (eval task idx) in
+      charge task 2;
+      match base with
+      | Value.Vptr { addr; elt } ->
+          read_mem task { addr = addr + (i * Ctype.sizeof elt); ty = elt }
+      | v -> runtime_error "indexing non-pointer %s" (Value.to_string v)
+    end
+  | Ast.Cast (ty, inner) -> Value.convert ty (eval task inner)
+  | Ast.Sizeof_type ty -> Value.Vint (Ctype.sizeof ty)
+  | Ast.Sizeof_expr inner ->
+      (* sizeof does not evaluate its operand in C; approximate with the
+         syntactic type when the operand is a variable *)
+      let ty =
+        match inner with
+        | Ast.Var name -> begin
+            match lookup task name with
+            | Some lv -> lv.ty
+            | None -> Ctype.Int
+          end
+        | _ -> Ctype.Int
+      in
+      Value.Vint (Ctype.sizeof ty)
+  | Ast.Comma (a, b) ->
+      ignore (eval task a);
+      eval task b
+
+and eval_lvalue task (e : Ast.expr) : lvalue =
+  match e with
+  | Ast.Var name -> begin
+      match lookup task name with
+      | Some lv -> lv
+      | None -> runtime_error "unbound variable '%s'" name
+    end
+  | Ast.Unary (Ast.Deref, inner) -> begin
+      match eval task inner with
+      | Value.Vptr { addr; elt } -> { addr; ty = elt }
+      | v ->
+          runtime_error "dereference of non-pointer %s" (Value.to_string v)
+    end
+  | Ast.Index (arr, idx) -> begin
+      let base = eval task arr in
+      let i = Value.as_int (eval task idx) in
+      charge task 2;
+      match base with
+      | Value.Vptr { addr; elt } ->
+          { addr = addr + (i * Ctype.sizeof elt); ty = elt }
+      | v -> runtime_error "indexing non-pointer %s" (Value.to_string v)
+    end
+  | Ast.Cast (_, inner) -> eval_lvalue task inner
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+  | Ast.Unary _ | Ast.Binary _ | Ast.Assign _ | Ast.Cond _ | Ast.Call _
+  | Ast.Sizeof_type _ | Ast.Sizeof_expr _ | Ast.Comma _ ->
+      runtime_error "expression is not an l-value"
+
+(* --- statements ------------------------------------------------------------ *)
+
+and exec_stmt task (s : Ast.stmt) : outcome =
+  match s.Ast.s_desc with
+  | Ast.Sexpr e ->
+      ignore (eval task e);
+      Normal
+  | Ast.Sdecl ds ->
+      List.iter (exec_decl task) ds;
+      Normal
+  | Ast.Sblock stmts -> exec_block task stmts
+  | Ast.Sif (c, a, b) -> begin
+      charge task 2;
+      if Value.is_truthy (eval task c) then exec_stmt task a
+      else match b with Some b -> exec_stmt task b | None -> Normal
+    end
+  | Ast.Swhile (c, body) ->
+      let rec loop () =
+        charge task 2;
+        if Value.is_truthy (eval task c) then
+          match exec_stmt task body with
+          | Normal | Continued -> loop ()
+          | Broke -> Normal
+          | Returned v -> Returned v
+        else Normal
+      in
+      loop ()
+  | Ast.Sdo (body, c) ->
+      let rec loop () =
+        match exec_stmt task body with
+        | Normal | Continued ->
+            charge task 2;
+            if Value.is_truthy (eval task c) then loop () else Normal
+        | Broke -> Normal
+        | Returned v -> Returned v
+      in
+      loop ()
+  | Ast.Sfor (init, cond, step, body) ->
+      (match init with
+      | Ast.For_none -> ()
+      | Ast.For_expr e -> ignore (eval task e)
+      | Ast.For_decl ds -> List.iter (exec_decl task) ds);
+      let rec loop () =
+        charge task 2;
+        let continue_loop =
+          match cond with
+          | None -> true
+          | Some c -> Value.is_truthy (eval task c)
+        in
+        if not continue_loop then Normal
+        else
+          match exec_stmt task body with
+          | Normal | Continued ->
+              Option.iter (fun e -> ignore (eval task e)) step;
+              loop ()
+          | Broke -> Normal
+          | Returned v -> Returned v
+      in
+      loop ()
+  | Ast.Sreturn None -> Returned Value.Vvoid
+  | Ast.Sreturn (Some e) -> Returned (eval task e)
+  | Ast.Sbreak -> Broke
+  | Ast.Scontinue -> Continued
+  | Ast.Snull -> Normal
+
+and exec_block task stmts =
+  let rec go = function
+    | [] -> Normal
+    | s :: rest -> begin
+        match exec_stmt task s with
+        | Normal -> go rest
+        | (Returned _ | Broke | Continued) as out -> out
+      end
+  in
+  go stmts
+
+and exec_decl task (d : Ast.decl) =
+  let lv = declare task d.Ast.d_name d.Ast.d_type in
+  match d.Ast.d_init with
+  | None -> ()
+  | Some (Ast.Init_expr e) ->
+      let v = eval task e in
+      write_mem task lv v
+  | Some (Ast.Init_list es) ->
+      let elt =
+        match d.Ast.d_type with
+        | Ctype.Array (elt, _) -> elt
+        | ty -> ty
+      in
+      List.iteri
+        (fun i e ->
+          let v = eval task e in
+          write_mem task
+            { addr = lv.addr + (i * Ctype.sizeof elt); ty = elt }
+            v)
+        es
+
+(* --- calls ------------------------------------------------------------------ *)
+
+and call task name args =
+  match Ast.find_function task.proc.sh.program name with
+  | Some fn -> call_user task fn args
+  | None -> call_builtin task name args
+
+and call_user task (fn : Ast.func) args =
+  if List.length args <> List.length fn.Ast.f_params then
+    runtime_error "%s expects %d arguments, got %d" fn.Ast.f_name
+      (List.length fn.Ast.f_params) (List.length args);
+  let values = List.map (eval task) args in
+  charge task 10;   (* call/return overhead *)
+  let frame = Hashtbl.create 8 in
+  task.frames <- frame :: task.frames;
+  List.iter2
+    (fun (pname, pty) v ->
+      let lv = declare task pname pty in
+      write_mem task lv v)
+    fn.Ast.f_params values;
+  let result =
+    match exec_block task fn.Ast.f_body with
+    | Returned v -> v
+    | Normal | Broke | Continued -> Value.Vvoid
+  in
+  (match task.frames with
+  | _ :: rest -> task.frames <- rest
+  | [] -> ());
+  result
+
+(* --- builtins ----------------------------------------------------------------- *)
+
+and mini_printf task fmt values =
+  let buf = Buffer.create 64 in
+  let n = String.length fmt in
+  let args = ref values in
+  let next () =
+    match !args with
+    | [] -> runtime_error "printf: not enough arguments"
+    | v :: rest ->
+        args := rest;
+        v
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      (* skip width/precision flags *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'l' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      (match fmt.[!j] with
+      | 'd' | 'i' | 'u' | 'x' ->
+          Buffer.add_string buf (string_of_int (Value.as_int (next ())))
+      | 'f' | 'g' | 'e' ->
+          Buffer.add_string buf (Printf.sprintf "%f" (Value.as_float (next ())))
+      | 'c' ->
+          Buffer.add_char buf (Char.chr (Value.as_int (next ()) land 0xff))
+      | 's' -> begin
+          let v = next () in
+          match
+            Hashtbl.find_opt task.proc.sh.string_at (Value.as_addr v)
+          with
+          | Some s -> Buffer.add_string buf s
+          | None -> Buffer.add_string buf "<str>"
+        end
+      | '%' -> Buffer.add_char buf '%'
+      | c -> runtime_error "printf: unsupported conversion %%%c" c);
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.add_buffer task.proc.sh.output buf;
+  Buffer.length buf
+
+and rank_to_core task rank = rank mod task.proc.sh.ncores
+
+and collective_shmalloc task bytes =
+  let sh = task.proc.sh in
+  let k = task.shm_count in
+  task.shm_count <- k + 1;
+  if k < List.length sh.shm_log then List.nth sh.shm_log k
+  else begin
+    let addr =
+      Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) Scc.Memmap.Shared_dram
+        ~bytes
+    in
+    sh.shm_log <- sh.shm_log @ [ addr ];
+    addr
+  end
+
+(* Collective on-chip allocation: the k-th call returns the same address
+   in every rank; block k lives contiguously in the MPB slice of core
+   (k mod ncores).  Contiguity keeps C pointer arithmetic valid, at the
+   price of capping one allocation at a slice (documented in DESIGN.md). *)
+and collective_mpb_malloc task bytes =
+  let sh = task.proc.sh in
+  let k = task.mpb_count in
+  task.mpb_count <- k + 1;
+  if k < List.length sh.mpb_alloc_log then List.nth sh.mpb_alloc_log k
+  else begin
+    let owner = k mod sh.ncores in
+    let addr =
+      Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) (Scc.Memmap.Mpb owner)
+        ~bytes
+    in
+    sh.mpb_alloc_log <- sh.mpb_alloc_log @ [ addr ];
+    addr
+  end
+
+and barrier_entry task name ~count =
+  let sh = task.proc.sh in
+  match List.assoc_opt name sh.barriers with
+  | Some entry -> entry
+  | None ->
+      let entry = (List.length sh.barriers, count) in
+      sh.barriers <- sh.barriers @ [ (name, entry) ];
+      entry
+
+(* RCCE flags live one copy per UE; the engine flag id combines the
+   flag's index with the owning rank. *)
+and rcce_flag_index task name =
+  let sh = task.proc.sh in
+  match List.assoc_opt name sh.rcce_flags with
+  | Some idx -> idx
+  | None ->
+      let idx = List.length sh.rcce_flags in
+      sh.rcce_flags <- sh.rcce_flags @ [ (name, idx) ];
+      idx
+
+and rcce_flag_id task ~name ~rank =
+  (rcce_flag_index task name * task.proc.sh.ncores) + rank
+
+and mutex_lock_id task name =
+  let sh = task.proc.sh in
+  match List.assoc_opt name sh.mutexes with
+  | Some id -> id
+  | None ->
+      let id = List.length sh.mutexes in
+      sh.mutexes <- sh.mutexes @ [ (name, id) ];
+      id
+
+and mutex_name_of_expr = function
+  | Ast.Var name -> name
+  | Ast.Unary (Ast.Addr, Ast.Var name) -> name
+  | Ast.Unary (Ast.Addr, Ast.Index (Ast.Var name, _)) -> name
+  | _ -> "<anonymous-mutex>"
+
+and call_builtin task name args =
+  let api = task.api in
+  match name, args with
+  | "printf", fmt_expr :: rest -> begin
+      let fmt_v = eval task fmt_expr in
+      let values = List.map (eval task) rest in
+      match Hashtbl.find_opt task.proc.sh.string_at (Value.as_addr fmt_v) with
+      | Some fmt ->
+          charge task 1_000;
+          Value.Vint (mini_printf task fmt values)
+      | None -> runtime_error "printf: format is not a string literal"
+    end
+  | "malloc", [ size ] ->
+      let bytes = max 4 (Value.as_int (eval task size)) in
+      charge task 200;
+      Value.Vptr { addr = alloc_private task ~bytes; elt = Ctype.Void }
+  | "free", [ _ ] -> Value.Vvoid
+  | "exit", [ code ] -> begin
+      ignore (eval task code);
+      raise Thread_exit
+    end
+  (* --- pthreads --------------------------------------------------------- *)
+  | "pthread_create", [ tid; _attr; func_ref; arg ] -> begin
+      match Analysis.Thread_analysis.func_name_of_arg func_ref with
+      | None -> runtime_error "pthread_create: cannot resolve thread function"
+      | Some fname -> begin
+          match Ast.find_function task.proc.sh.program fname with
+          | None -> runtime_error "pthread_create: unknown function %s" fname
+          | Some fn ->
+              let argv = eval task arg in
+              flush task;
+              let child_id =
+                api.Scc.Engine.spawn_child ~core:task.proc.core
+                  (fun child_api ->
+                    let child =
+                      { proc = task.proc; api = child_api;
+                        frames = [ Hashtbl.create 8 ];
+                        pending_cycles = 0; shm_count = 0; mpb_count = 0;
+                        held_locks = Lockset.Int_set.empty }
+                    in
+                    (try
+                       let frame = Hashtbl.create 8 in
+                       child.frames <- [ frame ];
+                       List.iter
+                         (fun (pname, pty) ->
+                           let lv = declare child pname pty in
+                           write_mem child lv argv)
+                         fn.Ast.f_params;
+                       ignore (exec_block child fn.Ast.f_body)
+                     with Thread_exit -> ());
+                    flush child)
+              in
+              let tid_lv = eval_lvalue task (Ast.Unary (Ast.Deref, tid)) in
+              write_mem task tid_lv (Value.Vint child_id);
+              Value.Vint 0
+        end
+    end
+  | "pthread_join", [ tid; _ ] ->
+      let target = Value.as_int (eval task tid) in
+      flush task;
+      api.Scc.Engine.join target;
+      sync_races task;
+      Value.Vint 0
+  | "pthread_exit", [ _ ] -> raise Thread_exit
+  | "pthread_self", [] -> Value.Vint api.Scc.Engine.self
+  | "pthread_barrier_init", [ b; _attr; count ] ->
+      let n = Value.as_int (eval task count) in
+      ignore (barrier_entry task (mutex_name_of_expr b) ~count:n);
+      Value.Vint 0
+  | "pthread_barrier_destroy", [ _ ] -> Value.Vint 0
+  | "pthread_barrier_wait", [ b ] ->
+      let id, count = barrier_entry task (mutex_name_of_expr b) ~count:1 in
+      flush task;
+      api.Scc.Engine.barrier_n ~id ~count;
+      sync_races task;
+      Value.Vint 0
+  | "pthread_mutex_init", (m :: _) ->
+      ignore (mutex_lock_id task (mutex_name_of_expr m));
+      Value.Vint 0
+  | "pthread_mutex_destroy", [ _ ] -> Value.Vint 0
+  | "pthread_mutex_lock", [ m ] ->
+      let id = mutex_lock_id task (mutex_name_of_expr m) in
+      flush task;
+      api.Scc.Engine.acquire (rank_to_core task id);
+      task.held_locks <- Lockset.Int_set.add id task.held_locks;
+      Value.Vint 0
+  | "pthread_mutex_unlock", [ m ] ->
+      let id = mutex_lock_id task (mutex_name_of_expr m) in
+      flush task;
+      api.Scc.Engine.release (rank_to_core task id);
+      task.held_locks <- Lockset.Int_set.remove id task.held_locks;
+      Value.Vint 0
+  (* --- RCCE ------------------------------------------------------------- *)
+  | "RCCE_init", [ _; _ ] -> Value.Vint 0
+  | "RCCE_finalize", [] -> Value.Vint 0
+  | "RCCE_ue", [] -> Value.Vint task.proc.rank
+  | "RCCE_num_ues", [] -> Value.Vint task.proc.sh.ncores
+  | "RCCE_shmalloc", [ size ] ->
+      let bytes = max 4 (Value.as_int (eval task size)) in
+      charge task 200;
+      let k = task.shm_count in
+      let addr = collective_shmalloc task bytes in
+      name_region task ~base:addr ~bytes (Printf.sprintf "shmalloc#%d" k);
+      Value.Vptr { addr; elt = Ctype.Void }
+  | "RCCE_malloc", [ size ] ->
+      let bytes = max 4 (Value.as_int (eval task size)) in
+      charge task 200;
+      Value.Vptr
+        { addr = collective_mpb_malloc task bytes; elt = Ctype.Void }
+  | "RCCE_shfree", [ _ ] | "RCCE_free", [ _ ] -> Value.Vvoid
+  | "RCCE_flag_alloc", [ f ] ->
+      ignore (rcce_flag_index task (mutex_name_of_expr f));
+      Value.Vint 0
+  | "RCCE_flag_free", [ _ ] -> Value.Vint 0
+  | "RCCE_flag_write", [ f; v; ue_expr ] ->
+      let value = Value.is_truthy (eval task v) in
+      let rank = Value.as_int (eval task ue_expr) in
+      let id = rcce_flag_id task ~name:(mutex_name_of_expr f) ~rank in
+      flush task;
+      api.Scc.Engine.flag_set ~id value;
+      Value.Vint 0
+  | "RCCE_wait_until", [ f; v ] ->
+      if not (Value.is_truthy (eval task v)) then
+        runtime_error "RCCE_wait_until: only RCCE_FLAG_SET is supported"
+      else begin
+        let id =
+          rcce_flag_id task ~name:(mutex_name_of_expr f)
+            ~rank:task.proc.rank
+        in
+        flush task;
+        api.Scc.Engine.flag_wait ~id;
+        Value.Vint 0
+      end
+  | "RCCE_set_frequency_divider", [ d ] ->
+      let divider = Value.as_int (eval task d) in
+      if divider < 2 || divider > 16 then
+        runtime_error "RCCE_set_frequency_divider: divider outside 2..16"
+      else begin
+        flush task;
+        api.Scc.Engine.set_frequency ~core:api.Scc.Engine.core
+          ~mhz:(1600 / divider);
+        Value.Vint 0
+      end
+  | "RCCE_barrier", [ _ ] ->
+      flush task;
+      api.Scc.Engine.barrier ();
+      sync_races task;
+      Value.Vint 0
+  | "RCCE_acquire_lock", [ n ] ->
+      let id = Value.as_int (eval task n) in
+      flush task;
+      api.Scc.Engine.acquire (rank_to_core task id);
+      task.held_locks <- Lockset.Int_set.add id task.held_locks;
+      Value.Vint 0
+  | "RCCE_release_lock", [ n ] ->
+      let id = Value.as_int (eval task n) in
+      flush task;
+      api.Scc.Engine.release (rank_to_core task id);
+      task.held_locks <- Lockset.Int_set.remove id task.held_locks;
+      Value.Vint 0
+  | _, _ ->
+      runtime_error "call to unknown function '%s' (%d args)" name
+        (List.length args)
+
+(* --- program setup ------------------------------------------------------- *)
+
+(* Allocate and initialize one process's globals (load-time, untimed). *)
+let setup_globals task =
+  List.iter
+    (fun (d : Ast.decl) ->
+      let ty = d.Ast.d_type in
+      let bytes = max (Ctype.sizeof ty) 4 in
+      let lv = { addr = alloc_private task ~bytes; ty } in
+      name_region task ~base:lv.addr ~bytes d.Ast.d_name;
+      Hashtbl.replace task.proc.globals d.Ast.d_name lv;
+      match d.Ast.d_init with
+      | None -> poke task lv.addr ty (Value.zero_of ty)
+      | Some (Ast.Init_expr e) -> poke task lv.addr ty (eval task e)
+      | Some (Ast.Init_list es) ->
+          let elt = match ty with Ctype.Array (e, _) -> e | ty -> ty in
+          List.iteri
+            (fun i e ->
+              poke task (lv.addr + (i * Ctype.sizeof elt)) elt (eval task e))
+            es)
+    (Ast.global_decls task.proc.sh.program)
+
+let make_shared ?cfg ~detect_races ~ncores program =
+  {
+    program;
+    eng = Scc.Engine.create ?cfg ();
+    store = Hashtbl.create 4096;
+    strings = Hashtbl.create 16;
+    string_at = Hashtbl.create 16;
+    output = Buffer.create 256;
+    mutexes = [];
+    barriers = [];
+    rcce_flags = [];
+    shm_log = [];
+    mpb_alloc_log = [];
+    ncores;
+    races = (if detect_races then Some (Lockset.create ()) else None);
+  }
+
+type result = {
+  engine : Scc.Engine.t;
+  output : string;
+  exit_values : Value.t list;   (* per process, rank order *)
+  elapsed_ps : int;
+  races : Lockset.report list;  (* empty unless detection was enabled *)
+}
+
+let entry_function program =
+  match Ast.find_function program "RCCE_APP" with
+  | Some fn -> fn
+  | None -> begin
+      match Ast.find_function program "main" with
+      | Some fn -> fn
+      | None -> runtime_error "program has neither RCCE_APP nor main"
+    end
+
+(* Run the entry function in a fresh task for one process. *)
+let run_entry sh proc api =
+  let task =
+    { proc; api; frames = [ Hashtbl.create 8 ]; pending_cycles = 0;
+      shm_count = 0; mpb_count = 0; held_locks = Lockset.Int_set.empty }
+  in
+  setup_globals task;
+  let fn = entry_function sh.program in
+  let frame = Hashtbl.create 8 in
+  task.frames <- [ frame ];
+  List.iter
+    (fun (pname, pty) ->
+      let lv = declare task pname pty in
+      match pty with
+      | Ctype.Int -> write_mem task lv (Value.Vint 1)   (* argc *)
+      | _ -> write_mem task lv (Value.Vint 0))
+    fn.Ast.f_params;
+  let v =
+    try
+      match exec_block task fn.Ast.f_body with
+      | Returned v -> v
+      | Normal | Broke | Continued -> Value.Vint 0
+    with Thread_exit -> Value.Vint 0
+  in
+  flush task;
+  v
+
+let race_reports (sh : shared) =
+  match sh.races with Some d -> Lockset.reports d | None -> []
+
+let run_pthread ?cfg ?(detect_races = false) (program : Ast.program) =
+  let sh = make_shared ?cfg ~detect_races ~ncores:1 program in
+  let proc = { sh; globals = Hashtbl.create 64; core = 0; rank = 0 } in
+  let exit_value = ref Value.Vvoid in
+  ignore
+    (Scc.Engine.spawn sh.eng ~core:0 (fun api ->
+         exit_value := run_entry sh proc api));
+  Scc.Engine.run sh.eng;
+  {
+    engine = sh.eng;
+    output = Buffer.contents sh.output;
+    exit_values = [ !exit_value ];
+    elapsed_ps = Scc.Engine.elapsed_ps sh.eng;
+    races = race_reports sh;
+  }
+
+let run_rcce ?cfg ?(detect_races = false) ~ncores (program : Ast.program) =
+  if ncores < 1 then invalid_arg "Interp.run_rcce: ncores must be positive";
+  let sh = make_shared ?cfg ~detect_races ~ncores program in
+  let exit_values = Array.make ncores Value.Vvoid in
+  for rank = 0 to ncores - 1 do
+    let proc = { sh; globals = Hashtbl.create 64; core = rank; rank } in
+    ignore
+      (Scc.Engine.spawn sh.eng ~core:rank (fun api ->
+           exit_values.(rank) <- run_entry sh proc api))
+  done;
+  Scc.Engine.run sh.eng;
+  {
+    engine = sh.eng;
+    output = Buffer.contents sh.output;
+    exit_values = Array.to_list exit_values;
+    elapsed_ps = Scc.Engine.elapsed_ps sh.eng;
+    races = race_reports sh;
+  }

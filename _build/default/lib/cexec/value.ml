@@ -1,0 +1,161 @@
+open Cfront
+
+(* Runtime values of the interpreted C subset.  Pointers carry the element
+   type so pointer arithmetic and dereferences know their stride; a cast
+   integer round-trips through [Vptr] unchanged (the translated programs
+   pass core IDs through void* exactly like the originals passed thread
+   IDs). *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vptr of { addr : int; elt : Ctype.t }
+  | Vvoid
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun m -> raise (Type_error m)) fmt
+
+let to_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vptr { addr; elt } -> Printf.sprintf "%s*@%#x" (Ctype.to_string elt) addr
+  | Vvoid -> "void"
+
+let is_truthy = function
+  | Vint n -> n <> 0
+  | Vfloat f -> f <> 0.0
+  | Vptr { addr; _ } -> addr <> 0
+  | Vvoid -> type_error "void value in condition"
+
+let as_int = function
+  | Vint n -> n
+  | Vfloat f -> int_of_float f
+  | Vptr { addr; _ } -> addr
+  | Vvoid -> type_error "void value used as int"
+
+let as_float = function
+  | Vint n -> float_of_int n
+  | Vfloat f -> f
+  | Vptr _ | Vvoid -> type_error "pointer/void value used as float"
+
+let as_addr = function
+  | Vptr { addr; _ } -> addr
+  | Vint n -> n   (* NULL and integer-cast pointers *)
+  | Vfloat _ | Vvoid -> type_error "value used as address"
+
+let zero_of = function
+  | Ctype.Float | Ctype.Double -> Vfloat 0.0
+  | Ctype.Ptr elt -> Vptr { addr = 0; elt }
+  | Ctype.Void -> Vvoid
+  | Ctype.Char | Ctype.Short | Ctype.Int | Ctype.Long | Ctype.Unsigned _
+  | Ctype.Named _ | Ctype.Array _ | Ctype.Func _ -> Vint 0
+
+(* C-style conversion of a value to a declared type. *)
+let convert ty v =
+  match ty, v with
+  | (Ctype.Float | Ctype.Double), v -> Vfloat (as_float v)
+  | Ctype.Ptr elt, Vptr p -> Vptr { p with elt }
+  | Ctype.Ptr elt, Vint n -> Vptr { addr = n; elt }
+  | (Ctype.Char | Ctype.Short | Ctype.Int | Ctype.Long | Ctype.Unsigned _
+    | Ctype.Named _), v -> Vint (as_int v)
+  | Ctype.Void, _ -> Vvoid
+  | (Ctype.Array _ | Ctype.Func _), v -> v
+  | Ctype.Ptr _, (Vfloat _ | Vvoid) ->
+      type_error "cannot convert %s to pointer" (to_string v)
+
+let is_float_op a b =
+  match a, b with
+  | Vfloat _, _ | _, Vfloat _ -> true
+  | _, _ -> false
+
+(* Arithmetic following C's usual promotions, including pointer
+   arithmetic scaled by the element size. *)
+let binop (op : Ast.binop) a b =
+  let bool_val c = Vint (if c then 1 else 0) in
+  match op with
+  | Ast.Add -> begin
+      match a, b with
+      | Vptr { addr; elt }, offset ->
+          Vptr { addr = addr + (as_int offset * Ctype.sizeof elt); elt }
+      | offset, Vptr { addr; elt } ->
+          Vptr { addr = addr + (as_int offset * Ctype.sizeof elt); elt }
+      | _ ->
+          if is_float_op a b then Vfloat (as_float a +. as_float b)
+          else Vint (as_int a + as_int b)
+    end
+  | Ast.Sub -> begin
+      match a, b with
+      | Vptr { addr; elt }, Vptr { addr = addr'; _ } ->
+          Vint ((addr - addr') / Ctype.sizeof elt)
+      | Vptr { addr; elt }, offset ->
+          Vptr { addr = addr - (as_int offset * Ctype.sizeof elt); elt }
+      | _ ->
+          if is_float_op a b then Vfloat (as_float a -. as_float b)
+          else Vint (as_int a - as_int b)
+    end
+  | Ast.Mul ->
+      if is_float_op a b then Vfloat (as_float a *. as_float b)
+      else Vint (as_int a * as_int b)
+  | Ast.Div ->
+      if is_float_op a b then Vfloat (as_float a /. as_float b)
+      else begin
+        let d = as_int b in
+        if d = 0 then type_error "integer division by zero"
+        else Vint (as_int a / d)
+      end
+  | Ast.Mod ->
+      let d = as_int b in
+      if d = 0 then type_error "modulo by zero" else Vint (as_int a mod d)
+  | Ast.Eq ->
+      if is_float_op a b then bool_val (as_float a = as_float b)
+      else bool_val (as_int a = as_int b)
+  | Ast.Ne ->
+      if is_float_op a b then bool_val (as_float a <> as_float b)
+      else bool_val (as_int a <> as_int b)
+  | Ast.Lt ->
+      if is_float_op a b then bool_val (as_float a < as_float b)
+      else bool_val (as_int a < as_int b)
+  | Ast.Gt ->
+      if is_float_op a b then bool_val (as_float a > as_float b)
+      else bool_val (as_int a > as_int b)
+  | Ast.Le ->
+      if is_float_op a b then bool_val (as_float a <= as_float b)
+      else bool_val (as_int a <= as_int b)
+  | Ast.Ge ->
+      if is_float_op a b then bool_val (as_float a >= as_float b)
+      else bool_val (as_int a >= as_int b)
+  | Ast.Land -> bool_val (is_truthy a && is_truthy b)
+  | Ast.Lor -> bool_val (is_truthy a || is_truthy b)
+  | Ast.Band -> Vint (as_int a land as_int b)
+  | Ast.Bor -> Vint (as_int a lor as_int b)
+  | Ast.Bxor -> Vint (as_int a lxor as_int b)
+  | Ast.Shl -> Vint (as_int a lsl as_int b)
+  | Ast.Shr -> Vint (as_int a asr as_int b)
+
+let unop (op : Ast.unop) v =
+  match op with
+  | Ast.Neg -> begin
+      match v with
+      | Vfloat f -> Vfloat (-.f)
+      | v -> Vint (-as_int v)
+    end
+  | Ast.Not -> Vint (if is_truthy v then 0 else 1)
+  | Ast.Bnot -> Vint (lnot (as_int v))
+  | Ast.Deref | Ast.Addr | Ast.Preinc | Ast.Predec | Ast.Postinc
+  | Ast.Postdec ->
+      type_error "memory operator %s has no value-only form"
+        (Ast.unop_to_string op)
+
+(* Simulated cycle cost of evaluating one operator (used for the timing
+   charge; memory traffic is charged separately). *)
+let binop_cycles op a b =
+  let fp = is_float_op a b in
+  match op with
+  | Ast.Add | Ast.Sub -> if fp then 3 else 1
+  | Ast.Mul -> if fp then 3 else 10
+  | Ast.Div -> if fp then 39 else 41
+  | Ast.Mod -> 41
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> 1
+  | Ast.Land | Ast.Lor -> 1
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr -> 1

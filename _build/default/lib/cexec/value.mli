@@ -1,0 +1,34 @@
+open Cfront
+
+(** Runtime values of the interpreted C subset. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vptr of { addr : int; elt : Ctype.t }
+  | Vvoid
+
+exception Type_error of string
+
+val to_string : t -> string
+
+val is_truthy : t -> bool
+val as_int : t -> int
+val as_float : t -> float
+val as_addr : t -> int
+
+val zero_of : Ctype.t -> t
+
+val convert : Ctype.t -> t -> t
+(** C-style conversion of a value to a declared type. *)
+
+val binop : Ast.binop -> t -> t -> t
+(** Usual arithmetic promotions; pointer arithmetic scales by the element
+    size.  @raise Type_error on ill-typed operands, division by zero. *)
+
+val unop : Ast.unop -> t -> t
+(** Value-only unary operators (the memory operators are interpreted by
+    {!Interp}). *)
+
+val binop_cycles : Ast.binop -> t -> t -> int
+(** Simulated cycle cost of one operator evaluation. *)

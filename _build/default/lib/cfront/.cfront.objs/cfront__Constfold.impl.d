@@ -1,0 +1,1 @@
+lib/cfront/constfold.ml: Ast Ctype Visit

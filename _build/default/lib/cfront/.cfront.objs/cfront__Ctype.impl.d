@@ -1,0 +1,1 @@
+lib/cfront/ctype.ml: Format List Printf String

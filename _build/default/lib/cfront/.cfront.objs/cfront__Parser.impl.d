@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Ctype Lexer List Preproc Srcloc Token

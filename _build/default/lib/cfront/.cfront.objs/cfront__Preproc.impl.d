@@ -1,0 +1,1 @@
+lib/cfront/preproc.ml: Buffer Fun Hashtbl List Srcloc String

@@ -1,0 +1,1 @@
+lib/cfront/pretty.ml: Ast Buffer Ctype Float List Printf String

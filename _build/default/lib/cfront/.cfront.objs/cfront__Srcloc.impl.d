@@ -1,0 +1,1 @@
+lib/cfront/srcloc.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/cfront/visit.mli: Ast

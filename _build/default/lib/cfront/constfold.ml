@@ -1,0 +1,124 @@
+(* Constant folding over the AST.
+
+   Folds integer and floating arithmetic, comparisons, logic and casts
+   whose operands are literals, with the same semantics the interpreter
+   implements (OCaml's truncating integer division; IEEE doubles).
+   Divisions and modulos by zero are left unfolded so the runtime error
+   surfaces at execution, not at compile time. *)
+
+let as_float = function
+  | Ast.Int_lit n -> Some (float_of_int n)
+  | Ast.Float_lit f -> Some f
+  | _ -> None
+
+let bool_lit b = Ast.Int_lit (if b then 1 else 0)
+
+let fold_int_binop op a b =
+  match op with
+  | Ast.Add -> Some (a + b)
+  | Ast.Sub -> Some (a - b)
+  | Ast.Mul -> Some (a * b)
+  | Ast.Div -> if b = 0 then None else Some (a / b)
+  | Ast.Mod -> if b = 0 then None else Some (a mod b)
+  | Ast.Band -> Some (a land b)
+  | Ast.Bor -> Some (a lor b)
+  | Ast.Bxor -> Some (a lxor b)
+  | Ast.Shl -> if b < 0 || b > 62 then None else Some (a lsl b)
+  | Ast.Shr -> if b < 0 || b > 62 then None else Some (a asr b)
+  | Ast.Eq -> Some (if a = b then 1 else 0)
+  | Ast.Ne -> Some (if a <> b then 1 else 0)
+  | Ast.Lt -> Some (if a < b then 1 else 0)
+  | Ast.Gt -> Some (if a > b then 1 else 0)
+  | Ast.Le -> Some (if a <= b then 1 else 0)
+  | Ast.Ge -> Some (if a >= b then 1 else 0)
+  | Ast.Land -> Some (if a <> 0 && b <> 0 then 1 else 0)
+  | Ast.Lor -> Some (if a <> 0 || b <> 0 then 1 else 0)
+
+let fold_float_binop op a b =
+  match op with
+  | Ast.Add -> Some (Ast.Float_lit (a +. b))
+  | Ast.Sub -> Some (Ast.Float_lit (a -. b))
+  | Ast.Mul -> Some (Ast.Float_lit (a *. b))
+  | Ast.Div -> if b = 0.0 then None else Some (Ast.Float_lit (a /. b))
+  | Ast.Eq -> Some (bool_lit (a = b))
+  | Ast.Ne -> Some (bool_lit (a <> b))
+  | Ast.Lt -> Some (bool_lit (a < b))
+  | Ast.Gt -> Some (bool_lit (a > b))
+  | Ast.Le -> Some (bool_lit (a <= b))
+  | Ast.Ge -> Some (bool_lit (a >= b))
+  | Ast.Land -> Some (bool_lit (a <> 0.0 && b <> 0.0))
+  | Ast.Lor -> Some (bool_lit (a <> 0.0 || b <> 0.0))
+  | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr -> None
+
+(* An expression is effect-free when dropping it cannot change behaviour
+   (no calls, assignments or increments). *)
+let rec is_pure = function
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+  | Ast.Var _ | Ast.Sizeof_type _ -> true
+  | Ast.Unary ((Ast.Preinc | Ast.Predec | Ast.Postinc | Ast.Postdec), _) ->
+      false
+  | Ast.Unary ((Ast.Neg | Ast.Not | Ast.Bnot | Ast.Deref | Ast.Addr), e)
+  | Ast.Cast (_, e) | Ast.Sizeof_expr e -> is_pure e
+  | Ast.Binary (_, a, b) | Ast.Index (a, b) | Ast.Comma (a, b) ->
+      is_pure a && is_pure b
+  | Ast.Cond (a, b, c) -> is_pure a && is_pure b && is_pure c
+  | Ast.Assign _ | Ast.Call _ -> false
+
+let fold_node e =
+  match e with
+  | Ast.Binary (op, Ast.Int_lit a, Ast.Int_lit b) -> begin
+      match fold_int_binop op a b with
+      | Some n -> Ast.Int_lit n
+      | None -> e
+    end
+  | Ast.Binary (op, (Ast.Float_lit _ as x), (Ast.Float_lit _ | Ast.Int_lit _ as y))
+  | Ast.Binary (op, (Ast.Int_lit _ as x), (Ast.Float_lit _ as y)) -> begin
+      match as_float x, as_float y with
+      | Some a, Some b -> begin
+          match fold_float_binop op a b with
+          | Some lit -> lit
+          | None -> e
+        end
+      | _, _ -> e
+    end
+  | Ast.Binary (op, x, y) -> begin
+      (* algebraic identities that need only one literal operand *)
+      match op with
+      | Ast.Add when y = Ast.Int_lit 0 && is_pure x -> x
+      | Ast.Add when x = Ast.Int_lit 0 && is_pure y -> y
+      | Ast.Sub when y = Ast.Int_lit 0 && is_pure x -> x
+      | Ast.Mul when y = Ast.Int_lit 1 && is_pure x -> x
+      | Ast.Mul when x = Ast.Int_lit 1 && is_pure y -> y
+      | Ast.Land when x = Ast.Int_lit 0 -> Ast.Int_lit 0
+      | Ast.Lor
+        when (match x with Ast.Int_lit n -> n <> 0 | _ -> false) ->
+          Ast.Int_lit 1
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Eq | Ast.Ne
+      | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Land | Ast.Lor | Ast.Band
+      | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr -> e
+    end
+  | Ast.Unary (Ast.Neg, Ast.Int_lit n) -> Ast.Int_lit (-n)
+  | Ast.Unary (Ast.Neg, Ast.Float_lit f) -> Ast.Float_lit (-.f)
+  | Ast.Unary (Ast.Not, Ast.Int_lit n) -> bool_lit (n = 0)
+  | Ast.Unary (Ast.Bnot, Ast.Int_lit n) -> Ast.Int_lit (lnot n)
+  | Ast.Cond (Ast.Int_lit c, a, b) -> if c <> 0 then a else b
+  | Ast.Cast (ty, Ast.Int_lit n) when Ctype.is_floating ty ->
+      Ast.Float_lit (float_of_int n)
+  | Ast.Cast (ty, Ast.Float_lit f) when Ctype.is_integer ty ->
+      Ast.Int_lit (int_of_float f)
+  | Ast.Cast (ty, (Ast.Int_lit _ as lit)) when Ctype.is_integer ty -> lit
+  | Ast.Sizeof_type ty -> Ast.Int_lit (Ctype.sizeof ty)
+  | e -> e
+
+let expr e = Visit.map_expr fold_node e
+
+let stmt s = Visit.map_stmt_exprs fold_node s
+
+let program p = Visit.map_program_exprs fold_node p
+
+(* Constant truth of a folded condition, for dead-branch elimination. *)
+let const_truth e =
+  match expr e with
+  | Ast.Int_lit n -> Some (n <> 0)
+  | Ast.Float_lit f -> Some (f <> 0.0)
+  | _ -> None

@@ -1,0 +1,18 @@
+(** Constant folding over the AST, with the same semantics the interpreter
+    implements (truncating integer division, IEEE doubles).  Division and
+    modulo by zero are left unfolded so the runtime error still surfaces
+    at execution. *)
+
+val expr : Ast.expr -> Ast.expr
+(** Fold bottom-up. *)
+
+val stmt : Ast.stmt -> Ast.stmt
+
+val program : Ast.program -> Ast.program
+
+val is_pure : Ast.expr -> bool
+(** No calls, assignments or increments: dropping the expression cannot
+    change behaviour. *)
+
+val const_truth : Ast.expr -> bool option
+(** Constant truth of a folded condition, for dead-branch elimination. *)

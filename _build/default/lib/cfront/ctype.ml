@@ -1,0 +1,128 @@
+(* C types for the subset, with sizes following the 32-bit IA-32 (P54C) ABI
+   of the SCC cores: pointers and longs are 4 bytes. *)
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Unsigned of t               (* unsigned variant of an integer type *)
+  | Float
+  | Double
+  | Named of string             (* opaque library type, e.g. pthread_t *)
+  | Ptr of t
+  | Array of t * int option     (* element type, static length if known *)
+  | Func of t * t list          (* return type, parameter types *)
+
+let rec equal a b =
+  match a, b with
+  | Void, Void | Char, Char | Short, Short | Int, Int | Long, Long
+  | Float, Float | Double, Double -> true
+  | Unsigned a, Unsigned b -> equal a b
+  | Named a, Named b -> String.equal a b
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, la), Array (b, lb) -> equal a b && la = lb
+  | Func (ra, pa), Func (rb, pb) ->
+      equal ra rb
+      && List.length pa = List.length pb
+      && List.for_all2 equal pa pb
+  | ( Void | Char | Short | Int | Long | Unsigned _ | Float | Double
+    | Named _ | Ptr _ | Array _ | Func _ ), _ -> false
+
+(* Sizes of the opaque pthread library types on 32-bit Linux; anything
+   unknown is conservatively pointer-sized. *)
+let named_type_size = function
+  | "pthread_t" -> 4
+  | "pthread_attr_t" -> 36
+  | "pthread_mutex_t" -> 24
+  | "pthread_mutexattr_t" -> 4
+  | "pthread_cond_t" -> 48
+  | "pthread_barrier_t" -> 20
+  | "pthread_barrierattr_t" -> 4
+  | "size_t" -> 4
+  | "RCCE_FLAG" -> 4
+  | "RCCE_COMM" -> 4
+  | _ -> 4
+
+let rec sizeof = function
+  | Void -> 1
+  | Char -> 1
+  | Short -> 2
+  | Int -> 4
+  | Long -> 4
+  | Unsigned t -> sizeof t
+  | Float -> 4
+  | Double -> 8
+  | Named n -> named_type_size n
+  | Ptr _ -> 4
+  | Array (elt, Some n) -> n * sizeof elt
+  | Array (_, None) -> 4          (* decays to a pointer *)
+  | Func _ -> 4                   (* function pointer *)
+
+(* Number of elements for the paper's Table 4.1 "Size" column: scalars are
+   1, arrays are their static length. *)
+let element_count = function
+  | Array (_, Some n) -> n
+  | Array (_, None) -> 1
+  | Void | Char | Short | Int | Long | Unsigned _ | Float | Double
+  | Named _ | Ptr _ | Func _ -> 1
+
+let rec is_integer = function
+  | Char | Short | Int | Long -> true
+  | Unsigned t -> is_integer t
+  | Void | Float | Double | Named _ | Ptr _ | Array _ | Func _ -> false
+
+let is_floating = function
+  | Float | Double -> true
+  | Void | Char | Short | Int | Long | Unsigned _ | Named _ | Ptr _
+  | Array _ | Func _ -> false
+
+let is_pointer = function
+  | Ptr _ | Array _ -> true
+  | Void | Char | Short | Int | Long | Unsigned _ | Float | Double
+  | Named _ | Func _ -> false
+
+let is_scalar t = is_integer t || is_floating t || is_pointer t
+
+let pointee = function
+  | Ptr t -> Some t
+  | Array (t, _) -> Some t
+  | Void | Char | Short | Int | Long | Unsigned _ | Float | Double
+  | Named _ | Func _ -> None
+
+(* Render a type.  [decl name] prints a full declarator, handling the
+   inside-out C syntax for pointers to arrays etc. well enough for the
+   subset (pointer chains, arrays of scalars/pointers). *)
+let rec base_to_string = function
+  | Void -> "void"
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Unsigned t -> "unsigned " ^ base_to_string t
+  | Float -> "float"
+  | Double -> "double"
+  | Named n -> n
+  | Ptr t -> base_to_string t ^ "*"
+  | Array (t, Some n) -> Printf.sprintf "%s[%d]" (base_to_string t) n
+  | Array (t, None) -> base_to_string t ^ "[]"
+  | Func (r, ps) ->
+      Printf.sprintf "%s(*)(%s)" (base_to_string r)
+        (String.concat ", " (List.map base_to_string ps))
+
+let to_string = base_to_string
+
+let rec decl t name =
+  match t with
+  | Ptr inner -> decl inner ("*" ^ name)
+  | Array (inner, Some n) -> decl inner (Printf.sprintf "%s[%d]" name n)
+  | Array (inner, None) -> decl inner (name ^ "[]")
+  | Func (ret, params) ->
+      let ps = String.concat ", " (List.map base_to_string params) in
+      Printf.sprintf "%s (%s)(%s)" (base_to_string ret) name ps
+  | Void | Char | Short | Int | Long | Unsigned _ | Float | Double
+  | Named _ ->
+      base_to_string t ^ " " ^ name
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,47 @@
+(** C types for the subset.
+
+    Sizes follow the 32-bit IA-32 ABI of the SCC's P54C cores: pointers and
+    [long] are 4 bytes. *)
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Unsigned of t
+  | Float
+  | Double
+  | Named of string      (** opaque library type, e.g. [pthread_t] *)
+  | Ptr of t
+  | Array of t * int option
+  | Func of t * t list   (** return type, parameter types *)
+
+val equal : t -> t -> bool
+
+val sizeof : t -> int
+(** Size in bytes under the 32-bit ABI.  Unsized arrays and functions are
+    pointer-sized (they decay). *)
+
+val element_count : t -> int
+(** The paper's Table 4.1 "Size" column: 1 for scalars, static length for
+    arrays. *)
+
+val is_integer : t -> bool
+val is_floating : t -> bool
+val is_pointer : t -> bool
+(** [true] for pointers and arrays (which decay). *)
+
+val is_scalar : t -> bool
+
+val pointee : t -> t option
+(** Element/pointee type of a pointer or array. *)
+
+val to_string : t -> string
+(** Abstract rendering, e.g. ["int*"], ["int[3]"]. *)
+
+val decl : t -> string -> string
+(** [decl t name] renders a C declarator, e.g. [decl (Ptr Int) "p"] is
+    ["int *p"], [decl (Array (Int, Some 3)) "sum"] is ["int sum[3]"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,274 @@
+(* Hand-written lexer for the C subset.  Preprocessor lines are not expanded:
+   [#include <...>] lines are recorded verbatim (the translator re-emits or
+   replaces them) and every other [#] line is skipped, matching how the
+   paper's framework is fed already-preprocessed benchmark sources. *)
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;          (* byte offset of the next character *)
+  mutable line : int;
+  mutable col : int;
+  mutable includes : string list;  (* "#include" lines, reverse order *)
+}
+
+let create ?(file = "<string>") src =
+  { src; file; pos = 0; line = 1; col = 1; includes = [] }
+
+let includes t = List.rev t.includes
+
+let location t = Srcloc.make ~file:t.file ~line:t.line ~col:t.col
+
+let at_end t = t.pos >= String.length t.src
+
+let peek t = if at_end t then '\000' else t.src.[t.pos]
+
+let peek2 t =
+  if t.pos + 1 >= String.length t.src then '\000' else t.src.[t.pos + 1]
+
+let advance t =
+  if not (at_end t) then begin
+    if t.src.[t.pos] = '\n' then begin
+      t.line <- t.line + 1;
+      t.col <- 1
+    end
+    else t.col <- t.col + 1;
+    t.pos <- t.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Consume to end of the current line, returning the text consumed. *)
+let rest_of_line t =
+  let start = t.pos in
+  while (not (at_end t)) && peek t <> '\n' do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let rec skip_trivia t =
+  match peek t with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance t;
+      skip_trivia t
+  | '/' when peek2 t = '/' ->
+      ignore (rest_of_line t);
+      skip_trivia t
+  | '/' when peek2 t = '*' ->
+      let loc = location t in
+      advance t;
+      advance t;
+      let rec close () =
+        if at_end t then Srcloc.error loc "unterminated comment"
+        else if peek t = '*' && peek2 t = '/' then begin
+          advance t;
+          advance t
+        end
+        else begin
+          advance t;
+          close ()
+        end
+      in
+      close ();
+      skip_trivia t
+  | '#' ->
+      let line = rest_of_line t in
+      let trimmed = String.trim line in
+      if String.length trimmed >= 8 && String.sub trimmed 0 8 = "#include" then
+        t.includes <- trimmed :: t.includes;
+      skip_trivia t
+  | _ -> ()
+
+let lex_number t loc =
+  let start = t.pos in
+  while is_digit (peek t) do
+    advance t
+  done;
+  let exponent_follows () =
+    (peek t = 'e' || peek t = 'E')
+    && (is_digit (peek2 t)
+       || ((peek2 t = '+' || peek2 t = '-')
+          && t.pos + 2 < String.length t.src
+          && is_digit t.src.[t.pos + 2]))
+  in
+  let is_float =
+    (peek t = '.' && is_digit (peek2 t))
+    || (peek t = '.' && not (is_ident_start (peek2 t)))
+    || exponent_follows ()
+  in
+  if is_float then begin
+    if peek t = '.' then begin
+      advance t;
+      while is_digit (peek t) do
+        advance t
+      done
+    end;
+    if exponent_follows () then begin
+      advance t;
+      if peek t = '+' || peek t = '-' then advance t;
+      while is_digit (peek t) do
+        advance t
+      done
+    end;
+    let text = String.sub t.src start (t.pos - start) in
+    (* consume float suffixes *)
+    if peek t = 'f' || peek t = 'F' || peek t = 'l' || peek t = 'L' then
+      advance t;
+    match float_of_string_opt text with
+    | Some f -> Token.Float_lit f
+    | None -> Srcloc.error loc "malformed float literal %S" text
+  end
+  else begin
+    let text = String.sub t.src start (t.pos - start) in
+    (* consume integer suffixes: u, l, ul, ll, ull ... *)
+    while
+      peek t = 'u' || peek t = 'U' || peek t = 'l' || peek t = 'L'
+    do
+      advance t
+    done;
+    match int_of_string_opt text with
+    | Some n -> Token.Int_lit n
+    | None -> Srcloc.error loc "malformed integer literal %S" text
+  end
+
+let escape_char loc = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> Srcloc.error loc "unsupported escape '\\%c'" c
+
+let lex_string t loc =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_end t then Srcloc.error loc "unterminated string literal"
+    else
+      match peek t with
+      | '"' -> advance t
+      | '\\' ->
+          advance t;
+          let c = peek t in
+          advance t;
+          Buffer.add_char buf (escape_char loc c);
+          loop ()
+      | c ->
+          advance t;
+          Buffer.add_char buf c;
+          loop ()
+  in
+  loop ();
+  Token.Str_lit (Buffer.contents buf)
+
+let lex_char t loc =
+  advance t;
+  let c =
+    match peek t with
+    | '\\' ->
+        advance t;
+        let c = peek t in
+        advance t;
+        escape_char loc c
+    | c ->
+        advance t;
+        c
+  in
+  if peek t <> '\'' then Srcloc.error loc "unterminated character literal";
+  advance t;
+  Token.Char_lit c
+
+(* Multi-character punctuation, longest match first. *)
+let lex_punct t loc =
+  let two a = advance t; advance t; a in
+  let three a = advance t; advance t; advance t; a in
+  let one a = advance t; a in
+  match peek t, peek2 t with
+  | '<', '<' when t.pos + 2 < String.length t.src && t.src.[t.pos + 2] = '=' ->
+      three Token.Lt_lt_eq
+  | '>', '>' when t.pos + 2 < String.length t.src && t.src.[t.pos + 2] = '=' ->
+      three Token.Gt_gt_eq
+  | '+', '+' -> two Token.Plus_plus
+  | '-', '-' -> two Token.Minus_minus
+  | '-', '>' -> two Token.Arrow
+  | '+', '=' -> two Token.Plus_eq
+  | '-', '=' -> two Token.Minus_eq
+  | '*', '=' -> two Token.Star_eq
+  | '/', '=' -> two Token.Slash_eq
+  | '%', '=' -> two Token.Percent_eq
+  | '&', '=' -> two Token.Amp_eq
+  | '|', '=' -> two Token.Bar_eq
+  | '^', '=' -> two Token.Caret_eq
+  | '=', '=' -> two Token.Eq_eq
+  | '!', '=' -> two Token.Bang_eq
+  | '<', '=' -> two Token.Le
+  | '>', '=' -> two Token.Ge
+  | '<', '<' -> two Token.Lt_lt
+  | '>', '>' -> two Token.Gt_gt
+  | '&', '&' -> two Token.Amp_amp
+  | '|', '|' -> two Token.Bar_bar
+  | '+', _ -> one Token.Plus
+  | '-', _ -> one Token.Minus
+  | '*', _ -> one Token.Star
+  | '/', _ -> one Token.Slash
+  | '%', _ -> one Token.Percent
+  | '=', _ -> one Token.Eq
+  | '<', _ -> one Token.Lt
+  | '>', _ -> one Token.Gt
+  | '!', _ -> one Token.Bang
+  | '&', _ -> one Token.Amp
+  | '|', _ -> one Token.Bar
+  | '^', _ -> one Token.Caret
+  | '~', _ -> one Token.Tilde
+  | '?', _ -> one Token.Question
+  | ':', _ -> one Token.Colon
+  | ';', _ -> one Token.Semi
+  | ',', _ -> one Token.Comma
+  | '(', _ -> one Token.Lparen
+  | ')', _ -> one Token.Rparen
+  | '[', _ -> one Token.Lbracket
+  | ']', _ -> one Token.Rbracket
+  | '{', _ -> one Token.Lbrace
+  | '}', _ -> one Token.Rbrace
+  | '.', _ -> one Token.Dot
+  | c, _ -> Srcloc.error loc "unexpected character %C" c
+
+let next t : Token.located =
+  skip_trivia t;
+  let loc = location t in
+  if at_end t then { Token.tok = Token.Eof; loc }
+  else
+    let tok =
+      let c = peek t in
+      if is_ident_start c then begin
+        let start = t.pos in
+        while is_ident_char (peek t) do
+          advance t
+        done;
+        let name = String.sub t.src start (t.pos - start) in
+        match Token.keyword_of_string name with
+        | Some k -> Token.Kw k
+        | None -> Token.Ident name
+      end
+      else if is_digit c then lex_number t loc
+      else if c = '"' then lex_string t loc
+      else if c = '\'' then lex_char t loc
+      else lex_punct t loc
+    in
+    { Token.tok; loc }
+
+let tokenize ?file src =
+  let t = create ?file src in
+  let rec loop acc =
+    let lt = next t in
+    if lt.Token.tok = Token.Eof then List.rev (lt :: acc) else loop (lt :: acc)
+  in
+  let toks = loop [] in
+  (toks, includes t)

@@ -1,0 +1,22 @@
+(** Hand-written lexer for the C subset.
+
+    Preprocessor directives are not expanded: [#include] lines are collected
+    for the translator to re-emit, and all other [#] lines are skipped. *)
+
+type t
+
+val create : ?file:string -> string -> t
+(** [create ~file src] builds a lexer over [src]; [file] is used in
+    diagnostics (default ["<string>"]). *)
+
+val next : t -> Token.located
+(** Return the next token, advancing the lexer.  Returns {!Token.Eof}
+    forever once the input is exhausted.
+    @raise Srcloc.Error on malformed input. *)
+
+val includes : t -> string list
+(** [#include] lines seen so far, in source order. *)
+
+val tokenize : ?file:string -> string -> Token.located list * string list
+(** Lex a whole string: all tokens (ending with [Eof]) and the include
+    lines. *)

@@ -1,0 +1,341 @@
+(* A macro preprocessor for the C subset — the capability the paper's
+   section 7.1 names as the parser's main gap ("Pthread code wrapped
+   within macros is inaccessible to the parser").
+
+   Supported directives:
+     #define NAME replacement            object-like macros
+     #define NAME(a, b) replacement      function-like macros
+     #undef NAME
+     #ifdef NAME / #ifndef NAME / #else / #endif   (nestable)
+   [#include] lines pass through untouched (the lexer collects them), as
+   does any other directive.
+
+   Expansion is textual on identifier boundaries, skips string/character
+   literals and comments, re-expands results up to a fixed depth (callers
+   of recursive macros get a diagnostic rather than a loop), and splits
+   function-like arguments at top-level commas. *)
+
+type macro =
+  | Object of string
+  | Function of string list * string  (* parameters, body *)
+
+type t = {
+  defines : (string, macro) Hashtbl.t;
+  file : string;
+  mutable line : int;
+  mutable in_comment : bool;    (* inside a block comment across lines *)
+  mutable cond_stack : bool list;  (* active branch? of each open #if *)
+}
+
+let max_depth = 16
+
+let error t fmt =
+  Srcloc.error (Srcloc.make ~file:t.file ~line:t.line ~col:1) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let active t = List.for_all Fun.id t.cond_stack
+
+(* --- scanning helpers ---------------------------------------------------- *)
+
+(* Find the identifier starting at [i], if any. *)
+let ident_at line i =
+  if i < String.length line && is_ident_start line.[i] then begin
+    let j = ref i in
+    while !j < String.length line && is_ident_char line.[!j] do
+      incr j
+    done;
+    Some (String.sub line i (!j - i), !j)
+  end
+  else None
+
+(* Split a function-like macro's argument text at top-level commas. *)
+let split_args t text =
+  let args = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' | ']' ->
+          decr depth;
+          if !depth < 0 then error t "unbalanced parentheses in macro call";
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          args := String.trim (Buffer.contents buf) :: !args;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    text;
+  args := String.trim (Buffer.contents buf) :: !args;
+  List.rev !args
+
+(* Substitute [params -> args] in a macro body, on identifier
+   boundaries. *)
+let substitute_params t params args body =
+  if List.length params <> List.length args then
+    error t "macro expects %d arguments, got %d" (List.length params)
+      (List.length args);
+  let table = List.combine params args in
+  let buf = Buffer.create (String.length body) in
+  let n = String.length body in
+  let i = ref 0 in
+  while !i < n do
+    match ident_at body !i with
+    | Some (name, j) ->
+        (match List.assoc_opt name table with
+        | Some replacement -> Buffer.add_string buf replacement
+        | None -> Buffer.add_string buf name);
+        i := j
+    | None ->
+        Buffer.add_char buf body.[!i];
+        incr i
+  done;
+  Buffer.contents buf
+
+(* One expansion sweep over a line; returns (expanded, changed?).  String
+   and character literals and comments are copied verbatim; the
+   cross-line block-comment state lives in [t.in_comment]. *)
+let expand_once t line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let changed = ref false in
+  let i = ref 0 in
+  let copy () =
+    Buffer.add_char buf line.[!i];
+    incr i
+  in
+  while !i < n do
+    if t.in_comment then
+      if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = '/' then begin
+        t.in_comment <- false;
+        copy ();
+        copy ()
+      end
+      else copy ()
+    else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '*' then begin
+      t.in_comment <- true;
+      copy ();
+      copy ()
+    end
+    else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '/' then begin
+      (* copy the rest of the line verbatim *)
+      Buffer.add_string buf (String.sub line !i (n - !i));
+      i := n
+    end
+    else if line.[!i] = '"' || line.[!i] = '\'' then begin
+      let quote = line.[!i] in
+      copy ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if line.[!i] = '\\' && !i + 1 < n then begin
+          copy ();
+          copy ()
+        end
+        else if line.[!i] = quote then begin
+          copy ();
+          closed := true
+        end
+        else copy ()
+      done
+    end
+    else
+      match ident_at line !i with
+      | Some (name, j) -> begin
+          match Hashtbl.find_opt t.defines name with
+          | Some (Object replacement) ->
+              changed := true;
+              Buffer.add_string buf replacement;
+              i := j
+          | Some (Function (params, body)) ->
+              (* require an argument list; otherwise leave the name *)
+              let k = ref j in
+              while !k < n && (line.[!k] = ' ' || line.[!k] = '\t') do
+                incr k
+              done;
+              if !k < n && line.[!k] = '(' then begin
+                (* find the balancing close paren *)
+                let depth = ref 0 in
+                let stop = ref (-1) in
+                let m = ref !k in
+                while !stop < 0 && !m < n do
+                  (match line.[!m] with
+                  | '(' -> incr depth
+                  | ')' ->
+                      decr depth;
+                      if !depth = 0 then stop := !m
+                  | _ -> ());
+                  incr m
+                done;
+                if !stop < 0 then
+                  error t "unterminated macro call to %s" name;
+                let arg_text =
+                  String.sub line (!k + 1) (!stop - !k - 1)
+                in
+                let args =
+                  if String.trim arg_text = "" then []
+                  else split_args t arg_text
+                in
+                changed := true;
+                Buffer.add_string buf (substitute_params t params args body);
+                i := !stop + 1
+              end
+              else begin
+                Buffer.add_string buf name;
+                i := j
+              end
+          | None ->
+              Buffer.add_string buf name;
+              i := j
+        end
+      | None -> copy ()
+  done;
+  (Buffer.contents buf, !changed)
+
+let expand_line t line =
+  let rec fixpoint depth line =
+    if depth > max_depth then
+      error t "macro expansion exceeds depth %d (recursive macro?)"
+        max_depth
+    else begin
+      let saved = t.in_comment in
+      let expanded, changed = expand_once t line in
+      if changed then begin
+        (* redo with the same starting comment state *)
+        t.in_comment <- saved;
+        fixpoint (depth + 1) expanded
+      end
+      else expanded
+    end
+  in
+  fixpoint 0 line
+
+(* --- directives ------------------------------------------------------------ *)
+
+let parse_define t rest =
+  match ident_at rest 0 with
+  | None -> error t "#define expects a macro name"
+  | Some (name, j) ->
+      if j < String.length rest && rest.[j] = '(' then begin
+        match String.index_from_opt rest j ')' with
+        | None -> error t "#define %s: unterminated parameter list" name
+        | Some close ->
+            let param_text = String.sub rest (j + 1) (close - j - 1) in
+            let params =
+              if String.trim param_text = "" then []
+              else
+                List.map String.trim
+                  (String.split_on_char ',' param_text)
+            in
+            let body =
+              String.trim
+                (String.sub rest (close + 1)
+                   (String.length rest - close - 1))
+            in
+            Hashtbl.replace t.defines name (Function (params, body))
+      end
+      else
+        let body =
+          String.trim (String.sub rest j (String.length rest - j))
+        in
+        Hashtbl.replace t.defines name (Object body)
+
+let directive_of line =
+  let trimmed = String.trim line in
+  if String.length trimmed > 0 && trimmed.[0] = '#' then begin
+    let after =
+      String.trim (String.sub trimmed 1 (String.length trimmed - 1))
+    in
+    match ident_at after 0 with
+    | Some (name, j) ->
+        Some
+          (name,
+           String.trim (String.sub after j (String.length after - j)))
+    | None -> None
+  end
+  else None
+
+(* Each input line maps to exactly one output line (directives and dead
+   branches become empty lines), so source positions in later lexer and
+   parser diagnostics stay accurate, and directive-free input passes
+   through unchanged. *)
+let handle_line t line =
+  match directive_of line with
+  | Some ("define", rest) ->
+      if active t then parse_define t rest;
+      ""
+  | Some ("undef", rest) ->
+      if active t then begin
+        match ident_at rest 0 with
+        | Some (name, _) -> Hashtbl.remove t.defines name
+        | None -> error t "#undef expects a macro name"
+      end;
+      ""
+  | Some ("ifdef", rest) -> begin
+      match ident_at rest 0 with
+      | Some (name, _) ->
+          t.cond_stack <- Hashtbl.mem t.defines name :: t.cond_stack;
+          ""
+      | None -> error t "#ifdef expects a macro name"
+    end
+  | Some ("ifndef", rest) -> begin
+      match ident_at rest 0 with
+      | Some (name, _) ->
+          t.cond_stack <-
+            (not (Hashtbl.mem t.defines name)) :: t.cond_stack;
+          ""
+      | None -> error t "#ifndef expects a macro name"
+    end
+  | Some ("else", _) -> begin
+      match t.cond_stack with
+      | top :: rest ->
+          t.cond_stack <- (not top) :: rest;
+          ""
+      | [] -> error t "#else without #ifdef"
+    end
+  | Some ("endif", _) -> begin
+      match t.cond_stack with
+      | _ :: rest ->
+          t.cond_stack <- rest;
+          ""
+      | [] -> error t "#endif without #ifdef"
+    end
+  | Some (("include" | "pragma"), _) ->
+      (* passed through for the lexer *)
+      if active t then line else ""
+  | Some (other, _) -> error t "unsupported directive #%s" other
+  | None ->
+      if active t then expand_line t line
+      else begin
+        (* keep comment state coherent even in dead branches *)
+        ignore (expand_once t line);
+        ""
+      end
+
+let expand ?(file = "<string>") ?(defines = []) src =
+  let t =
+    {
+      defines = Hashtbl.create 16;
+      file;
+      line = 0;
+      in_comment = false;
+      cond_stack = [];
+    }
+  in
+  List.iter
+    (fun (name, body) -> Hashtbl.replace t.defines name (Object body))
+    defines;
+  let out =
+    List.map
+      (fun line ->
+        t.line <- t.line + 1;
+        handle_line t line)
+      (String.split_on_char '\n' src)
+  in
+  if t.cond_stack <> [] then error t "unterminated #ifdef";
+  String.concat "\n" out

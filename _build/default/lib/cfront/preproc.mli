@@ -1,0 +1,16 @@
+(** A macro preprocessor for the C subset — the capability the paper's
+    section 7.1 names as the parser's main gap ("Pthread code wrapped
+    within macros is inaccessible to the parser").
+
+    Supports object-like and function-like [#define], [#undef], and
+    nestable [#ifdef]/[#ifndef]/[#else]/[#endif]; [#include] and
+    [#pragma] lines pass through for the lexer.  Expansion is textual on
+    identifier boundaries, skips literals and comments, and bounds
+    re-expansion depth. *)
+
+val expand :
+  ?file:string -> ?defines:(string * string) list -> string -> string
+(** [expand src] returns the preprocessed source; [defines] seeds
+    object-like macros (like [-D NAME=body]).
+    @raise Srcloc.Error on malformed or unsupported directives and on
+    runaway recursive expansion. *)

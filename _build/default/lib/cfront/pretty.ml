@@ -1,0 +1,265 @@
+(* AST -> C source.  Emits minimally-parenthesized code by comparing
+   operator precedences, so parse -> print -> parse is the identity on the
+   subset (checked by property tests). *)
+
+let binop_prec = function
+  | Ast.Lor -> 1
+  | Ast.Land -> 2
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Band -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+(* Precedence of an expression's top node; larger binds tighter. *)
+let prec = function
+  | Ast.Comma _ -> 0
+  | Ast.Assign _ -> 1
+  | Ast.Cond _ -> 2
+  | Ast.Binary (op, _, _) -> 2 + binop_prec op
+  | Ast.Unary ((Ast.Postinc | Ast.Postdec), _) -> 15
+  | Ast.Unary _ | Ast.Cast _ | Ast.Sizeof_type _ | Ast.Sizeof_expr _ -> 14
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+  | Ast.Var _ | Ast.Call _ | Ast.Index _ -> 15
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if float_of_string s = f then
+      let shorter = Printf.sprintf "%g" f in
+      if float_of_string shorter = f then shorter else s
+    else s
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr_at level e =
+  let s = expr_raw e in
+  if prec e < level then "(" ^ s ^ ")" else s
+
+and expr_raw = function
+  | Ast.Int_lit n -> string_of_int n
+  | Ast.Float_lit f -> float_literal f
+  | Ast.Str_lit s -> "\"" ^ escape_string s ^ "\""
+  | Ast.Char_lit '\n' -> "'\\n'"
+  | Ast.Char_lit '\t' -> "'\\t'"
+  | Ast.Char_lit '\'' -> "'\\''"
+  | Ast.Char_lit '\\' -> "'\\\\'"
+  | Ast.Char_lit '\000' -> "'\\0'"
+  | Ast.Char_lit c -> Printf.sprintf "'%c'" c
+  | Ast.Var name -> name
+  | Ast.Unary (Ast.Postinc, e) -> expr_at 15 e ^ "++"
+  | Ast.Unary (Ast.Postdec, e) -> expr_at 15 e ^ "--"
+  | Ast.Unary ((Ast.Neg | Ast.Not | Ast.Bnot | Ast.Deref | Ast.Addr
+               | Ast.Preinc | Ast.Predec) as op, e) ->
+      (* parenthesize when the operand's rendering starts with the
+         operator's final character, so "-(-32)" never prints as the
+         predecrement "--32" (likewise "&(&x)", "++(+x)") *)
+      let ops = Ast.unop_to_string op in
+      let rendered = expr_at 14 e in
+      if String.length rendered > 0 && rendered.[0] = ops.[String.length ops - 1]
+      then ops ^ "(" ^ expr_raw e ^ ")"
+      else ops ^ rendered
+  | Ast.Binary (op, a, b) ->
+      let p = 2 + binop_prec op in
+      (* left-associative: the right child needs strictly higher binding *)
+      Printf.sprintf "%s %s %s" (expr_at p a) (Ast.binop_to_string op)
+        (expr_at (p + 1) b)
+  | Ast.Assign (None, lhs, rhs) ->
+      Printf.sprintf "%s = %s" (expr_at 14 lhs) (expr_at 1 rhs)
+  | Ast.Assign (Some op, lhs, rhs) ->
+      Printf.sprintf "%s %s= %s" (expr_at 14 lhs) (Ast.binop_to_string op)
+        (expr_at 1 rhs)
+  | Ast.Cond (c, a, b) ->
+      Printf.sprintf "%s ? %s : %s" (expr_at 3 c) (expr_at 1 a) (expr_at 2 b)
+  | Ast.Call (name, args) ->
+      Printf.sprintf "%s(%s)" name
+        (String.concat ", " (List.map (expr_at 1) args))
+  | Ast.Index (arr, idx) ->
+      Printf.sprintf "%s[%s]" (expr_at 15 arr) (expr_at 0 idx)
+  | Ast.Cast (ty, e) ->
+      Printf.sprintf "(%s)%s" (Ctype.to_string ty) (expr_at 14 e)
+  | Ast.Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (Ctype.to_string ty)
+  | Ast.Sizeof_expr e -> Printf.sprintf "sizeof %s" (expr_at 14 e)
+  | Ast.Comma (a, b) ->
+      Printf.sprintf "%s, %s" (expr_at 1 a) (expr_at 0 b)
+
+let expr e = expr_raw e
+
+let init_to_string = function
+  | Ast.Init_expr e -> expr_at 1 e
+  | Ast.Init_list es ->
+      "{" ^ String.concat ", " (List.map (expr_at 1) es) ^ "}"
+
+let decl_to_string (d : Ast.decl) =
+  let prefix = if d.Ast.d_static then "static " else "" in
+  let base = prefix ^ Ctype.decl d.Ast.d_type d.Ast.d_name in
+  match d.Ast.d_init with
+  | None -> base
+  | Some init -> base ^ " = " ^ init_to_string init
+
+(* Several declarators in one statement share the specifier in source; we
+   print one declaration per line, which is semantically identical and
+   simpler to emit after transformations that drop individual declarators. *)
+let indent buf n = Buffer.add_string buf (String.make (n * 4) ' ')
+
+(* Would this statement, printed as a then-branch, swallow a following
+   [else]?  True for an else-less [if] and for anything whose trailing
+   substatement is one. *)
+let rec may_capture_else (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sif (_, _, None) -> true
+  | Ast.Sif (_, _, Some e) -> may_capture_else e
+  | Ast.Swhile (_, body) | Ast.Sfor (_, _, _, body) ->
+      may_capture_else body
+  | Ast.Sdo _ (* ends in "while (...);" *)
+  | Ast.Sblock _ | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sreturn _ | Ast.Sbreak
+  | Ast.Scontinue | Ast.Snull -> false
+
+let rec print_stmt buf level (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sexpr e ->
+      indent buf level;
+      Buffer.add_string buf (expr_raw e);
+      Buffer.add_string buf ";\n"
+  | Ast.Sdecl decls ->
+      List.iter
+        (fun d ->
+          indent buf level;
+          Buffer.add_string buf (decl_to_string d);
+          Buffer.add_string buf ";\n")
+        decls
+  | Ast.Sblock stmts ->
+      indent buf level;
+      Buffer.add_string buf "{\n";
+      List.iter (print_stmt buf (level + 1)) stmts;
+      indent buf level;
+      Buffer.add_string buf "}\n"
+  | Ast.Sif (cond, then_branch, else_branch) -> begin
+      indent buf level;
+      Buffer.add_string buf (Printf.sprintf "if (%s)\n" (expr_raw cond));
+      (* a then-branch ending in an else-less if would capture our else
+         when reparsed (the dangling-else ambiguity): force a block *)
+      let then_branch =
+        if else_branch <> None && may_capture_else then_branch then
+          Ast.stmt ~loc:then_branch.Ast.s_loc (Ast.Sblock [ then_branch ])
+        else then_branch
+      in
+      print_branch buf level then_branch;
+      match else_branch with
+      | None -> ()
+      | Some s ->
+          indent buf level;
+          Buffer.add_string buf "else\n";
+          print_branch buf level s
+    end
+  | Ast.Swhile (cond, body) ->
+      indent buf level;
+      Buffer.add_string buf (Printf.sprintf "while (%s)\n" (expr_raw cond));
+      print_branch buf level body
+  | Ast.Sdo (body, cond) ->
+      indent buf level;
+      Buffer.add_string buf "do\n";
+      print_branch buf level body;
+      indent buf level;
+      Buffer.add_string buf (Printf.sprintf "while (%s);\n" (expr_raw cond))
+  | Ast.Sfor (init, cond, step, body) ->
+      indent buf level;
+      let init_s =
+        match init with
+        | Ast.For_none -> ""
+        | Ast.For_expr e -> expr_raw e
+        | Ast.For_decl ds -> String.concat ", " (List.map decl_to_string ds)
+      in
+      let cond_s = match cond with None -> "" | Some e -> expr_raw e in
+      let step_s = match step with None -> "" | Some e -> expr_raw e in
+      Buffer.add_string buf
+        (Printf.sprintf "for (%s; %s; %s)\n" init_s cond_s step_s);
+      print_branch buf level body
+  | Ast.Sreturn None ->
+      indent buf level;
+      Buffer.add_string buf "return;\n"
+  | Ast.Sreturn (Some e) ->
+      indent buf level;
+      Buffer.add_string buf (Printf.sprintf "return %s;\n" (expr_raw e))
+  | Ast.Sbreak ->
+      indent buf level;
+      Buffer.add_string buf "break;\n"
+  | Ast.Scontinue ->
+      indent buf level;
+      Buffer.add_string buf "continue;\n"
+  | Ast.Snull ->
+      indent buf level;
+      Buffer.add_string buf ";\n"
+
+(* Loop/if bodies: blocks stay at the same level, single statements are
+   indented one deeper. *)
+and print_branch buf level (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sblock _ -> print_stmt buf level s
+  | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _
+  | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull ->
+      print_stmt buf (level + 1) s
+
+let stmt s =
+  let buf = Buffer.create 256 in
+  print_stmt buf 0 s;
+  Buffer.contents buf
+
+let print_func buf (f : Ast.func) =
+  let params =
+    match f.Ast.f_params with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.map (fun (n, t) -> Ctype.decl t n) ps)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s(%s)\n{\n" (Ctype.decl f.Ast.f_ret f.Ast.f_name) params);
+  List.iter (print_stmt buf 1) f.Ast.f_body;
+  Buffer.add_string buf "}\n"
+
+let func f =
+  let buf = Buffer.create 512 in
+  print_func buf f;
+  Buffer.contents buf
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun inc ->
+      Buffer.add_string buf inc;
+      Buffer.add_char buf '\n')
+    p.Ast.p_includes;
+  if p.Ast.p_includes <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gvar d ->
+          Buffer.add_string buf (decl_to_string d);
+          Buffer.add_string buf ";\n"
+      | Ast.Gproto (name, Ctype.Func (ret, params), _) ->
+          let ps = String.concat ", " (List.map Ctype.to_string params) in
+          Buffer.add_string buf
+            (Printf.sprintf "%s(%s);\n" (Ctype.decl ret name) ps)
+      | Ast.Gproto (name, ty, _) ->
+          Buffer.add_string buf (Ctype.decl ty name ^ ";\n")
+      | Ast.Gfunc f ->
+          Buffer.add_char buf '\n';
+          print_func buf f)
+    p.Ast.p_globals;
+  Buffer.contents buf

@@ -1,0 +1,94 @@
+(* Lexical tokens of the supported C subset. *)
+
+type keyword =
+  | Kvoid | Kchar | Kint | Klong | Kshort | Kunsigned | Ksigned
+  | Kfloat | Kdouble
+  | Kif | Kelse | Kwhile | Kdo | Kfor | Kreturn | Kbreak | Kcontinue
+  | Ksizeof | Kstatic | Kextern | Kconst | Kvolatile
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Char_lit of char
+  | Kw of keyword
+  (* arithmetic *)
+  | Plus | Minus | Star | Slash | Percent
+  | Plus_plus | Minus_minus
+  (* comparison *)
+  | Eq_eq | Bang_eq | Lt | Gt | Le | Ge
+  (* logic *)
+  | Amp_amp | Bar_bar | Bang
+  (* bitwise *)
+  | Amp | Bar | Caret | Tilde | Lt_lt | Gt_gt
+  (* assignment *)
+  | Eq | Plus_eq | Minus_eq | Star_eq | Slash_eq | Percent_eq
+  | Amp_eq | Bar_eq | Caret_eq | Lt_lt_eq | Gt_gt_eq
+  (* punctuation *)
+  | Question | Colon | Semi | Comma
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Arrow | Dot
+  | Eof
+
+let keyword_of_string = function
+  | "void" -> Some Kvoid
+  | "char" -> Some Kchar
+  | "int" -> Some Kint
+  | "long" -> Some Klong
+  | "short" -> Some Kshort
+  | "unsigned" -> Some Kunsigned
+  | "signed" -> Some Ksigned
+  | "float" -> Some Kfloat
+  | "double" -> Some Kdouble
+  | "if" -> Some Kif
+  | "else" -> Some Kelse
+  | "while" -> Some Kwhile
+  | "do" -> Some Kdo
+  | "for" -> Some Kfor
+  | "return" -> Some Kreturn
+  | "break" -> Some Kbreak
+  | "continue" -> Some Kcontinue
+  | "sizeof" -> Some Ksizeof
+  | "static" -> Some Kstatic
+  | "extern" -> Some Kextern
+  | "const" -> Some Kconst
+  | "volatile" -> Some Kvolatile
+  | _ -> None
+
+let keyword_to_string = function
+  | Kvoid -> "void" | Kchar -> "char" | Kint -> "int" | Klong -> "long"
+  | Kshort -> "short" | Kunsigned -> "unsigned" | Ksigned -> "signed"
+  | Kfloat -> "float" | Kdouble -> "double"
+  | Kif -> "if" | Kelse -> "else" | Kwhile -> "while" | Kdo -> "do"
+  | Kfor -> "for" | Kreturn -> "return" | Kbreak -> "break"
+  | Kcontinue -> "continue" | Ksizeof -> "sizeof" | Kstatic -> "static"
+  | Kextern -> "extern" | Kconst -> "const" | Kvolatile -> "volatile"
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Char_lit c -> Printf.sprintf "%C" c
+  | Kw k -> keyword_to_string k
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Plus_plus -> "++" | Minus_minus -> "--"
+  | Eq_eq -> "==" | Bang_eq -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<="
+  | Ge -> ">="
+  | Amp_amp -> "&&" | Bar_bar -> "||" | Bang -> "!"
+  | Amp -> "&" | Bar -> "|" | Caret -> "^" | Tilde -> "~"
+  | Lt_lt -> "<<" | Gt_gt -> ">>"
+  | Eq -> "=" | Plus_eq -> "+=" | Minus_eq -> "-=" | Star_eq -> "*="
+  | Slash_eq -> "/=" | Percent_eq -> "%="
+  | Amp_eq -> "&=" | Bar_eq -> "|=" | Caret_eq -> "^="
+  | Lt_lt_eq -> "<<=" | Gt_gt_eq -> ">>="
+  | Question -> "?" | Colon -> ":" | Semi -> ";" | Comma -> ","
+  | Lparen -> "(" | Rparen -> ")" | Lbracket -> "[" | Rbracket -> "]"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Arrow -> "->" | Dot -> "."
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b
+
+type located = { tok : t; loc : Srcloc.t }

@@ -1,0 +1,71 @@
+(** Generic traversals and rewriters over the AST. *)
+
+(** {1 Expressions} *)
+
+val iter_expr : (Ast.expr -> unit) -> Ast.expr -> unit
+(** Pre-order visit of an expression and all its subexpressions. *)
+
+val fold_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.expr -> 'a
+
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+(** Bottom-up rewriting: [f] sees each node after its children were
+    rewritten. *)
+
+(** {1 Statements} *)
+
+val exprs_of_decl : Ast.decl -> Ast.expr list
+(** Initializer expressions of a declaration. *)
+
+val shallow_exprs : Ast.stmt -> Ast.expr list
+(** Expressions syntactically at this node, not inside nested statements. *)
+
+val iter_stmt : (Ast.stmt -> unit) -> Ast.stmt -> unit
+(** Pre-order visit of a statement and all nested statements. *)
+
+val iter_exprs_of_stmt : (Ast.expr -> unit) -> Ast.stmt -> unit
+val iter_exprs_of_func : (Ast.expr -> unit) -> Ast.func -> unit
+val iter_exprs_of_program : (Ast.expr -> unit) -> Ast.program -> unit
+(** Visit every expression (including global initializers). *)
+
+val calls_in_func : Ast.func -> (string * Ast.expr list * Ast.stmt) list
+(** All direct calls [(callee, args, enclosing statement)], in source
+    order. *)
+
+val calls_in_program :
+  Ast.program -> (Ast.func * string * Ast.expr list * Ast.stmt) list
+
+(** {1 Statement rewriting} *)
+
+val rewrite_stmts :
+  (Ast.stmt -> Ast.stmt list option) -> Ast.stmt list -> Ast.stmt list
+(** [rewrite_stmts f stmts] rebuilds a statement list bottom-up.  [f]
+    receives each statement after its children were rewritten and returns
+    [Some replacements] ([[]] removes the statement) or [None] to keep it.
+    Replacements inside a loop/if body are wrapped in a block when needed. *)
+
+val rewrite_func : (Ast.stmt -> Ast.stmt list option) -> Ast.func -> Ast.func
+
+val rewrite_program :
+  (Ast.stmt -> Ast.stmt list option) -> Ast.program -> Ast.program
+
+val rewrite_stmts_topdown :
+  (Ast.stmt -> Ast.stmt list option) -> Ast.stmt list -> Ast.stmt list
+(** Top-down variant: [f] sees each statement before its children; a [Some]
+    replacement is final, [None] recurses into the children. *)
+
+val rewrite_func_topdown :
+  (Ast.stmt -> Ast.stmt list option) -> Ast.func -> Ast.func
+
+val rewrite_program_topdown :
+  (Ast.stmt -> Ast.stmt list option) -> Ast.program -> Ast.program
+
+val map_stmt_exprs : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt
+(** Rewrite every expression of one statement tree bottom-up, including
+    declaration initializers. *)
+
+val map_func_exprs : (Ast.expr -> Ast.expr) -> Ast.func -> Ast.func
+
+val map_program_exprs :
+  (Ast.expr -> Ast.expr) -> Ast.program -> Ast.program
+(** Rewrite every expression of the program bottom-up, including global and
+    local initializers. *)

@@ -1,0 +1,1 @@
+lib/exp/csrc.ml: Printf

@@ -1,0 +1,1 @@
+lib/exp/example41.mli: Cfront

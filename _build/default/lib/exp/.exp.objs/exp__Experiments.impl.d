@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Analysis Buffer Cexec Cfront Csrc Example41 Ir List Partition Printf Scc String Tabulate Translate Workloads

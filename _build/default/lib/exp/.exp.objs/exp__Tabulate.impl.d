@@ -1,0 +1,1 @@
+lib/exp/tabulate.ml: Array Buffer Float List Printf String

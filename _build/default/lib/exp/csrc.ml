@@ -1,0 +1,351 @@
+(* Pthread C sources for the end-to-end experiments: the same benchmark
+   both interpreted directly (the paper's single-core baseline) and pushed
+   through the five-stage translator and interpreted as an RCCE program.
+
+   The thread count is baked into the generated source — exactly how the
+   paper's benchmarks were "built for 32 threads". *)
+
+let pi ~nt ~steps =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+double partial[%d];
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int chunk = %d / %d;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    double step = 1.0 / %d;
+    double sum = 0.0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        double x = (i + 0.5) * step;
+        sum = sum + 4.0 / (1.0 + x * x);
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    double pi = 0.0;
+    for (t = 0; t < %d; t++) {
+        pi = pi + partial[t];
+    }
+    pi = pi * (1.0 / %d);
+    printf("pi = %%f\n", pi);
+    return 0;
+}
+|}
+    nt steps nt steps nt nt nt nt steps
+
+let primes ~nt ~limit =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+int counts[%d];
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int chunk = %d / %d;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int i;
+    if (lo < 2) {
+        lo = 2;
+    }
+    int found = 0;
+    for (i = lo; i < hi; i++) {
+        int prime = 1;
+        int j;
+        for (j = 2; j < i; j++) {
+            if (i %% j == 0) {
+                prime = 0;
+                break;
+            }
+        }
+        found = found + prime;
+    }
+    counts[id] = found;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    int total = 0;
+    for (t = 0; t < %d; t++) {
+        total = total + counts[t];
+    }
+    printf("primes below %d: %%d\n", total);
+    return 0;
+}
+|}
+    nt limit nt nt nt nt nt limit
+
+let sum35 ~nt ~bound =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+double partial[%d];
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int chunk = %d / %d;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    if (lo < 1) {
+        lo = 1;
+    }
+    double sum = 0.0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        if (i %% 3 == 0 || i %% 5 == 0) {
+            sum = sum + i;
+        }
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    double total = 0.0;
+    for (t = 0; t < %d; t++) {
+        total = total + partial[t];
+    }
+    printf("sum35 = %%f\n", total);
+    return 0;
+}
+|}
+    nt bound nt nt nt nt nt
+
+let dot ~nt ~n =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+double a[%d];
+double b[%d];
+double partial[%d];
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int chunk = %d / %d;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    double sum = 0.0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        sum = sum + a[i] * b[i];
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int i;
+    for (i = 0; i < %d; i++) {
+        a[i] = i %% 7 + 1;
+        b[i] = i %% 5 + 2;
+    }
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    double total = 0.0;
+    for (t = 0; t < %d; t++) {
+        total = total + partial[t];
+    }
+    printf("dot = %%f\n", total);
+    return 0;
+}
+|}
+    n n nt n nt n nt nt nt nt
+
+(* The four Stream kernels (the paper's Algorithms 13-16), each thread
+   sweeping its chunk, a barrier between kernels. *)
+let stream ~nt ~n =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+double a[%d];
+double b[%d];
+double c[%d];
+pthread_barrier_t bar;
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int chunk = %d / %d;
+    int lo = id * chunk;
+    int hi = lo + chunk;
+    int j;
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j];
+    }
+    pthread_barrier_wait(&bar);
+    for (j = lo; j < hi; j++) {
+        b[j] = 3.0 * c[j];
+    }
+    pthread_barrier_wait(&bar);
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j] + b[j];
+    }
+    pthread_barrier_wait(&bar);
+    for (j = lo; j < hi; j++) {
+        a[j] = b[j] + 3.0 * c[j];
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    int i;
+    for (i = 0; i < %d; i++) {
+        a[i] = i %% 13 + 1;
+    }
+    pthread_barrier_init(&bar, NULL, %d);
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    double checksum = 0.0;
+    for (i = 0; i < %d; i++) {
+        checksum = checksum + a[i] + b[i] + c[i];
+    }
+    printf("stream checksum = %%f\n", checksum);
+    return 0;
+}
+|}
+    n n n n nt n nt nt nt nt n
+
+(* In-place LU elimination on a diagonally-dominant matrix, rows dealt
+   round-robin, a barrier per step. *)
+let lu ~nt ~n =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+double m[%d];
+pthread_barrier_t bar;
+
+void *work(void *tid) {
+    int id = (int)tid;
+    int n = %d;
+    int k;
+    for (k = 0; k < n - 1; k++) {
+        int i;
+        for (i = k + 1; i < n; i++) {
+            if (i %% %d == id) {
+                double l = m[i * n + k] / m[k * n + k];
+                m[i * n + k] = l;
+                int j;
+                for (j = k + 1; j < n; j++) {
+                    m[i * n + j] = m[i * n + j] - l * m[k * n + j];
+                }
+            }
+        }
+        pthread_barrier_wait(&bar);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    int n = %d;
+    int i;
+    int j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            if (i == j) {
+                m[i * n + j] = n;
+            } else {
+                m[i * n + j] = 1.0 / (1 + i - j > 0 ? 1 + i - j : 1 + j - i);
+            }
+        }
+    }
+    pthread_barrier_init(&bar, NULL, %d);
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    double checksum = 0.0;
+    for (i = 0; i < n * n; i++) {
+        checksum = checksum + m[i];
+    }
+    printf("lu checksum = %%f\n", checksum);
+    return 0;
+}
+|}
+    (n * n) n nt n nt nt nt nt
+
+(* A mutex-protected shared counter: exercises the paper's lock
+   conversion (pthread mutex -> RCCE test-and-set acquire/release). *)
+let mutex_counter ~nt ~iters =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+int counter;
+pthread_mutex_t m;
+
+void *work(void *tid) {
+    int i;
+    for (i = 0; i < %d; i++) {
+        pthread_mutex_lock(&m);
+        counter = counter + 1;
+        pthread_mutex_unlock(&m);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_mutex_init(&m, NULL);
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("counter = %%d\n", counter);
+    return 0;
+}
+|}
+    iters nt nt nt

@@ -1,0 +1,17 @@
+(** Pthread C sources for the end-to-end experiments; the thread count is
+    baked into the generated source, exactly how the paper's benchmarks
+    were "built for 32 threads". *)
+
+val pi : nt:int -> steps:int -> string
+val primes : nt:int -> limit:int -> string
+val sum35 : nt:int -> bound:int -> string
+val dot : nt:int -> n:int -> string
+val stream : nt:int -> n:int -> string
+(** The four kernels with a [pthread_barrier_t] between them. *)
+
+val lu : nt:int -> n:int -> string
+(** [n x n] elimination, a barrier per step. *)
+
+val mutex_counter : nt:int -> iters:int -> string
+(** A mutex-protected shared counter: exercises the paper's lock
+    conversion. *)

@@ -1,0 +1,41 @@
+(* The paper's running example (Example Code 4.1): stores thread-ID sums
+   and a locally-defined shared variable.  Shared between the experiment
+   harness, the tests and the examples so everything exercises the same
+   source the paper analyzes in Tables 4.1/4.2 and translates into
+   Example Code 4.2. *)
+
+let source =
+  {|#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for(local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *) local);
+    }
+    for(local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}
+|}
+
+let file = "example_4_1.c"
+
+let parse () = Cfront.Parser.program ~file source

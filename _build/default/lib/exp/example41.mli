@@ -1,0 +1,6 @@
+(** The paper's running example (Example Code 4.1), shared by the
+    experiment harness, the tests and the examples. *)
+
+val source : string
+val file : string
+val parse : unit -> Cfront.Ast.program

@@ -1,0 +1,555 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation, plus the ablations DESIGN.md calls out.
+
+   [Quick] scale shrinks the workload parameters so the whole set runs in
+   seconds (used by tests); [Full] scale is the configuration whose
+   numbers EXPERIMENTS.md records. *)
+
+type scale = Quick | Full
+
+let scale_to_string = function Quick -> "quick" | Full -> "full"
+
+(* --- benchmark suite at a given scale ------------------------------------ *)
+
+let suite = function
+  | Full -> Workloads.Suite.all
+  | Quick ->
+      [
+        Workloads.Pi.make ~params:{ Workloads.Pi.steps = 1 lsl 16 } ();
+        Workloads.Sum35.make ~params:{ Workloads.Sum35.bound = 200_000 } ();
+        Workloads.Primes.make ~params:{ Workloads.Primes.limit = 4_000 } ();
+        Workloads.Stream.make
+          ~params:{ Workloads.Stream.n = 1 lsl 14; reps = 4; block = 256 } ();
+        Workloads.Dot.make
+          ~params:{ Workloads.Dot.n = 1 lsl 14; reps = 4; block = 256 } ();
+        Workloads.Lu.make ~params:{ Workloads.Lu.n = 64; block = 256 } ();
+      ]
+
+(* --- Tables 4.1 / 4.2 / 6.1 ---------------------------------------------- *)
+
+let analysis_of_example () =
+  Analysis.Pipeline.analyze (Example41.parse ())
+
+let table_4_1 () =
+  let a = analysis_of_example () in
+  "Table 4.1: Information Extracted Per Variable (Post Stage 3)\n\n"
+  ^ Tabulate.render (Analysis.Pipeline.table_4_1 a)
+
+let table_4_2 () =
+  let a = analysis_of_example () in
+  "Table 4.2: Variables Sharing Status\n\n"
+  ^ Tabulate.render (Analysis.Pipeline.table_4_2 a)
+
+let table_6_1 () =
+  "Table 6.1: SCC Configuration\n\n"
+  ^ Tabulate.render
+      (Scc.Config.table_6_1 Scc.Config.default ~rcce_cores:32
+         ~pthread_threads:32)
+
+(* --- the running example through the whole translator --------------------- *)
+
+let translation_example () =
+  let translated, report =
+    Translate.Driver.translate_source ~file:Example41.file Example41.source
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Example Code 4.1 translated to RCCE (the paper's Example Code 4.2)\n\n";
+  Buffer.add_string buf (Cfront.Pretty.program translated);
+  Buffer.add_string buf "\nPass notes:\n";
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "  - %s\n" note))
+    report.Translate.Driver.notes;
+  Buffer.contents buf
+
+(* --- Figure 6.1 ------------------------------------------------------------ *)
+
+type fig_6_1_row = {
+  name : string;
+  baseline_ms : float;
+  rcce_ms : float;
+  speedup : float;
+  verified : bool;
+}
+
+let fig_6_1_data ?(scale = Full) ?(units = 32) () =
+  List.map
+    (fun w ->
+      let baseline =
+        Workloads.Workload.run w (Workloads.Workload.Pthread_baseline units)
+      in
+      let rcce =
+        Workloads.Workload.run w
+          (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, units))
+      in
+      {
+        name = w.Workloads.Workload.name;
+        baseline_ms = Workloads.Workload.elapsed_ms baseline;
+        rcce_ms = Workloads.Workload.elapsed_ms rcce;
+        speedup = Workloads.Workload.speedup ~baseline rcce;
+        verified =
+          baseline.Workloads.Workload.verified
+          && rcce.Workloads.Workload.verified;
+      })
+    (suite scale)
+
+let fig_6_1 ?scale ?units () =
+  let rows = fig_6_1_data ?scale ?units () in
+  let table =
+    [ "Benchmark"; "Pthread 1-core (ms)"; "RCCE off-chip (ms)"; "Speedup";
+      "Verified" ]
+    :: List.map
+         (fun r ->
+           [ r.name;
+             Printf.sprintf "%.2f" r.baseline_ms;
+             Printf.sprintf "%.2f" r.rcce_ms;
+             Printf.sprintf "%.1fx" r.speedup;
+             string_of_bool r.verified ])
+         rows
+  in
+  "Figure 6.1: RCCE (32 cores, off-chip shared memory) vs 32-thread \
+   Pthread program on one core\n\n"
+  ^ Tabulate.render table ^ "\n"
+  ^ Tabulate.bar_chart (List.map (fun r -> (r.name, r.speedup)) rows)
+
+(* --- Figure 6.2 ------------------------------------------------------------ *)
+
+type fig_6_2_row = {
+  name : string;
+  off_chip_ms : float;
+  mpb_ms : float;
+  improvement : float;
+  verified : bool;
+  notes : string list;
+}
+
+let fig_6_2_data ?(scale = Full) ?(units = 32) () =
+  List.map
+    (fun w ->
+      let off =
+        Workloads.Workload.run w
+          (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, units))
+      in
+      let mpb =
+        Workloads.Workload.run w
+          (Workloads.Workload.Rcce (Workloads.Workload.On_chip, units))
+      in
+      {
+        name = w.Workloads.Workload.name;
+        off_chip_ms = Workloads.Workload.elapsed_ms off;
+        mpb_ms = Workloads.Workload.elapsed_ms mpb;
+        improvement =
+          float_of_int off.Workloads.Workload.elapsed_ps
+          /. float_of_int mpb.Workloads.Workload.elapsed_ps;
+        verified =
+          off.Workloads.Workload.verified && mpb.Workloads.Workload.verified;
+        notes = mpb.Workloads.Workload.notes;
+      })
+    (suite scale)
+
+let fig_6_2 ?scale ?units () =
+  let rows = fig_6_2_data ?scale ?units () in
+  let table =
+    [ "Benchmark"; "Off-chip (ms)"; "MPB (ms)"; "Improvement"; "Verified" ]
+    :: List.map
+         (fun r ->
+           [ r.name;
+             Printf.sprintf "%.2f" r.off_chip_ms;
+             Printf.sprintf "%.2f" r.mpb_ms;
+             Printf.sprintf "%.1fx" r.improvement;
+             string_of_bool r.verified ])
+         rows
+  in
+  let notes =
+    List.concat_map
+      (fun r -> List.map (fun n -> Printf.sprintf "  - %s: %s" r.name n) r.notes)
+      rows
+  in
+  "Figure 6.2: RCCE run time, off-chip shared memory vs on-chip MPB (32 \
+   cores)\n\n"
+  ^ Tabulate.render table ^ "\n"
+  ^ Tabulate.bar_chart (List.map (fun r -> (r.name, r.improvement)) rows)
+  ^ (if notes = [] then ""
+     else "\nPlacement notes:\n" ^ String.concat "\n" notes ^ "\n")
+
+(* --- Figure 6.3 ------------------------------------------------------------ *)
+
+type fig_6_3_row = {
+  cores : int;
+  rcce_ms : float;
+  speedup : float;   (* over the fixed 32-thread single-core baseline *)
+  energy_j : float;
+}
+
+let fig_6_3_core_counts = [ 1; 2; 4; 8; 16; 24; 32; 48 ]
+
+let fig_6_3_data ?(scale = Full) ?(baseline_threads = 32) () =
+  let w =
+    match scale with
+    | Full -> Workloads.Suite.pi
+    | Quick -> Workloads.Pi.make ~params:{ Workloads.Pi.steps = 1 lsl 16 } ()
+  in
+  let baseline =
+    Workloads.Workload.run w
+      (Workloads.Workload.Pthread_baseline baseline_threads)
+  in
+  List.map
+    (fun cores ->
+      let r =
+        Workloads.Workload.run w
+          (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, cores))
+      in
+      {
+        cores;
+        rcce_ms = Workloads.Workload.elapsed_ms r;
+        speedup = Workloads.Workload.speedup ~baseline r;
+        energy_j =
+          Scc.Power.energy_joules Scc.Config.default ~active_cores:cores
+            ~elapsed_ps:r.Workloads.Workload.elapsed_ps;
+      })
+    fig_6_3_core_counts
+
+let fig_6_3 ?scale ?baseline_threads () =
+  let rows = fig_6_3_data ?scale ?baseline_threads () in
+  let table =
+    [ "Cores"; "RCCE (ms)"; "Speedup vs 1-core Pthread"; "Energy (J)" ]
+    :: List.map
+         (fun r ->
+           [ string_of_int r.cores;
+             Printf.sprintf "%.2f" r.rcce_ms;
+             Printf.sprintf "%.1fx" r.speedup;
+             Printf.sprintf "%.3f" r.energy_j ])
+         rows
+  in
+  "Figure 6.3: Pi Approximation speedup over the single-core Pthread \
+   application, varying core count\n\n"
+  ^ Tabulate.render table ^ "\n"
+  ^ Tabulate.bar_chart
+      (List.map (fun r -> (Printf.sprintf "%2d cores" r.cores, r.speedup)) rows)
+
+(* --- Ablation A: partitioning strategies ----------------------------------- *)
+
+(* Deterministic synthetic variable population: sizes and access counts
+   from a small LCG, heavy-tailed so strategy differences show. *)
+let synthetic_items ~count ~seed =
+  let state = ref seed in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  List.init count (fun i ->
+      let size_class = next () mod 10 in
+      let bytes =
+        if size_class < 6 then 4 + (next () mod 64)          (* scalars *)
+        else if size_class < 9 then 256 + (next () mod 4096) (* arrays *)
+        else 16_384 + (next () mod 65_536)                   (* big arrays *)
+      in
+      let accesses = 1 + (next () mod 10_000) in
+      { Partition.Partitioner.var =
+          Ir.Var_id.global (Printf.sprintf "v%d" i);
+        bytes; accesses })
+
+let ablation_partition () =
+  let items = synthetic_items ~count:64 ~seed:20141215 in
+  let spec = Partition.Memspec.scc in
+  let configs =
+    [ (Partition.Partitioner.Size_ascending, false, "size-ascending");
+      (Partition.Partitioner.Size_ascending, true, "size-ascending+split");
+      (Partition.Partitioner.Access_density, false, "access-density");
+      (Partition.Partitioner.All_off_chip, false, "all-off-chip") ]
+  in
+  let capacities = [ 8 * 1024; 64 * 1024; 256 * 1024 ] in
+  let rows =
+    List.concat_map
+      (fun capacity ->
+        List.map
+          (fun (strategy, allow_split, label) ->
+            let r =
+              Partition.Partitioner.partition ~strategy ~allow_split spec
+                ~capacity items
+            in
+            [ Printf.sprintf "%d KB" (capacity / 1024);
+              label;
+              Printf.sprintf "%d B" r.Partition.Partitioner.on_chip_bytes;
+              Printf.sprintf "%.1f%%"
+                (100.0 *. Partition.Partitioner.on_chip_access_fraction r) ])
+          configs)
+      capacities
+  in
+  "Ablation A: Stage 4 partitioning strategies on 64 synthetic shared \
+   variables\n(figure of merit: fraction of estimated accesses served \
+   on-chip)\n\n"
+  ^ Tabulate.render
+      ([ "Capacity"; "Strategy"; "On-chip bytes"; "On-chip accesses" ] :: rows)
+
+(* --- Ablation B: the end-to-end interpreter path --------------------------- *)
+
+type interp_row = {
+  label : string;
+  elapsed_ms : float;
+  output : string;
+}
+
+let interp_end_to_end ?(scale = Full) () =
+  let nt, steps =
+    match scale with Full -> (32, 65_536) | Quick -> (8, 8_192)
+  in
+  let src = Csrc.pi ~nt ~steps in
+  let program = Cfront.Parser.program ~file:"pi_pthread.c" src in
+  let pthread_result = Cexec.Interp.run_pthread program in
+  let translated, _report = Translate.Driver.translate_program program in
+  let rcce_result = Cexec.Interp.run_rcce ~ncores:nt translated in
+  let row label (r : Cexec.Interp.result) =
+    {
+      label;
+      elapsed_ms = float_of_int r.Cexec.Interp.elapsed_ps /. 1e9;
+      output = String.trim r.Cexec.Interp.output;
+    }
+  in
+  let rows =
+    [ row (Printf.sprintf "Pthread program, %d threads on 1 core" nt)
+        pthread_result;
+      row (Printf.sprintf "Translated RCCE program on %d cores" nt)
+        rcce_result ]
+  in
+  let speedup =
+    float_of_int pthread_result.Cexec.Interp.elapsed_ps
+    /. float_of_int rcce_result.Cexec.Interp.elapsed_ps
+  in
+  (rows, speedup)
+
+let interp_experiment ?scale () =
+  let rows, speedup = interp_end_to_end ?scale () in
+  let table =
+    [ "Configuration"; "Simulated time (ms)"; "Program output" ]
+    :: List.map
+         (fun r ->
+           [ r.label; Printf.sprintf "%.3f" r.elapsed_ms;
+             (match String.split_on_char '\n' r.output with
+             | first :: _ -> first
+             | [] -> "") ])
+         rows
+  in
+  "Ablation B: the translator's own output executing on the simulated \
+   SCC\n(Pi benchmark interpreted: original Pthreads vs translated \
+   RCCE)\n\n"
+  ^ Tabulate.render table
+  ^ Printf.sprintf "\nEnd-to-end speedup: %.1fx\n" speedup
+
+(* --- DVFS sweep --------------------------------------------------------------- *)
+
+type dvfs_row = {
+  freq_mhz : int;
+  volts : float;
+  watts : float;
+  dvfs_ms : float;
+  dvfs_energy_j : float;
+}
+
+(* The paper's section 5.1 describes the SCC's frequency/voltage envelope
+   (0.7 V / 125 MHz / 25 W up to 1.14 V / 1 GHz / 125 W) and its
+   per-domain control; this sweep runs the Pi benchmark at several core
+   frequencies and reports the time/energy tradeoff the envelope buys. *)
+let dvfs_points = [ 125; 320; 533; 800; 1000 ]
+
+let dvfs_data ?(scale = Full) () =
+  let w =
+    match scale with
+    | Full -> Workloads.Suite.pi
+    | Quick -> Workloads.Pi.make ~params:{ Workloads.Pi.steps = 1 lsl 16 } ()
+  in
+  List.map
+    (fun freq_mhz ->
+      let cfg = { Scc.Config.default with Scc.Config.core_freq_mhz = freq_mhz } in
+      let r =
+        Workloads.Workload.run ~cfg w
+          (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 32))
+      in
+      {
+        freq_mhz;
+        volts = Scc.Power.volts_for_freq freq_mhz;
+        watts = Scc.Power.chip_watts ~freq_mhz ();
+        dvfs_ms = Workloads.Workload.elapsed_ms r;
+        dvfs_energy_j =
+          Scc.Power.energy_joules cfg ~active_cores:32
+            ~elapsed_ps:r.Workloads.Workload.elapsed_ps;
+      })
+    dvfs_points
+
+let dvfs_experiment ?scale () =
+  let rows = dvfs_data ?scale () in
+  let table =
+    [ "Core freq"; "Voltage"; "Chip power"; "Pi runtime"; "Energy" ]
+    :: List.map
+         (fun r ->
+           [ Printf.sprintf "%d MHz" r.freq_mhz;
+             Printf.sprintf "%.2f V" r.volts;
+             Printf.sprintf "%.1f W" r.watts;
+             Printf.sprintf "%.2f ms" r.dvfs_ms;
+             Printf.sprintf "%.3f J" r.dvfs_energy_j ])
+         rows
+  in
+  "DVFS sweep: the Pi benchmark (32 cores, off-chip) across the SCC's operating envelope\n(section 5.1: 0.7 V / 125 MHz / 25 W up to 1.14 V / 1 GHz / 125 W)\n\n"
+  ^ Tabulate.render table
+
+(* --- synchronization sensitivity ----------------------------------------------- *)
+
+type sync_row = {
+  sync_name : string;
+  sync_baseline_ms : float;
+  sync_rcce_ms : float;
+  sync_speedup : float;
+}
+
+(* The paper: "because a Pthread mutex and hardware test-and-set register
+   are not exactly the same, performance varies when converting a
+   synchronization-dependent application."  Comparing the compute-bound
+   best case against the lock-bound histogram makes the variation
+   concrete. *)
+let sync_sensitivity_data ?(scale = Full) ?(units = 32) () =
+  let pairs =
+    match scale with
+    | Full ->
+        [ Workloads.Suite.pi; Workloads.Suite.histogram ]
+    | Quick ->
+        [ Workloads.Pi.make ~params:{ Workloads.Pi.steps = 1 lsl 16 } ();
+          Workloads.Histogram.make
+            ~params:{ Workloads.Histogram.n = 1 lsl 13; bins = 64; locks = 8 }
+            () ]
+  in
+  List.map
+    (fun w ->
+      let baseline =
+        Workloads.Workload.run w (Workloads.Workload.Pthread_baseline units)
+      in
+      let rcce =
+        Workloads.Workload.run w
+          (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, units))
+      in
+      {
+        sync_name = w.Workloads.Workload.name;
+        sync_baseline_ms = Workloads.Workload.elapsed_ms baseline;
+        sync_rcce_ms = Workloads.Workload.elapsed_ms rcce;
+        sync_speedup = Workloads.Workload.speedup ~baseline rcce;
+      })
+    pairs
+
+let sync_sensitivity ?scale ?units () =
+  let rows = sync_sensitivity_data ?scale ?units () in
+  let table =
+    [ "Benchmark"; "Pthread 1-core (ms)"; "RCCE (ms)"; "Speedup" ]
+    :: List.map
+         (fun r ->
+           [ r.sync_name;
+             Printf.sprintf "%.2f" r.sync_baseline_ms;
+             Printf.sprintf "%.2f" r.sync_rcce_ms;
+             Printf.sprintf "%.1fx" r.sync_speedup ])
+         rows
+  in
+  "Synchronization sensitivity: compute-bound vs lock-bound conversion
+(mutex -> test-and-set register, 32 units)
+
+"
+  ^ Tabulate.render table
+
+(* --- model sensitivity ---------------------------------------------------------- *)
+
+(* How much do the memory-bound Figure 6.1 results depend on the one
+   debatable model choice — blocking vs posted (write-combined) uncached
+   stores?  The SCC has a write-combine buffer; the calibrated figures
+   use blocking stores. *)
+let model_sensitivity ?(scale = Full) () =
+  let memory_benchmarks =
+    match scale with
+    | Full -> [ Workloads.Suite.stream; Workloads.Suite.dot ]
+    | Quick ->
+        [ Workloads.Stream.make
+            ~params:{ Workloads.Stream.n = 1 lsl 13; reps = 2; block = 256 }
+            ();
+          Workloads.Dot.make
+            ~params:{ Workloads.Dot.n = 1 lsl 13; reps = 2; block = 256 } () ]
+  in
+  let run ~posted w =
+    let cfg =
+      { Scc.Config.default with Scc.Config.posted_shared_writes = posted }
+    in
+    Workloads.Workload.elapsed_ms
+      (Workloads.Workload.run ~cfg w
+         (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 32)))
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let blocking = run ~posted:false w in
+        let posted = run ~posted:true w in
+        [ w.Workloads.Workload.name;
+          Printf.sprintf "%.2f ms" blocking;
+          Printf.sprintf "%.2f ms" posted;
+          Printf.sprintf "%.0f%%" (100.0 *. (1.0 -. (posted /. blocking))) ])
+      memory_benchmarks
+  in
+  "Model sensitivity: blocking vs posted uncached shared stores
+(the SCC's write-combine buffer; the calibrated figures use blocking)
+
+"
+  ^ Tabulate.render
+      ([ "Benchmark"; "Blocking stores"; "Posted stores"; "Faster by" ]
+      :: rows)
+
+(* --- section 7.2: more threads than cores ---------------------------------------- *)
+
+(* A 96-thread Pi program (double the chip) translated with the
+   many-to-one task mapping and interpreted at increasing core counts —
+   the scaling path the paper's section 7.2 sketches. *)
+let many_to_one_scaling ?(scale = Full) () =
+  let nt, steps =
+    match scale with Full -> (96, 32_768) | Quick -> (24, 4_096)
+  in
+  let src = Csrc.pi ~nt ~steps in
+  let program = Cfront.Parser.program ~file:"pi_many.c" src in
+  let baseline = Cexec.Interp.run_pthread program in
+  let core_counts =
+    List.filter (fun c -> c <= 48) [ 8; 16; 32; 48 ]
+  in
+  let rows =
+    List.map
+      (fun ncores ->
+        let options =
+          { Translate.Pass.default_options with
+            Translate.Pass.ncores; many_to_one = true }
+        in
+        let translated, _ =
+          Translate.Driver.translate_program ~options program
+        in
+        let r = Cexec.Interp.run_rcce ~ncores translated in
+        [ string_of_int ncores;
+          Printf.sprintf "%.3f ms"
+            (float_of_int r.Cexec.Interp.elapsed_ps /. 1e9);
+          Printf.sprintf "%.1fx"
+            (float_of_int baseline.Cexec.Interp.elapsed_ps
+            /. float_of_int r.Cexec.Interp.elapsed_ps) ])
+      core_counts
+  in
+  Printf.sprintf
+    "Section 7.2: %d threads mapped many-to-one onto fewer cores
+(baseline: the %d-thread Pthread program on one core, %.3f ms)
+
+"
+    nt nt
+    (float_of_int baseline.Cexec.Interp.elapsed_ps /. 1e9)
+  ^ Tabulate.render
+      ([ "Cores"; "Interpreted RCCE"; "Speedup" ] :: rows)
+
+(* --- everything ------------------------------------------------------------- *)
+
+let run_all ?(scale = Full) () =
+  let sections =
+    [ table_4_1 (); table_4_2 (); table_6_1 (); translation_example ();
+      fig_6_1 ~scale (); fig_6_2 ~scale (); fig_6_3 ~scale ();
+      ablation_partition (); interp_experiment ~scale ();
+      dvfs_experiment ~scale (); sync_sensitivity ~scale ();
+      model_sensitivity ~scale (); many_to_one_scaling ~scale () ]
+  in
+  let rule = String.make 72 '=' in
+  Printf.sprintf "Scale: %s\n%s\n" (scale_to_string scale) rule
+  ^ String.concat (Printf.sprintf "\n%s\n" rule) sections

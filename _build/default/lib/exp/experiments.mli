@@ -1,0 +1,124 @@
+(** The experiment harness: regenerates every table and figure of the
+    paper's evaluation, plus the ablations DESIGN.md calls out. *)
+
+type scale = Quick | Full
+
+val scale_to_string : scale -> string
+
+val suite : scale -> Workloads.Workload.t list
+(** The six benchmarks at the given scale. *)
+
+(** {1 Tables} *)
+
+val table_4_1 : unit -> string
+val table_4_2 : unit -> string
+val table_6_1 : unit -> string
+
+val translation_example : unit -> string
+(** Example Code 4.1 through the full translator (the paper's Example
+    Code 4.2), with pass notes. *)
+
+(** {1 Figures} *)
+
+type fig_6_1_row = {
+  name : string;
+  baseline_ms : float;
+  rcce_ms : float;
+  speedup : float;
+  verified : bool;
+}
+
+val fig_6_1_data :
+  ?scale:scale -> ?units:int -> unit -> fig_6_1_row list
+
+val fig_6_1 : ?scale:scale -> ?units:int -> unit -> string
+
+type fig_6_2_row = {
+  name : string;
+  off_chip_ms : float;
+  mpb_ms : float;
+  improvement : float;
+  verified : bool;
+  notes : string list;
+}
+
+val fig_6_2_data :
+  ?scale:scale -> ?units:int -> unit -> fig_6_2_row list
+
+val fig_6_2 : ?scale:scale -> ?units:int -> unit -> string
+
+type fig_6_3_row = {
+  cores : int;
+  rcce_ms : float;
+  speedup : float;
+  energy_j : float;
+}
+
+val fig_6_3_core_counts : int list
+
+val fig_6_3_data :
+  ?scale:scale -> ?baseline_threads:int -> unit -> fig_6_3_row list
+
+val fig_6_3 : ?scale:scale -> ?baseline_threads:int -> unit -> string
+
+(** {1 Ablations} *)
+
+val synthetic_items :
+  count:int -> seed:int -> Partition.Partitioner.item list
+(** Deterministic heavy-tailed variable population for the partitioning
+    ablation. *)
+
+val ablation_partition : unit -> string
+
+type interp_row = {
+  label : string;
+  elapsed_ms : float;
+  output : string;
+}
+
+val interp_end_to_end :
+  ?scale:scale -> unit -> interp_row list * float
+(** The Pi Pthread source interpreted directly vs its translated RCCE
+    form; returns the two rows and the speedup. *)
+
+val interp_experiment : ?scale:scale -> unit -> string
+
+type dvfs_row = {
+  freq_mhz : int;
+  volts : float;
+  watts : float;
+  dvfs_ms : float;
+  dvfs_energy_j : float;
+}
+
+val dvfs_points : int list
+
+val dvfs_data : ?scale:scale -> unit -> dvfs_row list
+(** The Pi benchmark across the SCC's DVFS envelope (section 5.1). *)
+
+val dvfs_experiment : ?scale:scale -> unit -> string
+
+type sync_row = {
+  sync_name : string;
+  sync_baseline_ms : float;
+  sync_rcce_ms : float;
+  sync_speedup : float;
+}
+
+val sync_sensitivity_data :
+  ?scale:scale -> ?units:int -> unit -> sync_row list
+(** Compute-bound (Pi) vs lock-bound (histogram) conversion speedups. *)
+
+val sync_sensitivity : ?scale:scale -> ?units:int -> unit -> string
+
+val model_sensitivity : ?scale:scale -> unit -> string
+(** Blocking vs posted uncached shared stores on the memory-bound
+    benchmarks. *)
+
+val many_to_one_scaling : ?scale:scale -> unit -> string
+(** Section 7.2: a program with more threads than cores, translated with
+    the many-to-one task mapping and interpreted at several core
+    counts. *)
+
+val run_all : ?scale:scale -> unit -> string
+(** Every section, concatenated — what [bin/experiments] prints. *)

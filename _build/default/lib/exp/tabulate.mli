@@ -1,0 +1,8 @@
+(** Plain-text table and bar-chart rendering for the experiment reports. *)
+
+val render : ?header:bool -> string list list -> string
+(** Aligned columns; with [header] (default) a rule is drawn under the
+    first row. *)
+
+val bar_chart : ?width:int -> ?unit:string -> (string * float) list -> string
+(** One horizontal bar per (label, value), scaled to the maximum. *)

@@ -1,0 +1,1 @@
+lib/ir/symtab.ml: Ast Cfront Ctype Hashtbl List Option Srcloc Var_id Visit

@@ -1,0 +1,1 @@
+lib/ir/symtab.mli: Ast Cfront Ctype Srcloc Var_id

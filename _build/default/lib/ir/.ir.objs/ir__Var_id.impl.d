@@ -1,0 +1,1 @@
+lib/ir/var_id.ml: Format Map Printf Set Stdlib

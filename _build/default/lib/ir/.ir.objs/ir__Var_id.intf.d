@@ -1,0 +1,1 @@
+lib/ir/var_id.mli: Format Map Set

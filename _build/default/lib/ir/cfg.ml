@@ -1,0 +1,208 @@
+open Cfront
+
+(* Intraprocedural control-flow graph.
+
+   Elementary statements (expressions, declarations, returns) and branch
+   conditions become nodes; structured control flow becomes edges.  The
+   graph always has a single entry and a single exit node. *)
+
+type node_kind =
+  | Entry
+  | Exit
+  | Statement of Ast.stmt      (* Sexpr / Sdecl / Sreturn / Snull *)
+  | Condition of Ast.expr      (* if/while/do/for condition *)
+  | Join                       (* structured merge point *)
+
+type node = {
+  id : int;
+  kind : node_kind;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  func : Ast.func;
+  nodes : node array;
+  entry : int;
+  exit : int;
+}
+
+type builder = {
+  mutable acc : node list;   (* reverse order *)
+  mutable count : int;
+}
+
+let new_node b kind =
+  let n = { id = b.count; kind; succs = []; preds = [] } in
+  b.count <- b.count + 1;
+  b.acc <- n :: b.acc;
+  n
+
+let add_edge src dst =
+  if not (List.mem dst.id src.succs) then begin
+    src.succs <- dst.id :: src.succs;
+    dst.preds <- src.id :: dst.preds
+  end
+
+(* Lower a statement list.  [preds] are the nodes whose control falls into
+   this construct; the result is the set of nodes falling out of it.
+   [brk]/[cont] collect break/continue sources; [ret] collects returns. *)
+let rec lower_stmts b ~brk ~cont ~ret preds stmts =
+  List.fold_left (fun preds s -> lower_stmt b ~brk ~cont ~ret preds s)
+    preds stmts
+
+and lower_stmt b ~brk ~cont ~ret preds (s : Ast.stmt) =
+  let connect_to node = List.iter (fun p -> add_edge p node) preds in
+  match s.Ast.s_desc with
+  | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Snull ->
+      let n = new_node b (Statement s) in
+      connect_to n;
+      [ n ]
+  | Ast.Sreturn _ ->
+      let n = new_node b (Statement s) in
+      connect_to n;
+      ret := n :: !ret;
+      []
+  | Ast.Sbreak ->
+      brk := preds @ !brk;
+      []
+  | Ast.Scontinue ->
+      cont := preds @ !cont;
+      []
+  | Ast.Sblock stmts -> lower_stmts b ~brk ~cont ~ret preds stmts
+  | Ast.Sif (c, then_branch, else_branch) -> begin
+      let cnode = new_node b (Condition c) in
+      connect_to cnode;
+      let then_out = lower_stmt b ~brk ~cont ~ret [ cnode ] then_branch in
+      match else_branch with
+      | None -> cnode :: then_out
+      | Some else_branch ->
+          let else_out = lower_stmt b ~brk ~cont ~ret [ cnode ] else_branch in
+          then_out @ else_out
+    end
+  | Ast.Swhile (c, body) ->
+      let cnode = new_node b (Condition c) in
+      connect_to cnode;
+      let inner_brk = ref [] and inner_cont = ref [] in
+      let body_out =
+        lower_stmt b ~brk:inner_brk ~cont:inner_cont ~ret [ cnode ] body
+      in
+      List.iter (fun n -> add_edge n cnode) (body_out @ !inner_cont);
+      cnode :: !inner_brk
+  | Ast.Sdo (body, c) ->
+      (* the body needs a stable head to receive the back edge *)
+      let head = new_node b Join in
+      connect_to head;
+      let inner_brk = ref [] and inner_cont = ref [] in
+      let body_out =
+        lower_stmt b ~brk:inner_brk ~cont:inner_cont ~ret [ head ] body
+      in
+      let cnode = new_node b (Condition c) in
+      List.iter (fun n -> add_edge n cnode) (body_out @ !inner_cont);
+      add_edge cnode head;
+      cnode :: !inner_brk
+  | Ast.Sfor (init, cond, step, body) ->
+      let preds =
+        match init with
+        | Ast.For_none -> preds
+        | Ast.For_expr e ->
+            let n =
+              new_node b
+                (Statement (Ast.stmt ~loc:s.Ast.s_loc (Ast.Sexpr e)))
+            in
+            connect_to n;
+            [ n ]
+        | Ast.For_decl ds ->
+            let n =
+              new_node b
+                (Statement (Ast.stmt ~loc:s.Ast.s_loc (Ast.Sdecl ds)))
+            in
+            connect_to n;
+            [ n ]
+      in
+      let head =
+        match cond with
+        | Some c -> new_node b (Condition c)
+        | None -> new_node b Join
+      in
+      List.iter (fun p -> add_edge p head) preds;
+      let inner_brk = ref [] and inner_cont = ref [] in
+      let body_out =
+        lower_stmt b ~brk:inner_brk ~cont:inner_cont ~ret [ head ] body
+      in
+      let back_sources =
+        match step with
+        | None -> body_out @ !inner_cont
+        | Some e ->
+            let n =
+              new_node b
+                (Statement (Ast.stmt ~loc:s.Ast.s_loc (Ast.Sexpr e)))
+            in
+            List.iter (fun p -> add_edge p n) (body_out @ !inner_cont);
+            [ n ]
+      in
+      List.iter (fun n -> add_edge n head) back_sources;
+      let exits = if cond = None then [] else [ head ] in
+      exits @ !inner_brk
+
+let build (func : Ast.func) =
+  let b = { acc = []; count = 0 } in
+  let entry = new_node b Entry in
+  let ret = ref [] in
+  let brk = ref [] and cont = ref [] in
+  let out = lower_stmts b ~brk ~cont ~ret [ entry ] func.Ast.f_body in
+  let exit = new_node b Exit in
+  List.iter (fun n -> add_edge n exit) (out @ !ret);
+  (* break/continue outside a loop: treat as flowing to exit *)
+  List.iter (fun n -> add_edge n exit) (!brk @ !cont);
+  let nodes = Array.make b.count entry in
+  List.iter (fun n -> nodes.(n.id) <- n) b.acc;
+  { func; nodes; entry = entry.id; exit = exit.id }
+
+let node t id = t.nodes.(id)
+let length t = Array.length t.nodes
+
+let exprs_of_node n =
+  match n.kind with
+  | Entry | Exit | Join -> []
+  | Condition e -> [ e ]
+  | Statement s -> Visit.shallow_exprs s
+
+(* Reverse-post-order from entry, for fast dataflow convergence. *)
+let reverse_postorder t =
+  let visited = Array.make (length t) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs t.nodes.(id).succs;
+      order := id :: !order
+    end
+  in
+  dfs t.entry;
+  !order
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n" t.func.Ast.f_name);
+  Array.iter
+    (fun n ->
+      let label =
+        match n.kind with
+        | Entry -> "entry"
+        | Exit -> "exit"
+        | Join -> "join"
+        | Condition e -> "if " ^ Pretty.expr e
+        | Statement s -> String.trim (Pretty.stmt s)
+      in
+      let label = String.map (fun c -> if c = '"' then '\'' else c) label in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" n.id label);
+      List.iter
+        (fun succ ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" n.id succ))
+        n.succs)
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

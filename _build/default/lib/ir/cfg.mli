@@ -1,0 +1,43 @@
+open Cfront
+
+(** Intraprocedural control-flow graph.
+
+    Elementary statements and branch conditions become nodes; structured
+    control flow becomes edges.  The graph has a single entry and a single
+    exit node. *)
+
+type node_kind =
+  | Entry
+  | Exit
+  | Statement of Ast.stmt  (** [Sexpr] / [Sdecl] / [Sreturn] / [Snull] *)
+  | Condition of Ast.expr  (** if/while/do/for condition *)
+  | Join                   (** structured merge point *)
+
+type node = {
+  id : int;
+  kind : node_kind;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  func : Ast.func;
+  nodes : node array;
+  entry : int;
+  exit : int;
+}
+
+val build : Ast.func -> t
+
+val node : t -> int -> node
+val length : t -> int
+
+val exprs_of_node : node -> Ast.expr list
+(** Expressions evaluated at this node. *)
+
+val reverse_postorder : t -> int list
+(** Node ids in reverse post-order from the entry (good iteration order for
+    forward dataflow). *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for debugging. *)

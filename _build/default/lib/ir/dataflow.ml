@@ -1,0 +1,63 @@
+(* Generic forward dataflow solver: worklist iteration to a fixed point
+   over a CFG, visiting nodes in reverse post-order. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** State for unreached program points. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound at control-flow merges. *)
+end
+
+module type S = sig
+  type fact
+
+  type result = { in_facts : fact array; out_facts : fact array }
+
+  val solve :
+    Cfg.t -> init:fact -> transfer:(Cfg.node -> fact -> fact) -> result
+end
+
+module Forward (D : DOMAIN) : S with type fact = D.t = struct
+  type fact = D.t
+
+  type result = { in_facts : fact array; out_facts : fact array }
+
+  let solve (cfg : Cfg.t) ~init ~transfer =
+    let n = Cfg.length cfg in
+    let in_facts = Array.make n D.bottom in
+    let out_facts = Array.make n D.bottom in
+    in_facts.(cfg.Cfg.entry) <- init;
+    let order = Array.of_list (Cfg.reverse_postorder cfg) in
+    let changed = ref true in
+    (* Reverse post-order sweeps; loops converge in a few passes because
+       the domain joins are monotone. *)
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun id ->
+          let node = Cfg.node cfg id in
+          let input =
+            if id = cfg.Cfg.entry then init
+            else
+              List.fold_left
+                (fun acc p -> D.join acc out_facts.(p))
+                D.bottom node.Cfg.preds
+          in
+          let output = transfer node input in
+          if
+            (not (D.equal input in_facts.(id)))
+            || not (D.equal output out_facts.(id))
+          then begin
+            in_facts.(id) <- input;
+            out_facts.(id) <- output;
+            changed := true
+          end)
+        order
+    done;
+    { in_facts; out_facts }
+end

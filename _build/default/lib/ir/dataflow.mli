@@ -1,0 +1,27 @@
+(** Generic forward dataflow solver over a {!Cfg}. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** State for unreached program points. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound at control-flow merges; must be monotone for the
+      solver to terminate. *)
+end
+
+module type S = sig
+  type fact
+
+  type result = { in_facts : fact array; out_facts : fact array }
+  (** Facts indexed by {!Cfg.node} id, before and after each node. *)
+
+  val solve :
+    Cfg.t -> init:fact -> transfer:(Cfg.node -> fact -> fact) -> result
+  (** Worklist iteration to a fixed point; [init] is the entry fact. *)
+end
+
+module Forward (D : DOMAIN) : S with type fact = D.t

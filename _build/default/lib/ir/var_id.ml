@@ -1,0 +1,42 @@
+(* Identity of a program variable.  Locals of different functions (and
+   parameters) are distinct even when they share a name, so analyses key
+   their maps on this type rather than on raw names. *)
+
+type scope =
+  | Global
+  | Local of string   (* enclosing function *)
+  | Param of string   (* enclosing function *)
+
+type t = { name : string; scope : scope }
+
+let global name = { name; scope = Global }
+let local ~func name = { name; scope = Local func }
+let param ~func name = { name; scope = Param func }
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+let is_global v = v.scope = Global
+
+let scope_function v =
+  match v.scope with
+  | Global -> None
+  | Local f | Param f -> Some f
+
+let to_string v =
+  match v.scope with
+  | Global -> v.name
+  | Local f -> Printf.sprintf "%s@%s" v.name f
+  | Param f -> Printf.sprintf "%s@%s(param)" v.name f
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

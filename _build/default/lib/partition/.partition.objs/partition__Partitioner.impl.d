@@ -1,0 +1,1 @@
+lib/partition/partitioner.ml: Analysis Hashtbl Ir List Memspec Printf

@@ -1,0 +1,35 @@
+(* Memory-hierarchy parameters of the target HSM architecture as Stage 4
+   sees them.  Defaults are the Intel SCC's: 8 KB of on-die Message Passing
+   Buffer SRAM per core (384 KB chip-wide), 32-byte lines, up to 64 GB of
+   off-chip DDR3 configurable as private or shared through page tables. *)
+
+type t = {
+  cores : int;
+  mpb_bytes_per_core : int;
+  line_bytes : int;
+  off_chip_bytes : int;
+}
+
+let scc =
+  {
+    cores = 48;
+    mpb_bytes_per_core = 8 * 1024;
+    line_bytes = 32;
+    off_chip_bytes = 64 * 1024 * 1024 * 1024;
+  }
+
+let mpb_total t = t.cores * t.mpb_bytes_per_core
+
+(* On-chip shared capacity available to an application running on [ncores]
+   cores: the MPB slices of the participating cores. *)
+let on_chip_capacity t ~ncores =
+  if ncores < 1 || ncores > t.cores then
+    invalid_arg
+      (Printf.sprintf "Memspec.on_chip_capacity: ncores %d outside 1..%d"
+         ncores t.cores)
+  else ncores * t.mpb_bytes_per_core
+
+(* Sizes handed to the MPB allocator are rounded up to whole lines, like
+   RCCE_shmalloc does. *)
+let round_to_line t bytes =
+  (bytes + t.line_bytes - 1) / t.line_bytes * t.line_bytes

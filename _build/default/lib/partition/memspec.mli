@@ -1,0 +1,23 @@
+(** Memory-hierarchy parameters of the target HSM architecture as Stage 4
+    sees them. *)
+
+type t = {
+  cores : int;
+  mpb_bytes_per_core : int;
+  line_bytes : int;
+  off_chip_bytes : int;
+}
+
+val scc : t
+(** The Intel SCC: 48 cores, 8 KB MPB per core, 32-byte lines, 64 GB
+    DDR3. *)
+
+val mpb_total : t -> int
+(** Chip-wide MPB capacity (384 KB on the SCC). *)
+
+val on_chip_capacity : t -> ncores:int -> int
+(** On-chip shared capacity for an application on [ncores] cores.
+    @raise Invalid_argument when [ncores] is outside [1..cores]. *)
+
+val round_to_line : t -> int -> int
+(** Round a size up to whole MPB lines, like [RCCE_shmalloc]. *)

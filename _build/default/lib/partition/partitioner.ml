@@ -1,0 +1,160 @@
+(* Stage 4: partition the shared variables between the on-chip MPB SRAM
+   and the off-chip shared DRAM.
+
+   The paper's Algorithm 3: if everything fits on chip, put everything on
+   chip; otherwise sort by size ascending and greedily fill the remaining
+   on-chip space, sending the rest off chip.  Two alternative strategies
+   are provided for the ablation bench: access-density (accesses per byte,
+   the classic scratchpad heuristic of Panda et al. / Kandemir et al. that
+   the paper extends) and all-off-chip (the Figure 6.1 configuration). *)
+
+type placement =
+  | On_chip
+  | Off_chip
+  | Split of int
+      (* leading bytes on chip, the rest off chip — section 4.4's "larger
+         arrays may be allocated entirely in DRAM or split between DRAM
+         and SRAM" *)
+
+type item = {
+  var : Ir.Var_id.t;
+  bytes : int;          (* raw size; MPB placement rounds to lines *)
+  accesses : int;       (* estimated dynamic reads+writes, all threads *)
+}
+
+type assignment = { item : item; placement : placement }
+
+type result = {
+  assignments : assignment list;    (* input order *)
+  on_chip_bytes : int;              (* line-rounded bytes used in the MPB *)
+  off_chip_bytes : int;
+  capacity : int;
+}
+
+type strategy =
+  | Size_ascending   (* the paper's Algorithm 3 *)
+  | Access_density   (* accesses/byte, descending *)
+  | All_off_chip
+
+let strategy_to_string = function
+  | Size_ascending -> "size-ascending"
+  | Access_density -> "access-density"
+  | All_off_chip -> "all-off-chip"
+
+let placement_to_string = function
+  | On_chip -> "on-chip"
+  | Off_chip -> "off-chip"
+  | Split on -> Printf.sprintf "split(%dB on-chip)" on
+
+(* Stable sort of the candidate order examined by the greedy fill. *)
+let candidate_order strategy items =
+  match strategy with
+  | Size_ascending ->
+      List.stable_sort (fun a b -> compare a.bytes b.bytes) items
+  | Access_density ->
+      let density i = float_of_int i.accesses /. float_of_int (max 1 i.bytes) in
+      List.stable_sort (fun a b -> compare (density b) (density a)) items
+  | All_off_chip -> items
+
+let partition ?(strategy = Size_ascending) ?(allow_split = false)
+    (spec : Memspec.t) ~capacity items =
+  if capacity < 0 then invalid_arg "Partitioner.partition: negative capacity";
+  let rounded i = Memspec.round_to_line spec i.bytes in
+  let total = List.fold_left (fun acc i -> acc + rounded i) 0 items in
+  let placements : (Ir.Var_id.t, placement) Hashtbl.t = Hashtbl.create 16 in
+  let on_chip_bytes = ref 0 in
+  let place i p =
+    Hashtbl.replace placements i.var p;
+    match p with
+    | On_chip -> on_chip_bytes := !on_chip_bytes + rounded i
+    | Split on -> on_chip_bytes := !on_chip_bytes + on
+    | Off_chip -> ()
+  in
+  (if strategy <> All_off_chip && total <= capacity then
+     (* Algorithm 3, lines 4-12: everything fits on chip *)
+     List.iter (fun i -> place i On_chip) items
+   else if strategy = All_off_chip then
+     List.iter (fun i -> place i Off_chip) items
+   else begin
+     (* Algorithm 3, lines 13-29: greedy fill in strategy order; with
+        [allow_split] an array that no longer fits leaves its leading
+        lines on chip instead of spilling entirely *)
+     let remaining = ref capacity in
+     List.iter
+       (fun i ->
+         if rounded i <= !remaining then begin
+           place i On_chip;
+           remaining := !remaining - rounded i
+         end
+         else if
+           allow_split && !remaining >= spec.Memspec.line_bytes
+           && i.bytes > !remaining
+         then begin
+           let on = !remaining / spec.Memspec.line_bytes
+                    * spec.Memspec.line_bytes in
+           place i (Split on);
+           remaining := !remaining - on
+         end
+         else place i Off_chip)
+       (candidate_order strategy items)
+   end);
+  let assignments =
+    List.map
+      (fun i -> { item = i; placement = Hashtbl.find placements i.var })
+      items
+  in
+  let off_chip_bytes =
+    List.fold_left
+      (fun acc a ->
+        match a.placement with
+        | Off_chip -> acc + a.item.bytes
+        | Split on -> acc + max 0 (a.item.bytes - on)
+        | On_chip -> acc)
+      0 assignments
+  in
+  { assignments; on_chip_bytes = !on_chip_bytes; off_chip_bytes; capacity }
+
+let placement_of result var =
+  let rec find = function
+    | [] -> None
+    | a :: rest ->
+        if Ir.Var_id.equal a.item.var var then Some a.placement
+        else find rest
+  in
+  find result.assignments
+
+(* Items for the partitioner from a completed analysis: every Shared
+   variable with its size and estimated dynamic access count. *)
+let items_of_analysis (analysis : Analysis.Pipeline.t) =
+  List.map
+    (fun (info : Analysis.Varinfo.t) ->
+      {
+        var = info.Analysis.Varinfo.id;
+        bytes = info.Analysis.Varinfo.mem_size;
+        accesses =
+          Analysis.Access_count.total analysis.Analysis.Pipeline.access
+            info.Analysis.Varinfo.id;
+      })
+    (Analysis.Pipeline.shared_variables analysis)
+
+(* Fraction of all estimated shared accesses that hit the MPB under this
+   partition — the figure of merit the ablation bench reports.  Accesses
+   to a split array are prorated by its on-chip byte fraction (uniform
+   access assumption). *)
+let on_chip_access_fraction result =
+  let on, all =
+    List.fold_left
+      (fun (on, all) a ->
+        let acc = float_of_int a.item.accesses in
+        let served =
+          match a.placement with
+          | On_chip -> acc
+          | Off_chip -> 0.0
+          | Split bytes_on ->
+              acc *. float_of_int bytes_on
+              /. float_of_int (max 1 a.item.bytes)
+        in
+        (on +. served, all +. acc))
+      (0.0, 0.0) result.assignments
+  in
+  if all = 0.0 then 0.0 else on /. all

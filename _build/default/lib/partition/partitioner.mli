@@ -1,0 +1,51 @@
+(** Stage 4: partition shared variables between on-chip MPB SRAM and
+    off-chip shared DRAM (the paper's Algorithm 3, plus ablation
+    strategies). *)
+
+type placement =
+  | On_chip
+  | Off_chip
+  | Split of int
+      (** leading bytes on chip, the rest off chip — section 4.4's
+          "larger arrays may be ... split between DRAM and SRAM" *)
+
+type item = {
+  var : Ir.Var_id.t;
+  bytes : int;     (** raw size; MPB placement rounds up to lines *)
+  accesses : int;  (** estimated dynamic reads+writes over all threads *)
+}
+
+type assignment = { item : item; placement : placement }
+
+type result = {
+  assignments : assignment list;  (** in input order *)
+  on_chip_bytes : int;            (** line-rounded bytes used in the MPB *)
+  off_chip_bytes : int;
+  capacity : int;
+}
+
+type strategy =
+  | Size_ascending  (** the paper's Algorithm 3 *)
+  | Access_density  (** accesses per byte, descending *)
+  | All_off_chip    (** the Figure 6.1 configuration *)
+
+val partition :
+  ?strategy:strategy -> ?allow_split:bool -> Memspec.t -> capacity:int ->
+  item list -> result
+(** Algorithm 3: everything on chip if it fits, otherwise a greedy fill
+    in strategy order.  With [allow_split] (default false) an array that
+    no longer fits leaves its leading lines on chip.
+    @raise Invalid_argument on negative capacity. *)
+
+val placement_of : result -> Ir.Var_id.t -> placement option
+
+val items_of_analysis : Analysis.Pipeline.t -> item list
+(** Every Shared variable of a completed analysis, with size and estimated
+    access count. *)
+
+val on_chip_access_fraction : result -> float
+(** Fraction of estimated shared accesses that hit the MPB; split arrays
+    are prorated by their on-chip byte fraction. *)
+
+val strategy_to_string : strategy -> string
+val placement_to_string : placement -> string

@@ -1,0 +1,54 @@
+(* The Pthread runtime of the paper's baseline: a multi-threaded process
+   pinned to a single SCC core.
+
+   All threads share core 0's pipeline and caches; the engine's shared-
+   core scheduling charges a context switch per time slice and per
+   thread handoff, reproducing "32 threads compete for processor time".
+   The process address space is core 0's cacheable private DRAM, so
+   memory behaves exactly as it does for an unconverted program.
+
+   Mutexes map onto the engine's lock resources (indexed from core 0's
+   register up), and pthread_join of all threads is the implicit end of
+   the simulation (the engine runs every context to completion). *)
+
+type process = {
+  eng : Scc.Engine.t;
+  core : int;
+  mutable next_mutex : int;
+}
+
+let create_process ?cfg () =
+  { eng = Scc.Engine.create ?cfg (); core = 0; next_mutex = 0 }
+
+let engine p = p.eng
+
+(* Allocate in the process's (cacheable private) address space. *)
+let malloc p ~bytes =
+  Scc.Memmap.alloc (Scc.Engine.memmap p.eng) (Scc.Memmap.Private p.core)
+    ~bytes
+
+type mutex = int
+
+let mutex_init p =
+  let id = p.next_mutex in
+  if id >= Scc.Config.n_cores (Scc.Engine.cfg p.eng) then
+    invalid_arg "Pthread_sim.mutex_init: out of lock resources";
+  p.next_mutex <- id + 1;
+  id
+
+let mutex_lock (api : Scc.Engine.api) (m : mutex) = api.Scc.Engine.acquire m
+
+let mutex_unlock (api : Scc.Engine.api) (m : mutex) = api.Scc.Engine.release m
+
+let spawn_thread p body = ignore (Scc.Engine.spawn p.eng ~core:p.core body)
+
+(* Run [nthreads] copies of [body] on the single core and return the
+   engine for inspection.  [body] receives the thread index via
+   [api.self]. *)
+let run ?cfg ~nthreads body =
+  let p = create_process ?cfg () in
+  for _ = 1 to nthreads do
+    spawn_thread p body
+  done;
+  Scc.Engine.run p.eng;
+  p.eng

@@ -1,0 +1,27 @@
+(** The Pthread runtime of the paper's baseline: a multi-threaded process
+    pinned to a single SCC core, threads sharing that core's pipeline and
+    caches with quantum/context-switch overhead. *)
+
+type process
+
+val create_process : ?cfg:Scc.Config.t -> unit -> process
+
+val engine : process -> Scc.Engine.t
+
+val malloc : process -> bytes:int -> int
+(** Allocate in the process's cacheable private address space. *)
+
+type mutex = int
+
+val mutex_init : process -> mutex
+(** @raise Invalid_argument when lock resources run out. *)
+
+val mutex_lock : Scc.Engine.api -> mutex -> unit
+val mutex_unlock : Scc.Engine.api -> mutex -> unit
+
+val spawn_thread : process -> (Scc.Engine.api -> unit) -> unit
+
+val run :
+  ?cfg:Scc.Config.t -> nthreads:int -> (Scc.Engine.api -> unit) -> Scc.Engine.t
+(** Run [nthreads] copies of [body] on one core; the thread index is
+    [api.self]. *)

@@ -1,0 +1,1 @@
+lib/scc/config.mli:

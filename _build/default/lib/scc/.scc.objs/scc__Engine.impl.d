@@ -1,0 +1,1 @@
+lib/scc/engine.ml: Array Cache Config Effect Hashtbl List Memmap Mesh Printf Queue Stats Trace

@@ -1,0 +1,1 @@
+lib/scc/engine.mli: Config Memmap Mesh Stats Trace

@@ -1,0 +1,1 @@
+lib/scc/memmap.ml: Array Config List Printf

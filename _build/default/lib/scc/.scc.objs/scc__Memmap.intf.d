@@ -1,0 +1,1 @@
+lib/scc/memmap.mli: Config

@@ -1,0 +1,1 @@
+lib/scc/mesh.ml: Array Config

@@ -1,0 +1,1 @@
+lib/scc/power.ml: Config Float

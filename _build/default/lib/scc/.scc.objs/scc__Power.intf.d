@@ -1,0 +1,1 @@
+lib/scc/power.mli: Config

@@ -1,0 +1,83 @@
+(* Set-associative cache model with true LRU replacement.
+
+   Only tags are modelled — the simulator tracks timing, not data (data
+   lives in the workloads' native arrays).  Writes allocate (write-back,
+   write-allocate, like the P54C L1D in WB mode); dirty-line writeback
+   cost is charged by the caller via the [evicted_dirty] result. *)
+
+type result = { hit : bool; evicted_dirty : bool }
+
+type line = { mutable tag : int; mutable dirty : bool; mutable last_use : int }
+
+type t = {
+  sets : line array array;   (* [set].[way] *)
+  set_count : int;
+  line_bytes : int;
+  mutable tick : int;        (* LRU clock *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~line_bytes ~assoc =
+  if size_bytes <= 0 || line_bytes <= 0 || assoc <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  let lines = size_bytes / line_bytes in
+  if lines mod assoc <> 0 then
+    invalid_arg "Cache.create: lines not divisible by associativity";
+  let set_count = lines / assoc in
+  {
+    sets =
+      Array.init set_count (fun _ ->
+          Array.init assoc (fun _ ->
+              { tag = -1; dirty = false; last_use = 0 }));
+    set_count;
+    line_bytes;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_addr t addr = addr / t.line_bytes
+
+let access t ~write addr =
+  t.tick <- t.tick + 1;
+  let la = line_addr t addr in
+  let set = t.sets.(la mod t.set_count) in
+  let tag = la / t.set_count in
+  let found = ref None in
+  Array.iter (fun l -> if l.tag = tag then found := Some l) set;
+  match !found with
+  | Some l ->
+      l.last_use <- t.tick;
+      if write then l.dirty <- true;
+      t.hits <- t.hits + 1;
+      { hit = true; evicted_dirty = false }
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict the least recently used way *)
+      let victim = ref set.(0) in
+      Array.iter (fun l -> if l.last_use < !victim.last_use then victim := l)
+        set;
+      let evicted_dirty = !victim.tag >= 0 && !victim.dirty in
+      !victim.tag <- tag;
+      !victim.dirty <- write;
+      !victim.last_use <- t.tick;
+      { hit = false; evicted_dirty }
+
+let flush t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l ->
+          l.tag <- -1;
+          l.dirty <- false;
+          l.last_use <- 0)
+        set)
+    t.sets
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,22 @@
+(** Set-associative cache model with true LRU replacement.
+
+    Only tags are modelled — the simulator tracks timing, not data.
+    Write-back, write-allocate. *)
+
+type t
+
+type result = { hit : bool; evicted_dirty : bool }
+
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+(** @raise Invalid_argument on inconsistent geometry. *)
+
+val access : t -> write:bool -> int -> result
+(** Touch the line containing the byte address; fills on miss and reports
+    whether a dirty victim was evicted. *)
+
+val flush : t -> unit
+(** Invalidate everything (e.g. at process start). *)
+
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float

@@ -1,0 +1,747 @@
+(* Deterministic discrete-event simulation engine.
+
+   Every execution context (an RCCE process on its own core, or a Pthread
+   on the shared baseline core) is an OCaml-5 effects coroutine.  The
+   scheduler resumes the runnable context with the smallest local time —
+   except that a context still owning its shared core's time slice is
+   preferred, which is what keeps the Pthread baseline from paying a
+   context switch per cache line.  Shared resources (core pipelines, the
+   four memory controllers, MPB ports, test-and-set locks, the barrier)
+   are therefore arbitrated in global time order and every run is
+   reproducible.
+
+   Timing model (converted to picoseconds from each component's clock):
+   - compute: [n] core cycles on the context's core; when several
+     contexts share a core the pipeline is a serial resource with a
+     context-switch penalty per handoff and per expired quantum;
+   - private DRAM: per line through L1 then L2 (tag-true LRU caches), a
+     miss travelling mesh -> home memory controller (FIFO server, queuing
+     delay) -> DRAM and back, plus dirty-victim writeback occupancy;
+   - shared DRAM: uncacheable; every line pays the full mesh + controller
+     + DRAM round trip, controllers chosen by line interleaving;
+   - MPB: base access cost plus mesh round trip to the owning tile plus
+     a transfer slot at the owning slice's port;
+   - barrier: gather/release among the statically spawned contexts;
+   - locks: the per-core test-and-set registers, FIFO handoff.
+
+   Block accesses are performed line-by-line from the coroutine so the
+   scheduler can interleave other contexts' requests between lines — a
+   context must never claim memory-controller slots in another context's
+   future.
+
+   Contexts may also be spawned *during* the run ([spawn_child], used by
+   the C interpreter's pthread_create) and joined ([join]); dynamic
+   contexts do not participate in the barrier group. *)
+
+type api = {
+  self : int;
+  nunits : int;
+  core : int;
+  compute : int -> unit;            (* core cycles *)
+  load : int -> bytes:int -> unit;  (* address, block size *)
+  store : int -> bytes:int -> unit;
+  barrier : unit -> unit;
+  acquire : int -> unit;
+  release : int -> unit;
+  now_ps : unit -> int;
+  spawn_child : core:int -> (api -> unit) -> int;
+  join : int -> unit;
+  barrier_n : id:int -> count:int -> unit;
+  flag_set : id:int -> bool -> unit;
+  flag_wait : id:int -> unit;
+  set_frequency : core:int -> mhz:int -> unit;
+}
+
+type _ Effect.t +=
+  | E_compute : int -> unit Effect.t
+  | E_access : (bool * int) -> unit Effect.t  (* write?, line address *)
+  | E_barrier : unit Effect.t
+  | E_acquire : int -> unit Effect.t
+  | E_release : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_spawn : (int * (api -> unit)) -> int Effect.t
+  | E_join : int -> unit Effect.t
+  | E_barrier_n : (int * int) -> unit Effect.t   (* barrier id, group size *)
+  | E_set_freq : (int * int) -> unit Effect.t    (* core, MHz (whole tile) *)
+  | E_flag_set : (int * bool) -> unit Effect.t   (* flag id, value *)
+  | E_flag_wait : int -> unit Effect.t           (* until the flag is set *)
+
+type pending =
+  | Start of (unit -> unit)
+  | Cont of (unit, unit) Effect.Deep.continuation
+
+type ctx_status = Ready | Running | Parked | Finished
+
+type ctx = {
+  id : int;
+  core : int;
+  barrier_member : bool;    (* statically spawned: participates in barrier *)
+  stats : Stats.ctx_stats;
+  mutable now : int;
+  mutable status : ctx_status;
+  mutable pending : pending option;
+}
+
+type proc = {
+  mutable free_at : int;
+  mutable last_ctx : int;
+  mutable ctx_count : int;
+  mutable slice_end : int;   (* absolute end of the current time slice *)
+}
+
+type lock = {
+  mutable held_by : int option;
+  mutable free_time : int;
+  waiters : (ctx * (unit, unit) Effect.Deep.continuation) Queue.t;
+}
+
+(* An MPB-resident synchronization flag (the primitive under RCCE's
+   send/recv and wait_until). *)
+type flag = {
+  mutable value : bool;
+  mutable set_time : int;
+  mutable flag_waiters : (ctx * (unit, unit) Effect.Deep.continuation) list;
+}
+
+exception Deadlock of string
+
+type t = {
+  cfg : Config.t;
+  mesh : Mesh.t;
+  memmap : Memmap.t;
+  mutable ctx_arr : ctx array;
+  procs : proc array;
+  l1 : Cache.t array;
+  l2 : Cache.t array;
+  mc_free_at : int array;
+  mc_busy_ps : int array;
+  mc_requests : int array;
+  mpb_free_at : int array;
+  mutable barrier_waiting : (ctx * (unit, unit) Effect.Deep.continuation) list;
+  counted_barriers :
+    (int, (ctx * (unit, unit) Effect.Deep.continuation) list ref) Hashtbl.t;
+  flags : (int, flag) Hashtbl.t;
+  mutable join_waiting :
+    (int * ctx * (unit, unit) Effect.Deep.continuation) list;
+      (* joined ctx id, waiter, continuation *)
+  locks : lock array;
+  mutable n_finished : int;
+  mutable started : bool;
+  trace : Trace.t option;
+  core_freq_mhz : int array;   (* per-core DVFS state, tile-granular *)
+}
+
+let create ?(cfg = Config.default) ?trace () =
+  let n = Config.n_cores cfg in
+  let mesh = Mesh.create cfg in
+  {
+    cfg;
+    mesh;
+    memmap = Memmap.create cfg;
+    ctx_arr = [||];
+    procs =
+      Array.init n (fun _ ->
+          { free_at = 0; last_ctx = -1; ctx_count = 0; slice_end = 0 });
+    l1 =
+      Array.init n (fun _ ->
+          Cache.create ~size_bytes:cfg.Config.l1_bytes
+            ~line_bytes:cfg.Config.line_bytes ~assoc:cfg.Config.l1_assoc);
+    l2 =
+      Array.init n (fun _ ->
+          Cache.create ~size_bytes:cfg.Config.l2_bytes
+            ~line_bytes:cfg.Config.line_bytes ~assoc:cfg.Config.l2_assoc);
+    mc_free_at = Array.make cfg.Config.n_mcs 0;
+    mc_busy_ps = Array.make cfg.Config.n_mcs 0;
+    mc_requests = Array.make cfg.Config.n_mcs 0;
+    mpb_free_at = Array.make n 0;
+    barrier_waiting = [];
+    counted_barriers = Hashtbl.create 8;
+    flags = Hashtbl.create 16;
+    join_waiting = [];
+    locks =
+      Array.init n (fun _ ->
+          { held_by = None; free_time = 0; waiters = Queue.create () });
+    n_finished = 0;
+    started = false;
+    trace;
+    core_freq_mhz = Array.make n cfg.Config.core_freq_mhz;
+  }
+
+let cfg t = t.cfg
+
+let trace t = t.trace
+
+let record_trace t ctx ~start_ps ~end_ps kind =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.record tr ~ctx:ctx.id ~core:ctx.core ~start_ps ~end_ps kind
+let memmap t = t.memmap
+let mesh t = t.mesh
+
+let n_ctxs t = Array.length t.ctx_arr
+
+let add_ctx t ~core ~barrier_member ~now =
+  if core < 0 || core >= Config.n_cores t.cfg then
+    invalid_arg "Engine: core out of range";
+  let ctx =
+    { id = n_ctxs t; core; barrier_member; stats = Stats.create_ctx ();
+      now; status = Ready; pending = None }
+  in
+  t.ctx_arr <- Array.append t.ctx_arr [| ctx |];
+  t.procs.(core).ctx_count <- t.procs.(core).ctx_count + 1;
+  ctx
+
+(* --- timing helpers ----------------------------------------------------- *)
+
+let cc t n = Config.core_cycles_ps t.cfg n
+
+(* Core cycles at the context's core's *current* frequency — the SCC's
+   DVFS changes per-domain clocks at run time (section 5.1). *)
+let ccx t ctx n = n * (1_000_000 / t.core_freq_mhz.(ctx.core))
+
+(* Acquire the context's core pipeline: returns the issue time of the
+   next operation, honouring the serial core resource and the
+   context-switch penalty when the core is shared.  Advances [ctx.now] to
+   the issue time so latency computations (memory-controller queuing in
+   particular) start from when the operation actually issues. *)
+let acquire_processor t ctx =
+  let proc = t.procs.(ctx.core) in
+  let start = max ctx.now proc.free_at in
+  let start =
+    if proc.ctx_count > 1 && proc.last_ctx <> ctx.id then begin
+      ctx.stats.Stats.context_switches <-
+        ctx.stats.Stats.context_switches + 1;
+      let start = start + ccx t ctx t.cfg.Config.context_switch_cycles in
+      proc.slice_end <- start + ccx t ctx t.cfg.Config.quantum_cycles;
+      start
+    end
+    else start
+  in
+  proc.last_ctx <- ctx.id;
+  ctx.now <- start;
+  start
+
+(* Hold the core from the issue time until [until]. *)
+let occupy_processor t ctx ~until =
+  t.procs.(ctx.core).free_at <- until;
+  ctx.now <- until
+
+(* A pure-compute burst of [dur] picoseconds.  On a shared core the OS
+   preempts every quantum, so a long burst pays a switch per expired time
+   slice — keeping the Pthread baseline's overhead independent of how
+   coarsely workloads batch their compute effects. *)
+let charge_compute t ctx dur =
+  let proc = t.procs.(ctx.core) in
+  let start = acquire_processor t ctx in
+  let dur =
+    if proc.ctx_count > 1 then begin
+      let quantum_ps = ccx t ctx t.cfg.Config.quantum_cycles in
+      let switch_ps = ccx t ctx t.cfg.Config.context_switch_cycles in
+      let slices = dur / quantum_ps in
+      ctx.stats.Stats.context_switches <-
+        ctx.stats.Stats.context_switches + slices;
+      dur + (slices * switch_ps)
+    end
+    else dur
+  in
+  occupy_processor t ctx ~until:(start + dur);
+  record_trace t ctx ~start_ps:start ~end_ps:(start + dur) Trace.Compute
+
+(* --- memory system ------------------------------------------------------ *)
+
+(* Round trip to a memory controller for one line, with FIFO queuing.
+   Returns the completion time of the data return. *)
+let mc_round_trip t ~mc ~arrive =
+  let service = Config.dram_cycles_ps t.cfg t.cfg.Config.mc_service_cycles in
+  let dram = Config.dram_cycles_ps t.cfg t.cfg.Config.dram_access_cycles in
+  let start = max arrive t.mc_free_at.(mc) in
+  t.mc_free_at.(mc) <- start + service;
+  t.mc_busy_ps.(mc) <- t.mc_busy_ps.(mc) + service;
+  t.mc_requests.(mc) <- t.mc_requests.(mc) + 1;
+  start + service + dram
+
+(* A cacheable private-DRAM access of one line. *)
+let private_line t ctx ~write addr =
+  let cs = ctx.stats in
+  let r1 = Cache.access t.l1.(ctx.core) ~write addr in
+  if r1.Cache.hit then begin
+    cs.Stats.l1_hits <- cs.Stats.l1_hits + 1;
+    ccx t ctx t.cfg.Config.l1_hit_cycles
+  end
+  else begin
+    cs.Stats.l1_misses <- cs.Stats.l1_misses + 1;
+    let r2 = Cache.access t.l2.(ctx.core) ~write:false addr in
+    if r2.Cache.hit then begin
+      cs.Stats.l2_hits <- cs.Stats.l2_hits + 1;
+      ccx t ctx (t.cfg.Config.l1_hit_cycles + t.cfg.Config.l2_hit_cycles)
+    end
+    else begin
+      cs.Stats.l2_misses <- cs.Stats.l2_misses + 1;
+      cs.Stats.private_dram_lines <- cs.Stats.private_dram_lines + 1;
+      let mc = Mesh.mc_of_core t.mesh ctx.core in
+      let hops = Mesh.hops_core_to_mc t.mesh ~core:ctx.core ~mc in
+      let out = Mesh.traverse_ps t.mesh ~hops in
+      let base = ccx t ctx t.cfg.Config.dram_base_cycles in
+      let arrive = ctx.now + base + out in
+      let back = mc_round_trip t ~mc ~arrive in
+      (* dirty victim writeback occupies the controller but does not
+         block the core *)
+      if r1.Cache.evicted_dirty || r2.Cache.evicted_dirty then begin
+        let service =
+          Config.dram_cycles_ps t.cfg t.cfg.Config.mc_service_cycles
+        in
+        t.mc_free_at.(mc) <- t.mc_free_at.(mc) + service;
+        t.mc_busy_ps.(mc) <- t.mc_busy_ps.(mc) + service
+      end;
+      back + out - ctx.now
+    end
+  end
+
+(* An uncacheable shared-DRAM access of one line: full round trip every
+   time; controllers are line-interleaved so heavy traffic spreads over
+   all four and still saturates them at high core counts.  With
+   [posted_shared_writes], a store retires after the issue cost while its
+   controller occupancy is still booked (the SCC's write-combine
+   buffer). *)
+let shared_line t ctx ~write addr =
+  ctx.stats.Stats.shared_dram_lines <- ctx.stats.Stats.shared_dram_lines + 1;
+  let line = Memmap.offset_of_addr addr / t.cfg.Config.line_bytes in
+  let mc = line mod t.cfg.Config.n_mcs in
+  let hops = Mesh.hops_core_to_mc t.mesh ~core:ctx.core ~mc in
+  let out = Mesh.traverse_ps t.mesh ~hops in
+  let base = ccx t ctx t.cfg.Config.dram_base_cycles in
+  let arrive = ctx.now + base + out in
+  let back = mc_round_trip t ~mc ~arrive in
+  if write && t.cfg.Config.posted_shared_writes then base + out
+  else back + out - ctx.now
+
+(* An MPB access of one line: base cost, mesh round trip to the owning
+   tile, one transfer slot at the owning slice's port. *)
+let mpb_line t ctx ~write:_ ~owner _addr =
+  ctx.stats.Stats.mpb_lines <- ctx.stats.Stats.mpb_lines + 1;
+  let hops =
+    Mesh.hops_core_to_core t.mesh ~from_core:ctx.core ~to_core:owner
+  in
+  let out = Mesh.traverse_ps t.mesh ~hops in
+  let base = ccx t ctx t.cfg.Config.mpb_base_cycles in
+  let transfer =
+    Config.mesh_cycles_ps t.cfg t.cfg.Config.mesh_cycles_per_hop
+  in
+  let arrive = ctx.now + base + out in
+  let start = max arrive t.mpb_free_at.(owner) in
+  t.mpb_free_at.(owner) <- start + transfer;
+  start + transfer + out - ctx.now
+
+(* One line's worth of memory access: issue when the core is free (the
+   latency functions measure queuing from the true issue time), then
+   block the core for the round trip (in-order P54C, no overlap). *)
+let charge_access t ctx ~write addr =
+  let cs = ctx.stats in
+  if write then cs.Stats.stores <- cs.Stats.stores + 1
+  else cs.Stats.loads <- cs.Stats.loads + 1;
+  let before = ctx.now in
+  let start = acquire_processor t ctx in
+  let region = Memmap.region_of_addr addr in
+  let dur =
+    match region with
+    | Memmap.Private _ -> private_line t ctx ~write addr
+    | Memmap.Shared_dram -> shared_line t ctx ~write addr
+    | Memmap.Mpb owner -> mpb_line t ctx ~write ~owner addr
+  in
+  occupy_processor t ctx ~until:(start + dur);
+  record_trace t ctx ~start_ps:start ~end_ps:(start + dur)
+    (match region with
+    | Memmap.Private _ -> Trace.Mem_private
+    | Memmap.Shared_dram -> Trace.Mem_shared
+    | Memmap.Mpb _ -> Trace.Mem_mpb);
+  cs.Stats.mem_stall_ps <- cs.Stats.mem_stall_ps + (ctx.now - before)
+
+(* --- synchronization ---------------------------------------------------- *)
+
+let barrier_group_size t =
+  Array.fold_left
+    (fun acc c -> if c.barrier_member then acc + 1 else acc)
+    0 t.ctx_arr
+
+let barrier_cost t = cc t t.cfg.Config.mpb_base_cycles
+
+let arrive_barrier t ctx k =
+  t.barrier_waiting <- (ctx, k) :: t.barrier_waiting;
+  if List.length t.barrier_waiting = barrier_group_size t then begin
+    let release =
+      List.fold_left (fun acc (c, _) -> max acc c.now) 0 t.barrier_waiting
+      + barrier_cost t
+    in
+    List.iter
+      (fun (c, k) ->
+        c.stats.Stats.barrier_wait_ps <-
+          c.stats.Stats.barrier_wait_ps + (release - c.now);
+        record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
+        c.now <- release;
+        c.status <- Ready;
+        c.pending <- Some (Cont k))
+      t.barrier_waiting;
+    t.barrier_waiting <- []
+  end
+  else begin
+    ctx.status <- Parked;
+    ctx.pending <- Some (Cont k)
+  end
+
+let park_ready ctx k =
+  ctx.status <- Ready;
+  ctx.pending <- Some (Cont k)
+
+(* A counted barrier: like the global barrier but over an explicit group
+   size, keyed by barrier id (pthread_barrier_t instances, sub-groups). *)
+let arrive_barrier_n t ctx ~id ~count k =
+  if count < 1 then invalid_arg "Engine: barrier group must be positive";
+  let cell =
+    match Hashtbl.find_opt t.counted_barriers id with
+    | Some cell -> cell
+    | None ->
+        let cell = ref [] in
+        Hashtbl.replace t.counted_barriers id cell;
+        cell
+  in
+  cell := (ctx, k) :: !cell;
+  if List.length !cell >= count then begin
+    let release =
+      List.fold_left (fun acc (c, _) -> max acc c.now) 0 !cell
+      + barrier_cost t
+    in
+    List.iter
+      (fun (c, k) ->
+        c.stats.Stats.barrier_wait_ps <-
+          c.stats.Stats.barrier_wait_ps + (release - c.now);
+        record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
+        c.now <- release;
+        c.status <- Ready;
+        c.pending <- Some (Cont k))
+      !cell;
+    cell := []
+  end
+  else begin
+    ctx.status <- Parked;
+    ctx.pending <- Some (Cont k)
+  end
+
+let get_flag t id =
+  match Hashtbl.find_opt t.flags id with
+  | Some f -> f
+  | None ->
+      let f = { value = false; set_time = 0; flag_waiters = [] } in
+      Hashtbl.replace t.flags id f;
+      f
+
+(* Writing a flag costs an MPB access; a set wakes every waiter at the
+   propagation time. *)
+let do_flag_set t ctx id value k =
+  let f = get_flag t id in
+  ctx.now <- ctx.now + ccx t ctx t.cfg.Config.mpb_base_cycles;
+  f.value <- value;
+  f.set_time <- ctx.now;
+  if value then begin
+    List.iter
+      (fun (w, wk) ->
+        w.now <- max w.now ctx.now + ccx t w t.cfg.Config.mpb_base_cycles;
+        w.status <- Ready;
+        w.pending <- Some (Cont wk))
+      f.flag_waiters;
+    f.flag_waiters <- []
+  end;
+  park_ready ctx k
+
+let do_flag_wait t ctx id k =
+  let f = get_flag t id in
+  if f.value then begin
+    ctx.now <-
+      max ctx.now f.set_time + ccx t ctx t.cfg.Config.mpb_base_cycles;
+    park_ready ctx k
+  end
+  else begin
+    ctx.status <- Parked;
+    ctx.pending <- Some (Cont k);
+    f.flag_waiters <- (ctx, k) :: f.flag_waiters
+  end
+
+(* Test-and-set register access cost: a round trip to the register's
+   core. *)
+let lock_cost t ctx lock_id =
+  let hops =
+    Mesh.hops_core_to_core t.mesh ~from_core:ctx.core ~to_core:lock_id
+  in
+  ccx t ctx t.cfg.Config.mpb_base_cycles
+  + (2 * Mesh.traverse_ps t.mesh ~hops)
+
+let do_acquire t ctx lock_id k =
+  let lock = t.locks.(lock_id) in
+  match lock.held_by with
+  | None ->
+      lock.held_by <- Some ctx.id;
+      ctx.now <- max ctx.now lock.free_time + lock_cost t ctx lock_id;
+      ctx.status <- Ready;
+      ctx.pending <- Some (Cont k)
+  | Some _ ->
+      ctx.status <- Parked;
+      ctx.pending <- Some (Cont k);
+      Queue.add (ctx, k) lock.waiters
+
+let do_release t ctx lock_id k =
+  let lock = t.locks.(lock_id) in
+  (match lock.held_by with
+  | Some owner when owner = ctx.id -> ()
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Engine: context %d releases lock %d it does not hold" ctx.id
+           lock_id));
+  ctx.now <- ctx.now + lock_cost t ctx lock_id;
+  lock.free_time <- ctx.now;
+  (match Queue.take_opt lock.waiters with
+  | None -> lock.held_by <- None
+  | Some (waiter, wk) ->
+      lock.held_by <- Some waiter.id;
+      let wake =
+        max waiter.now lock.free_time + lock_cost t waiter lock_id
+      in
+      waiter.stats.Stats.lock_wait_ps <-
+        waiter.stats.Stats.lock_wait_ps + (wake - waiter.now);
+      record_trace t waiter ~start_ps:waiter.now ~end_ps:wake
+        Trace.Lock_wait;
+      waiter.now <- wake;
+      waiter.status <- Ready;
+      waiter.pending <- Some (Cont wk));
+  ctx.status <- Ready;
+  ctx.pending <- Some (Cont k)
+
+let finish_ctx t ctx =
+  ctx.status <- Finished;
+  ctx.stats.Stats.finish_ps <- ctx.now;
+  t.n_finished <- t.n_finished + 1;
+  (* wake joiners *)
+  let woken, rest =
+    List.partition (fun (target, _, _) -> target = ctx.id) t.join_waiting
+  in
+  t.join_waiting <- rest;
+  List.iter
+    (fun (_, waiter, k) ->
+      waiter.now <- max waiter.now ctx.now;
+      waiter.status <- Ready;
+      waiter.pending <- Some (Cont k))
+    woken
+
+(* --- the scheduler ------------------------------------------------------ *)
+
+(* Cost of creating a process/thread context, charged to the parent. *)
+let spawn_cost_cycles = 2_000
+
+let rec handler t ctx : (unit, unit) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = (fun () -> finish_ctx t ctx);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_compute cycles ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let dur = ccx t ctx cycles in
+                ctx.stats.Stats.compute_ps <-
+                  ctx.stats.Stats.compute_ps + dur;
+                charge_compute t ctx dur;
+                park_ready ctx k)
+        | E_access (write, addr) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                charge_access t ctx ~write addr;
+                park_ready ctx k)
+        | E_barrier ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                arrive_barrier t ctx k)
+        | E_acquire lock_id ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                do_acquire t ctx lock_id k)
+        | E_release lock_id ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                do_release t ctx lock_id k)
+        | E_now ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Effect.Deep.continue k ctx.now)
+        | E_spawn (core, program) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let dur = ccx t ctx spawn_cost_cycles in
+                ctx.stats.Stats.compute_ps <-
+                  ctx.stats.Stats.compute_ps + dur;
+                charge_compute t ctx dur;
+                let child = add_ctx t ~core ~barrier_member:false
+                              ~now:ctx.now in
+                let api = make_api t child in
+                child.pending <- Some (Start (fun () -> program api));
+                Effect.Deep.continue k child.id)
+        | E_set_freq (core, mhz) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if mhz < 100 || mhz > 1000 then
+                  invalid_arg "Engine: frequency outside 100..1000 MHz"
+                else begin
+                  (* DVFS is tile-granular on the SCC: both cores of the
+                     tile change together *)
+                  let tile_base =
+                    core / t.cfg.Config.cores_per_tile
+                    * t.cfg.Config.cores_per_tile
+                  in
+                  for c = tile_base
+                      to tile_base + t.cfg.Config.cores_per_tile - 1 do
+                    t.core_freq_mhz.(c) <- mhz
+                  done;
+                  (* the PLL relock stalls the caller briefly *)
+                  charge_compute t ctx (ccx t ctx 1_000);
+                  park_ready ctx k
+                end)
+        | E_barrier_n (id, count) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                arrive_barrier_n t ctx ~id ~count k)
+        | E_flag_set (id, value) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                do_flag_set t ctx id value k)
+        | E_flag_wait id ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                do_flag_wait t ctx id k)
+        | E_join target ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if target < 0 || target >= n_ctxs t then
+                  invalid_arg "Engine: join of unknown context"
+                else begin
+                  let child = t.ctx_arr.(target) in
+                  if child.status = Finished then begin
+                    ctx.now <- max ctx.now child.now;
+                    park_ready ctx k
+                  end
+                  else begin
+                    ctx.status <- Parked;
+                    ctx.pending <- Some (Cont k);
+                    t.join_waiting <- (target, ctx, k) :: t.join_waiting
+                  end
+                end)
+        | _ -> None);
+  }
+
+and make_api t ctx =
+  let line = t.cfg.Config.line_bytes in
+  (* a block access issues one effect per line, so the scheduler can
+     interleave other contexts' requests between them *)
+  let access write addr ~bytes =
+    let nlines = max 1 ((bytes + line - 1) / line) in
+    for i = 0 to nlines - 1 do
+      Effect.perform (E_access (write, addr + (i * line)))
+    done
+  in
+  {
+    self = ctx.id;
+    nunits = n_ctxs t;
+    core = ctx.core;
+    compute = (fun n -> if n > 0 then Effect.perform (E_compute n));
+    load = (fun addr ~bytes -> access false addr ~bytes);
+    store = (fun addr ~bytes -> access true addr ~bytes);
+    barrier = (fun () -> Effect.perform E_barrier);
+    acquire = (fun lock_id -> Effect.perform (E_acquire lock_id));
+    release = (fun lock_id -> Effect.perform (E_release lock_id));
+    now_ps = (fun () -> Effect.perform E_now);
+    spawn_child =
+      (fun ~core program -> Effect.perform (E_spawn (core, program)));
+    join = (fun target -> Effect.perform (E_join target));
+    barrier_n =
+      (fun ~id ~count -> Effect.perform (E_barrier_n (id, count)));
+    flag_set = (fun ~id value -> Effect.perform (E_flag_set (id, value)));
+    flag_wait = (fun ~id -> Effect.perform (E_flag_wait id));
+    set_frequency =
+      (fun ~core ~mhz -> Effect.perform (E_set_freq (core, mhz)));
+  }
+
+let spawn t ~core program =
+  if t.started then
+    invalid_arg "Engine.spawn: simulation already started (use spawn_child)";
+  let ctx = add_ctx t ~core ~barrier_member:true ~now:0 in
+  (* [make_api] runs inside the thunk, at first resume, so [api.nunits]
+     sees every statically spawned context *)
+  ctx.pending <- Some (Start (fun () -> program (make_api t ctx)));
+  ctx.id
+
+(* Scheduling policy: the runnable context with the smallest local time —
+   except that on a shared core the OS keeps the current thread running
+   until its time slice expires, so a context that still owns its core's
+   slice is preferred over switching. *)
+let pick_ready t =
+  let min_by pred =
+    Array.fold_left
+      (fun best ctx ->
+        match ctx.status, best with
+        | Ready, _ when not (pred ctx) -> best
+        | Ready, None -> Some ctx
+        | Ready, Some b -> if ctx.now < b.now then Some ctx else best
+        | (Running | Parked | Finished), _ -> best)
+      None t.ctx_arr
+  in
+  let owns_slice ctx =
+    let proc = t.procs.(ctx.core) in
+    proc.ctx_count > 1 && proc.last_ctx = ctx.id && ctx.now <= proc.slice_end
+  in
+  match min_by owns_slice with
+  | Some ctx -> Some ctx
+  | None -> min_by (fun _ -> true)
+
+let resume t ctx =
+  ctx.status <- Running;
+  match ctx.pending with
+  | Some (Start main) ->
+      ctx.pending <- None;
+      Effect.Deep.match_with main () (handler t ctx)
+  | Some (Cont k) ->
+      ctx.pending <- None;
+      Effect.Deep.continue k ()
+  | None -> invalid_arg "Engine.resume: context has nothing to run"
+
+let run t =
+  if t.started then invalid_arg "Engine.run: simulation already started";
+  t.started <- true;
+  let rec loop () =
+    match pick_ready t with
+    | Some ctx ->
+        resume t ctx;
+        loop ()
+    | None ->
+        if t.n_finished < n_ctxs t then
+          raise
+            (Deadlock
+               (Printf.sprintf
+                  "%d of %d contexts parked with no runnable context \
+                   (barrier waiting: %d, join waiting: %d)"
+                  (n_ctxs t - t.n_finished)
+                  (n_ctxs t)
+                  (List.length t.barrier_waiting)
+                  (List.length t.join_waiting)))
+  in
+  if n_ctxs t > 0 then loop ()
+
+let stats t =
+  {
+    Stats.ctxs = Array.map (fun c -> c.stats) t.ctx_arr;
+    mc_busy_ps = t.mc_busy_ps;
+    mc_requests = t.mc_requests;
+  }
+
+let elapsed_ps t =
+  Array.fold_left (fun acc c -> max acc c.stats.Stats.finish_ps) 0 t.ctx_arr
+
+let elapsed_ms t = float_of_int (elapsed_ps t) /. 1e9

@@ -1,0 +1,48 @@
+(* Power model of the SCC's DVFS envelope.
+
+   The part's published operating range spans 0.7 V / 125 MHz at 25 W up
+   to 1.14 V / 1 GHz at 125 W (at 50 degC).  Dynamic power scales as
+   C * V^2 * f; the model fits the capacitance-and-static terms to the two
+   published endpoints and interpolates between them, which is enough for
+   the energy estimates the experiment harness reports alongside run
+   times. *)
+
+type operating_point = { volts : float; freq_mhz : int; watts : float }
+
+let low_point = { volts = 0.7; freq_mhz = 125; watts = 25.0 }
+let high_point = { volts = 1.14; freq_mhz = 1000; watts = 125.0 }
+
+let operating_points = [ low_point; high_point ]
+
+(* Fit watts = static + k * V^2 * f to the two endpoints. *)
+let k, static =
+  let term p = p.volts *. p.volts *. float_of_int p.freq_mhz in
+  let k =
+    (high_point.watts -. low_point.watts) /. (term high_point -. term low_point)
+  in
+  (k, low_point.watts -. (k *. term low_point))
+
+(* Minimum published voltage that sustains a core frequency: linear
+   interpolation between the endpoints, clamped. *)
+let volts_for_freq freq_mhz =
+  let f = float_of_int freq_mhz in
+  let f0 = float_of_int low_point.freq_mhz in
+  let f1 = float_of_int high_point.freq_mhz in
+  let ratio = (f -. f0) /. (f1 -. f0) in
+  let ratio = Float.max 0.0 (Float.min 1.0 ratio) in
+  low_point.volts +. (ratio *. (high_point.volts -. low_point.volts))
+
+let chip_watts ?volts ~freq_mhz () =
+  let v = match volts with Some v -> v | None -> volts_for_freq freq_mhz in
+  static +. (k *. v *. v *. float_of_int freq_mhz)
+
+(* Energy of a run: chip power at the configured core frequency, scaled by
+   the fraction of cores active (idle tiles still burn static power). *)
+let energy_joules (cfg : Config.t) ~active_cores ~elapsed_ps =
+  let total = float_of_int (Config.n_cores cfg) in
+  let active = float_of_int active_cores in
+  let dynamic =
+    chip_watts ~freq_mhz:cfg.Config.core_freq_mhz () -. static
+  in
+  let watts = static +. (dynamic *. active /. total) in
+  watts *. (float_of_int elapsed_ps *. 1e-12)

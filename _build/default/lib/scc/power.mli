@@ -1,0 +1,18 @@
+(** Power model of the SCC's DVFS envelope (0.7 V / 125 MHz / 25 W up to
+    1.14 V / 1 GHz / 125 W), interpolated as static + C*V^2*f. *)
+
+type operating_point = { volts : float; freq_mhz : int; watts : float }
+
+val low_point : operating_point
+val high_point : operating_point
+val operating_points : operating_point list
+
+val volts_for_freq : int -> float
+(** Minimum modelled voltage sustaining a core frequency (clamped linear
+    interpolation). *)
+
+val chip_watts : ?volts:float -> freq_mhz:int -> unit -> float
+
+val energy_joules : Config.t -> active_cores:int -> elapsed_ps:int -> float
+(** Energy of a run: chip power at the configured frequency scaled by the
+    active-core fraction (idle tiles still burn static power). *)

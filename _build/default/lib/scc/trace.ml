@@ -1,0 +1,71 @@
+(* Execution tracing: timed intervals per context, exportable in the
+   Chrome tracing JSON format (chrome://tracing, Perfetto) so a
+   simulation's interleaving can be inspected visually. *)
+
+type kind =
+  | Compute
+  | Mem_private
+  | Mem_shared
+  | Mem_mpb
+  | Barrier_wait
+  | Lock_wait
+
+let kind_to_string = function
+  | Compute -> "compute"
+  | Mem_private -> "private-mem"
+  | Mem_shared -> "shared-dram"
+  | Mem_mpb -> "mpb"
+  | Barrier_wait -> "barrier"
+  | Lock_wait -> "lock"
+
+type event = {
+  ctx : int;
+  core : int;
+  start_ps : int;
+  end_ps : int;
+  kind : kind;
+}
+
+type t = { mutable events : event list; mutable count : int; limit : int }
+
+let create ?(limit = 1_000_000) () = { events = []; count = 0; limit }
+
+let record t ~ctx ~core ~start_ps ~end_ps kind =
+  if t.count < t.limit && end_ps > start_ps then begin
+    t.events <- { ctx; core; start_ps; end_ps; kind } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.events
+
+let length t = t.count
+
+(* Total busy picoseconds per kind, per context. *)
+let busy_by_kind t ~ctx =
+  List.fold_left
+    (fun acc e ->
+      if e.ctx = ctx then
+        let dur = e.end_ps - e.start_ps in
+        let prev = try List.assoc e.kind acc with Not_found -> 0 in
+        (e.kind, prev + dur) :: List.remove_assoc e.kind acc
+      else acc)
+    [] t.events
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}|}
+           (kind_to_string e.kind)
+           (float_of_int e.start_ps /. 1e6)
+           (float_of_int (e.end_ps - e.start_ps) /. 1e6)
+           e.core e.ctx))
+    (events t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Execution tracing: timed intervals per context, exportable as Chrome
+    tracing JSON (chrome://tracing, Perfetto). *)
+
+type kind =
+  | Compute
+  | Mem_private
+  | Mem_shared
+  | Mem_mpb
+  | Barrier_wait
+  | Lock_wait
+
+val kind_to_string : kind -> string
+
+type event = {
+  ctx : int;
+  core : int;
+  start_ps : int;
+  end_ps : int;
+  kind : kind;
+}
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Recording stops after [limit] events (default 10^6). *)
+
+val record :
+  t -> ctx:int -> core:int -> start_ps:int -> end_ps:int -> kind -> unit
+(** Zero-length intervals are dropped. *)
+
+val events : t -> event list
+(** In recording order. *)
+
+val length : t -> int
+
+val busy_by_kind : t -> ctx:int -> (kind * int) list
+(** Total busy picoseconds per kind for one context. *)
+
+val to_chrome_json : t -> string

@@ -1,0 +1,1 @@
+lib/translate/add_rcce.ml: Ast Cfront Ctype List Pass String

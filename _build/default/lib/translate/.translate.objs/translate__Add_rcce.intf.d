@@ -1,0 +1,1 @@
+lib/translate/add_rcce.mli: Pass

@@ -1,0 +1,1 @@
+lib/translate/cleanup.ml: Ast Cfront Constfold Hashtbl List Pass String Visit

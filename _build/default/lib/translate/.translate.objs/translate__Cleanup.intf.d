@@ -1,0 +1,1 @@
+lib/translate/cleanup.mli: Pass

@@ -1,0 +1,1 @@
+lib/translate/driver.ml: Add_rcce Analysis Cfront Cleanup List Mutex_convert Optimize Parser Partition Pass Pretty Printf Remove_pthread Shared_rewrite Srcloc Thread_to_process

@@ -1,0 +1,1 @@
+lib/translate/driver.mli: Analysis Ast Cfront Partition Pass

@@ -1,0 +1,1 @@
+lib/translate/mutex_convert.ml: Ast Cfront List Pass String Visit

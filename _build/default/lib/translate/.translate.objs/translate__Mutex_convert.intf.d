@@ -1,0 +1,1 @@
+lib/translate/mutex_convert.mli: Pass

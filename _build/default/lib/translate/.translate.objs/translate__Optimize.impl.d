@@ -1,0 +1,1 @@
+lib/translate/optimize.ml: Ast Cfront Constfold List Pass Visit

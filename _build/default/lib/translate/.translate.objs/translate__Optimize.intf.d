@@ -1,0 +1,1 @@
+lib/translate/optimize.mli: Pass

@@ -1,0 +1,1 @@
+lib/translate/pass.ml: Analysis Ast Cfront Ir List Parser Partition Pretty Printf Srcloc

@@ -1,0 +1,1 @@
+lib/translate/pass.mli: Analysis Ast Cfront Partition

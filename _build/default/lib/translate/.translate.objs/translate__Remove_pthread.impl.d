@@ -1,0 +1,1 @@
+lib/translate/remove_pthread.ml: Ast Cfront Ctype Hashtbl List Pass Visit

@@ -1,0 +1,1 @@
+lib/translate/remove_pthread.mli: Pass

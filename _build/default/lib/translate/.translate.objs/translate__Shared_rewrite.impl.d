@@ -1,0 +1,1 @@
+lib/translate/shared_rewrite.ml: Analysis Ast Cfront Ctype Ir List Partition Pass String Thread_to_process Visit

@@ -1,0 +1,1 @@
+lib/translate/shared_rewrite.mli: Pass

@@ -1,0 +1,1 @@
+lib/translate/thread_to_process.ml: Analysis Ast Cfront Ctype List Option Pass Srcloc String Visit

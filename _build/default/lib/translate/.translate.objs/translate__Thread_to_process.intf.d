@@ -1,0 +1,1 @@
+lib/translate/thread_to_process.mli: Pass

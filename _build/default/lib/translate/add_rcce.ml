@@ -1,0 +1,75 @@
+open Cfront
+
+(* Stage 5 finalization, the paper's Algorithms 9-10 plus the RCCE_APP
+   convention:
+   - [#include <pthread.h>] is replaced by [#include "RCCE.h"];
+   - main becomes [int RCCE_APP(int argc, char **argv)];
+   - [RCCE_init(&argc, &argv)] is inserted as main's first statement;
+   - [RCCE_finalize()] is inserted before main's final return (or at the
+     end when main does not return). *)
+
+let app_name = "RCCE_APP"
+
+let init_stmt =
+  Ast.stmt
+    (Ast.Sexpr
+       (Ast.call "RCCE_init"
+          [ Ast.Unary (Ast.Addr, Ast.var "argc");
+            Ast.Unary (Ast.Addr, Ast.var "argv") ]))
+
+let finalize_stmt = Ast.stmt (Ast.Sexpr (Ast.call "RCCE_finalize" []))
+
+(* Insert finalize before the last top-level return; append when there is
+   none. *)
+let insert_finalize body =
+  let rec go acc = function
+    | [] -> List.rev (finalize_stmt :: acc)
+    | [ ({ Ast.s_desc = Ast.Sreturn _; _ } as ret) ] ->
+        List.rev (ret :: finalize_stmt :: acc)
+    | s :: rest -> go (s :: acc) rest
+  in
+  go [] body
+
+let keeps_include line =
+  (* drop the pthread include; keep everything else *)
+  not
+    (String.length line >= 8
+    && (let lowered = String.lowercase_ascii line in
+        let has_pthread =
+          let needle = "pthread" in
+          let n = String.length needle and m = String.length lowered in
+          let rec scan i =
+            i + n <= m && (String.sub lowered i n = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        has_pthread))
+
+let transform env (program : Ast.program) =
+  let includes =
+    List.filter keeps_include program.Ast.p_includes @ [ "#include \"RCCE.h\"" ]
+  in
+  let globals =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.Gfunc fn when String.equal fn.Ast.f_name "main" ->
+            let body = init_stmt :: insert_finalize fn.Ast.f_body in
+            Ast.Gfunc
+              {
+                fn with
+                Ast.f_name = app_name;
+                f_ret = Ctype.Int;
+                f_params =
+                  [ ("argc", Ctype.Int);
+                    ("argv", Ctype.Ptr (Ctype.Ptr Ctype.Char)) ];
+                f_body = body;
+              }
+        | Ast.Gfunc _ | Ast.Gvar _ | Ast.Gproto _ -> g)
+      program.Ast.p_globals
+  in
+  Pass.note env "add-rcce: main renamed to %s; init/finalize inserted"
+    app_name;
+  { Ast.p_includes = includes; p_globals = globals }
+
+let pass = { Pass.name = "add-rcce"; transform }

@@ -1,0 +1,87 @@
+open Cfront
+
+(* Final tidy-up of the converted application:
+   - local declarations whose variable is no longer referenced anywhere in
+     the program are dropped, provided their initializer has no effects
+     (the create/join loop counters and the pthread_create return variable
+     end up dead after the thread-to-process conversion);
+   - consecutive identical RCCE_barrier statements collapse into one
+     (several join statements in one loop each lowered to a barrier). *)
+
+(* Every name referenced in any expression of the program. *)
+let referenced_names program =
+  let names = Hashtbl.create 64 in
+  Visit.iter_exprs_of_program
+    (fun e ->
+      match e with
+      | Ast.Var name -> Hashtbl.replace names name ()
+      | _ -> ())
+    program;
+  names
+
+let is_barrier (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sexpr (Ast.Call ("RCCE_barrier", _)) -> true
+  | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sblock _ | Ast.Sif _ | Ast.Swhile _
+  | Ast.Sdo _ | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue
+  | Ast.Snull -> false
+
+let rec collapse_barriers = function
+  | [] -> []
+  | a :: b :: rest when is_barrier a && is_barrier b ->
+      collapse_barriers (a :: rest)
+  | s :: rest ->
+      let s =
+        match s.Ast.s_desc with
+        | Ast.Sblock stmts ->
+            { s with Ast.s_desc = Ast.Sblock (collapse_barriers stmts) }
+        | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _
+        | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue
+        | Ast.Snull -> s
+      in
+      s :: collapse_barriers rest
+
+let transform env (program : Ast.program) =
+  let used = referenced_names program in
+  let removed = ref [] in
+  let keep (d : Ast.decl) =
+    let dead =
+      (not (Hashtbl.mem used d.Ast.d_name))
+      && (match d.Ast.d_init with
+         | None -> true
+         | Some (Ast.Init_expr e) -> Constfold.is_pure e
+         | Some (Ast.Init_list es) -> List.for_all Constfold.is_pure es)
+    in
+    if dead then removed := d.Ast.d_name :: !removed;
+    not dead
+  in
+  let program =
+    Visit.rewrite_program
+      (fun s ->
+        match s.Ast.s_desc with
+        | Ast.Sdecl ds ->
+            let kept = List.filter keep ds in
+            if List.length kept = List.length ds then None
+            else if kept = [] then Some []
+            else Some [ { s with Ast.s_desc = Ast.Sdecl kept } ]
+        | Ast.Sexpr _ | Ast.Sblock _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _
+        | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue
+        | Ast.Snull -> None)
+      program
+  in
+  let globals =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.Gfunc fn ->
+            Ast.Gfunc
+              { fn with Ast.f_body = collapse_barriers fn.Ast.f_body }
+        | Ast.Gvar _ | Ast.Gproto _ -> g)
+      program.Ast.p_globals
+  in
+  if !removed <> [] then
+    Pass.note env "cleanup: removed dead declarations: %s"
+      (String.concat ", " (List.rev !removed));
+  { program with Ast.p_globals = globals }
+
+let pass = { Pass.name = "cleanup"; transform }

@@ -1,0 +1,5 @@
+(** Final tidy-up: drop local declarations of variables no longer
+    referenced anywhere (with effect-free initializers) and collapse
+    consecutive [RCCE_barrier] statements. *)
+
+val pass : Pass.t

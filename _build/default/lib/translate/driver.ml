@@ -1,0 +1,93 @@
+open Cfront
+
+(* The Driver, in Cetus terms: runs the analysis phase (Stages 1-3), the
+   partitioner (Stage 4), and the transform passes (Stage 5) in series,
+   producing the RCCE program plus a report of what happened. *)
+
+type report = {
+  analysis : Analysis.Pipeline.t;
+  partition : Partition.Partitioner.result;
+  notes : string list;        (* pass remarks, in emission order *)
+  thread_count : int option;  (* statically determined thread count *)
+}
+
+type error =
+  | Parse_error of string
+  | Too_many_threads of int * int
+  | Too_many_locks of int
+  | Inconsistent_ir of string * string
+
+let error_to_string = function
+  | Parse_error msg -> msg
+  | Too_many_threads (threads, cores) ->
+      Printf.sprintf
+        "program creates %d threads but the target has %d cores \
+         (many-to-one mapping is future work, see paper section 7.2)"
+        threads cores
+  | Too_many_locks n ->
+      Printf.sprintf
+        "program uses more distinct mutexes than the target's %d \
+         test-and-set registers" n
+  | Inconsistent_ir (pass, diag) ->
+      Printf.sprintf "pass '%s' produced inconsistent IR: %s" pass diag
+
+exception Error of error
+
+let passes =
+  [
+    Thread_to_process.pass;
+    Mutex_convert.pass;
+    Remove_pthread.pass;
+    Shared_rewrite.pass;
+    Add_rcce.pass;
+    Cleanup.pass;
+  ]
+
+let passes_for (options : Pass.options) =
+  if options.Pass.optimize then
+    (* optimize before cleanup so folded-away uses make declarations dead *)
+    [ Thread_to_process.pass; Mutex_convert.pass; Remove_pthread.pass;
+      Shared_rewrite.pass; Add_rcce.pass; Optimize.pass; Cleanup.pass ]
+  else passes
+
+let translate_program ?(options = Pass.default_options) program =
+  let analysis =
+    Analysis.Pipeline.analyze
+      ~include_possible:options.Pass.include_possible program
+  in
+  let items = Partition.Partitioner.items_of_analysis analysis in
+  let partition =
+    Partition.Partitioner.partition ~strategy:options.Pass.strategy
+      Partition.Memspec.scc ~capacity:options.Pass.capacity items
+  in
+  let env = { Pass.options; analysis; partition; notes = [] } in
+  match Pass.run_all (passes_for options) env program with
+  | translated ->
+      let report =
+        {
+          analysis;
+          partition;
+          notes = List.rev env.Pass.notes;
+          thread_count =
+            Analysis.Thread_analysis.static_thread_count
+              analysis.Analysis.Pipeline.threads;
+        }
+      in
+      (translated, report)
+  | exception Thread_to_process.Too_many_threads (threads, cores) ->
+      raise (Error (Too_many_threads (threads, cores)))
+  | exception Mutex_convert.Too_many_locks n ->
+      raise (Error (Too_many_locks n))
+  | exception Pass.Inconsistent (pass, diag) ->
+      raise (Error (Inconsistent_ir (pass, diag)))
+
+let translate_source ?options ?file src =
+  match Parser.program ?file src with
+  | program -> translate_program ?options program
+  | exception Srcloc.Error (loc, msg) ->
+      raise
+        (Error (Parse_error (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)))
+
+let translate_to_string ?options ?file src =
+  let program, report = translate_source ?options ?file src in
+  (Pretty.program program, report)

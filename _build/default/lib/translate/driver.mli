@@ -1,0 +1,39 @@
+open Cfront
+
+(** The Driver: analysis (Stages 1–3), partitioning (Stage 4) and the
+    transform passes (Stage 5) in series. *)
+
+type report = {
+  analysis : Analysis.Pipeline.t;
+  partition : Partition.Partitioner.result;
+  notes : string list;        (** pass remarks, in emission order *)
+  thread_count : int option;  (** statically determined thread count *)
+}
+
+type error =
+  | Parse_error of string
+  | Too_many_threads of int * int
+  | Too_many_locks of int
+  | Inconsistent_ir of string * string
+
+val error_to_string : error -> string
+
+exception Error of error
+
+val passes : Pass.t list
+(** The paper-faithful Stage 5 pipeline, in execution order. *)
+
+val passes_for : Pass.options -> Pass.t list
+(** The pipeline for the given options (inserts {!Optimize} when
+    requested). *)
+
+val translate_program :
+  ?options:Pass.options -> Ast.program -> Ast.program * report
+(** @raise Error on any translation failure. *)
+
+val translate_source :
+  ?options:Pass.options -> ?file:string -> string -> Ast.program * report
+
+val translate_to_string :
+  ?options:Pass.options -> ?file:string -> string -> string * report
+(** Convenience: parse, translate and pretty-print back to C source. *)

@@ -1,0 +1,75 @@
+open Cfront
+
+(* Stage 5 synchronization conversion.
+
+   A Pthread mutex cannot exist in the multi-process program; the SCC
+   instead offers one test-and-set register per core, exposed by RCCE as
+   [RCCE_acquire_lock(ue)] / [RCCE_release_lock(ue)].  Each distinct mutex
+   variable is assigned the test-and-set register of a distinct core, in
+   order of first appearance:
+
+     pthread_mutex_lock(&m)   ->  RCCE_acquire_lock(k)
+     pthread_mutex_unlock(&m) ->  RCCE_release_lock(k)
+
+   init/destroy calls and the mutex declarations themselves are removed by
+   the remove-pthread pass that runs afterwards. *)
+
+let rec mutex_name_of_arg = function
+  | Ast.Var name -> Some name
+  | Ast.Unary (Ast.Addr, e) | Ast.Cast (_, e) -> mutex_name_of_arg e
+  | Ast.Index (e, _) -> mutex_name_of_arg e
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+  | Ast.Unary _ | Ast.Binary _ | Ast.Assign _ | Ast.Cond _ | Ast.Call _
+  | Ast.Sizeof_type _ | Ast.Sizeof_expr _ | Ast.Comma _ -> None
+
+type lock_map = {
+  mutable table : (string * int) list;  (* mutex name -> lock index *)
+  ncores : int;
+}
+
+exception Too_many_locks of int
+
+let lock_index map name =
+  match List.assoc_opt name map.table with
+  | Some k -> k
+  | None ->
+      let k = List.length map.table in
+      if k >= map.ncores then raise (Too_many_locks map.ncores);
+      map.table <- map.table @ [ (name, k) ];
+      k
+
+let transform env (program : Ast.program) =
+  let map = { table = []; ncores = env.Pass.options.Pass.ncores } in
+  let program =
+    Visit.map_program_exprs
+      (fun e ->
+        match e with
+        | Ast.Call ("pthread_barrier_wait", [ _ ]) ->
+            (* every process participates, so a pthread barrier maps to
+               the whole-world RCCE barrier *)
+            Ast.call "RCCE_barrier"
+              [ Ast.Unary (Ast.Addr, Ast.var "RCCE_COMM_WORLD") ]
+        | Ast.Call (("pthread_mutex_lock" | "pthread_mutex_unlock") as op,
+                    [ arg ]) -> begin
+            match mutex_name_of_arg arg with
+            | Some name ->
+                let k = lock_index map name in
+                let rcce =
+                  if String.equal op "pthread_mutex_lock" then
+                    "RCCE_acquire_lock"
+                  else "RCCE_release_lock"
+                in
+                Ast.call rcce [ Ast.int k ]
+            | None -> e
+          end
+        | _ -> e)
+      program
+  in
+  List.iter
+    (fun (name, k) ->
+      Pass.note env "mutex-convert: mutex '%s' mapped to test-and-set %d"
+        name k)
+    map.table;
+  program
+
+let pass = { Pass.name = "mutex-convert"; transform }

@@ -1,0 +1,8 @@
+(** Stage 5 synchronization conversion: Pthread mutex lock/unlock become
+    RCCE test-and-set acquire/release, one register per distinct mutex in
+    order of first appearance.  Must run before {!Remove_pthread}. *)
+
+exception Too_many_locks of int
+(** More distinct mutexes than the target has test-and-set registers. *)
+
+val pass : Pass.t

@@ -1,0 +1,77 @@
+open Cfront
+
+(* Stage 5 code optimizations (the paper's section 7.3 future work):
+   constant folding over every expression, dead-branch elimination for
+   conditions that folded to constants, and removal of unreachable
+   statements after a return/break/continue.  Off by default — the
+   paper-faithful pipeline leaves the program shape untouched. *)
+
+let rec truncate_after_jump = function
+  | [] -> []
+  | ({ Ast.s_desc = Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue; _ } as s)
+    :: _ -> [ s ]
+  | s :: rest -> s :: truncate_after_jump rest
+
+let transform env (program : Ast.program) =
+  let folded = Constfold.program program in
+  let removed_branches = ref 0 in
+  let program =
+    Visit.rewrite_program
+      (fun s ->
+        match s.Ast.s_desc with
+        | Ast.Sif (c, then_branch, else_branch) -> begin
+            match Constfold.const_truth c with
+            | Some true ->
+                incr removed_branches;
+                Some [ then_branch ]
+            | Some false ->
+                incr removed_branches;
+                Some (match else_branch with Some e -> [ e ] | None -> [])
+            | None -> None
+          end
+        | Ast.Swhile (c, _) when Constfold.const_truth c = Some false ->
+            incr removed_branches;
+            Some []
+        | Ast.Sfor (init, Some c, _, _)
+          when Constfold.const_truth c = Some false -> begin
+            incr removed_branches;
+            match init with
+            | Ast.For_none -> Some []
+            | Ast.For_expr e ->
+                Some [ Ast.stmt ~loc:s.Ast.s_loc (Ast.Sexpr e) ]
+            | Ast.For_decl ds ->
+                Some [ Ast.stmt ~loc:s.Ast.s_loc (Ast.Sdecl ds) ]
+          end
+        | Ast.Sdo (body, c) when Constfold.const_truth c = Some false ->
+            (* the body runs exactly once *)
+            incr removed_branches;
+            Some [ body ]
+        | Ast.Sblock stmts ->
+            let trimmed = truncate_after_jump stmts in
+            if List.length trimmed <> List.length stmts then
+              Some [ { s with Ast.s_desc = Ast.Sblock trimmed } ]
+            else None
+        | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Swhile _ | Ast.Sdo _ | Ast.Sfor _
+        | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull -> None)
+      folded
+  in
+  (* unreachable trailing statements of function bodies *)
+  let program =
+    {
+      program with
+      Ast.p_globals =
+        List.map
+          (fun g ->
+            match g with
+            | Ast.Gfunc fn ->
+                Ast.Gfunc
+                  { fn with Ast.f_body = truncate_after_jump fn.Ast.f_body }
+            | Ast.Gvar _ | Ast.Gproto _ -> g)
+          program.Ast.p_globals;
+    }
+  in
+  if !removed_branches > 0 then
+    Pass.note env "optimize: removed %d constant branches" !removed_branches;
+  program
+
+let pass = { Pass.name = "optimize"; transform }

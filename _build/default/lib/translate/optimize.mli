@@ -1,0 +1,5 @@
+(** Stage 5 code optimizations (the paper's section 7.3 future work):
+    constant folding, dead-branch elimination, unreachable-statement
+    removal.  Runs only with the [optimize] option. *)
+
+val pass : Pass.t

@@ -1,0 +1,76 @@
+open Cfront
+
+(* Pass manager in the style of the Cetus framework the paper builds on:
+   each component is an analysis or transform pass, and a driver runs them
+   in series, checking after every transform that the IR is still
+   self-consistent (it prints to parseable C and its symbol table still
+   builds). *)
+
+type options = {
+  ncores : int;            (* cores of the target chip *)
+  capacity : int;          (* on-chip bytes available for shared data *)
+  strategy : Partition.Partitioner.strategy;
+  sound_locals : bool;
+      (* hoist shared *locals* into shared memory too; the thesis's own
+         example output leaves them on the process stack (see DESIGN.md) *)
+  include_possible : bool; (* propagate sharing via Possible relations *)
+  many_to_one : bool;
+      (* map several threads onto one core with a task loop instead of
+         rejecting programs with more threads than cores (the paper's
+         section 7.2 future work, after Cichowski et al.) *)
+  optimize : bool;
+      (* constant folding + dead-branch elimination (section 7.3) *)
+}
+
+let default_options =
+  {
+    ncores = Partition.Memspec.scc.Partition.Memspec.cores;
+    capacity = 0;   (* all-off-chip, the Figure 6.1 configuration *)
+    strategy = Partition.Partitioner.Size_ascending;
+    sound_locals = false;
+    include_possible = false;
+    many_to_one = false;
+    optimize = false;
+  }
+
+type env = {
+  options : options;
+  analysis : Analysis.Pipeline.t;
+  partition : Partition.Partitioner.result;
+  mutable notes : string list;   (* pass-emitted remarks, reverse order *)
+}
+
+let note env fmt =
+  Printf.ksprintf (fun msg -> env.notes <- msg :: env.notes) fmt
+
+type t = {
+  name : string;
+  transform : env -> Ast.program -> Ast.program;
+}
+
+exception Inconsistent of string * string
+(** [Inconsistent (pass, diagnostic)]: a transform produced an IR that no
+    longer prints/parses cleanly. *)
+
+let check_consistency pass_name program =
+  let printed = Pretty.program program in
+  (match Parser.program printed with
+  | (_ : Ast.program) -> ()
+  | exception Srcloc.Error (loc, msg) ->
+      raise
+        (Inconsistent
+           (pass_name, Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)));
+  match Ir.Symtab.build program with
+  | (_ : Ir.Symtab.t) -> ()
+  | exception Srcloc.Error (loc, msg) ->
+      raise
+        (Inconsistent
+           (pass_name, Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg))
+
+let run_all ?(verify = true) passes env program =
+  List.fold_left
+    (fun program pass ->
+      let program = pass.transform env program in
+      if verify then check_consistency pass.name program;
+      program)
+    program passes

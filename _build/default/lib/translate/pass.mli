@@ -1,0 +1,50 @@
+open Cfront
+
+(** Pass manager in the style of the Cetus framework: transform passes run
+    in series, with an IR self-consistency check after each one. *)
+
+type options = {
+  ncores : int;
+  capacity : int;
+      (** on-chip bytes available for shared data; 0 = all off-chip *)
+  strategy : Partition.Partitioner.strategy;
+  sound_locals : bool;
+      (** hoist shared locals into shared memory (the thesis's example
+          output leaves them on the process stack) *)
+  include_possible : bool;
+  many_to_one : bool;
+      (** map several threads onto one core with a task loop instead of
+          rejecting programs with more threads than cores (the paper's
+          section 7.2 future work) *)
+  optimize : bool;
+      (** constant folding + dead-branch elimination (section 7.3) *)
+}
+
+val default_options : options
+(** 48 cores, all-off-chip placement, paper-faithful behaviour. *)
+
+type env = {
+  options : options;
+  analysis : Analysis.Pipeline.t;
+  partition : Partition.Partitioner.result;
+  mutable notes : string list;
+}
+
+val note : env -> ('a, unit, string, unit) format4 -> 'a
+(** Record a remark about what a pass did. *)
+
+type t = {
+  name : string;
+  transform : env -> Ast.program -> Ast.program;
+}
+
+exception Inconsistent of string * string
+(** [(pass, diagnostic)]: a transform produced an IR that no longer
+    prints/parses cleanly. *)
+
+val check_consistency : string -> Ast.program -> unit
+(** @raise Inconsistent when printing then reparsing the program fails. *)
+
+val run_all : ?verify:bool -> t list -> env -> Ast.program -> Ast.program
+(** Run passes in order; [verify] (default true) checks consistency after
+    each. *)

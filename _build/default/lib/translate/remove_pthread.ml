@@ -1,0 +1,106 @@
+open Cfront
+
+(* Stage 5 cleanup, the paper's Algorithms 5-8:
+   - Algorithm 6: [pthread_self()] becomes [RCCE_ue()];
+   - Algorithm 7: declarations whose specifier is a pthread data type are
+     removed (hash-set lookup per declaration);
+   - Algorithm 8: every remaining [pthread_*] API call statement is
+     removed (hash-set lookup per call).
+   Algorithm 5 (join removal) lives in {!Thread_to_process}, which must
+   run first because joins carry barrier semantics. *)
+
+let pthread_types =
+  [ "pthread_t"; "pthread_attr_t"; "pthread_mutex_t"; "pthread_mutexattr_t";
+    "pthread_cond_t"; "pthread_condattr_t"; "pthread_barrier_t";
+    "pthread_barrierattr_t" ]
+
+let pthread_calls =
+  [ "pthread_create"; "pthread_join"; "pthread_exit"; "pthread_detach";
+    "pthread_cancel"; "pthread_attr_init"; "pthread_attr_destroy";
+    "pthread_mutex_init"; "pthread_mutex_destroy"; "pthread_mutex_lock";
+    "pthread_mutex_unlock"; "pthread_mutex_trylock"; "pthread_cond_init";
+    "pthread_cond_destroy"; "pthread_cond_wait"; "pthread_cond_signal";
+    "pthread_cond_broadcast"; "pthread_barrier_init";
+    "pthread_barrier_destroy"; "pthread_barrier_wait" ]
+
+let type_table = Hashtbl.create 16
+let call_table = Hashtbl.create 32
+
+let () =
+  List.iter (fun t -> Hashtbl.replace type_table t ()) pthread_types;
+  List.iter (fun c -> Hashtbl.replace call_table c ()) pthread_calls
+
+let rec base_type_name = function
+  | Ctype.Named n -> Some n
+  | Ctype.Ptr t | Ctype.Array (t, _) | Ctype.Unsigned t -> base_type_name t
+  | Ctype.Void | Ctype.Char | Ctype.Short | Ctype.Int | Ctype.Long
+  | Ctype.Float | Ctype.Double | Ctype.Func _ -> None
+
+let is_pthread_decl (d : Ast.decl) =
+  match base_type_name d.Ast.d_type with
+  | Some n -> Hashtbl.mem type_table n
+  | None -> false
+
+let is_pthread_call_stmt (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sexpr e ->
+      Visit.fold_expr
+        (fun acc e ->
+          acc
+          || match e with
+             | Ast.Call (n, _) -> Hashtbl.mem call_table n
+             | _ -> false)
+        false e
+  | Ast.Sdecl _ | Ast.Sblock _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _
+  | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull ->
+      false
+
+let transform env (program : Ast.program) =
+  (* Algorithm 6: pthread_self -> RCCE_ue *)
+  let program =
+    Visit.map_program_exprs
+      (fun e ->
+        match e with
+        | Ast.Call ("pthread_self", []) -> Ast.call "RCCE_ue" []
+        | _ -> e)
+      program
+  in
+  let removed_decls = ref 0 and removed_calls = ref 0 in
+  (* Algorithms 7 and 8 over function bodies *)
+  let program =
+    Visit.rewrite_program
+      (fun s ->
+        match s.Ast.s_desc with
+        | Ast.Sdecl ds ->
+            let kept = List.filter (fun d -> not (is_pthread_decl d)) ds in
+            if List.length kept = List.length ds then None
+            else begin
+              removed_decls := !removed_decls + List.length ds - List.length kept;
+              if kept = [] then Some []
+              else Some [ { s with Ast.s_desc = Ast.Sdecl kept } ]
+            end
+        | _ when is_pthread_call_stmt s ->
+            incr removed_calls;
+            Some []
+        | Ast.Sexpr _ | Ast.Sblock _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _
+        | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue
+        | Ast.Snull -> None)
+      program
+  in
+  (* Algorithm 7 also applies to globals (a global pthread_mutex_t) *)
+  let globals =
+    List.filter
+      (fun g ->
+        match g with
+        | Ast.Gvar d when is_pthread_decl d ->
+            incr removed_decls;
+            false
+        | Ast.Gvar _ | Ast.Gfunc _ | Ast.Gproto _ -> true)
+      program.Ast.p_globals
+  in
+  if !removed_decls > 0 || !removed_calls > 0 then
+    Pass.note env "remove-pthread: dropped %d declarations, %d call statements"
+      !removed_decls !removed_calls;
+  { program with Ast.p_globals = globals }
+
+let pass = { Pass.name = "remove-pthread"; transform }

@@ -1,0 +1,10 @@
+(** Stage 4 code generation: implicitly-shared variables become explicitly
+    shared through the RCCE allocation API ([RCCE_shmalloc] off-chip,
+    [RCCE_malloc] on-chip), following the Stage 4 partitioner's placement.
+    Shared global arrays and scalars are retyped to pointers; scalar uses
+    are rewritten to [ *v ]; allocation statements are inserted at the top
+    of [main]; prior [malloc] calls for the same variables are removed.
+    With [sound_locals], scalar shared locals are hoisted into shared
+    globals as well. *)
+
+val pass : Pass.t

@@ -1,0 +1,295 @@
+open Cfront
+
+(* Stage 5, Algorithm 4: convert thread launches into per-process calls.
+
+   - A [pthread_create] inside a counted loop means every core runs the
+     thread function: the loop is dismantled, the create statement becomes
+     a direct call whose argument has the loop counter replaced by the
+     core-ID variable, and any other statements of the body are kept once
+     (also with counter -> core ID).
+   - A standalone [pthread_create] is a thread-specific task: it becomes a
+     direct call wrapped in [if (myID == k)], where k is the call's order
+     of appearance — the paper's hash-table of function name to core ID.
+   - A [pthread_join] inside a loop dismantles the loop into one
+     [RCCE_barrier] followed by the rest of the body (counter -> core ID);
+     a standalone join becomes a barrier.
+   - [int myID; myID = RCCE_ue();] is inserted at the top of main.
+
+   Programs creating more threads than the target has cores are rejected,
+   mirroring the paper's section 7.2. *)
+
+let core_id_var = "myID"
+
+(* With [many_to_one] (the paper's section 7.2 future work), a process
+   handles several threads: the dismantled create/join loops become task
+   loops [for (myTask = myID; myTask < NT; myTask += RCCE_num_ues())]. *)
+let task_var = "myTask"
+
+exception Too_many_threads of int * int  (* threads, cores *)
+
+let barrier_stmt loc =
+  Ast.stmt ~loc
+    (Ast.Sexpr
+       (Ast.call "RCCE_barrier" [ Ast.Unary (Ast.Addr, Ast.var "RCCE_COMM_WORLD") ]))
+
+let subst_var ~from ~to_ e =
+  Visit.map_expr
+    (fun e ->
+      match e with
+      | Ast.Var name when String.equal name from -> Ast.var to_
+      | _ -> e)
+    e
+
+(* Substitute in every expression of a statement tree. *)
+let subst_stmt ~from ~to_ (s : Ast.stmt) =
+  Visit.map_stmt_exprs
+    (fun e ->
+      match e with
+      | Ast.Var name when String.equal name from -> Ast.var to_
+      | _ -> e)
+    s
+
+let stmt_contains_call name (s : Ast.stmt) =
+  let found = ref false in
+  Visit.iter_stmt
+    (fun s ->
+      List.iter
+        (Visit.iter_expr (fun e ->
+             match e with
+             | Ast.Call (n, _) when String.equal n name -> found := true
+             | _ -> ()))
+        (Visit.shallow_exprs s))
+    s;
+  !found
+
+(* The direct call replacing one pthread_create: [tf(arg)] with the loop
+   counter (if any) replaced by the index variable ([myID], or [myTask]
+   inside a many-to-one task loop).  A create whose thread argument was
+   NULL calls with NULL, preserving the signature. *)
+let direct_call ~counter ~index_var loc args =
+  match args with
+  | [ _tid; _attr; farg; targ ] -> begin
+      match Analysis.Thread_analysis.func_name_of_arg farg with
+      | Some fname ->
+          let arg =
+            match counter with
+            | Some c -> subst_var ~from:c ~to_:index_var targ
+            | None -> targ
+          in
+          Some (Ast.stmt ~loc (Ast.Sexpr (Ast.call fname [ arg ])))
+      | None -> None
+    end
+  | _ -> None
+
+(* Rewrite the statements of a dismantled create/join loop body,
+   substituting the loop counter with [index_var]. *)
+let rec lower_body ~env ~counter ~index_var ~seq stmts =
+  List.concat_map (lower_body_stmt ~env ~counter ~index_var ~seq) stmts
+
+and lower_body_stmt ~env ~counter ~index_var ~seq (s : Ast.stmt) =
+  let subst s =
+    match counter with
+    | Some c -> subst_stmt ~from:c ~to_:index_var s
+    | None -> s
+  in
+  match s.Ast.s_desc with
+  | Ast.Sexpr e -> begin
+      match find_create_call e with
+      | Some args -> begin
+          match direct_call ~counter ~index_var s.Ast.s_loc args with
+          | Some call -> [ call ]
+          | None -> [ subst s ]
+        end
+      | None ->
+          if expr_contains_call "pthread_join" e then
+            (* joins inside the dismantled loop collapse into the single
+               barrier emitted by the caller *)
+            []
+          else [ subst s ]
+    end
+  | Ast.Sblock stmts ->
+      [ Ast.stmt ~loc:s.Ast.s_loc
+          (Ast.Sblock (lower_body ~env ~counter ~index_var ~seq stmts)) ]
+  | Ast.Sdecl _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _ | Ast.Sfor _
+  | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull -> [ subst s ]
+
+and find_create_call e =
+  let found = ref None in
+  Visit.iter_expr
+    (fun e ->
+      match e with
+      | Ast.Call ("pthread_create", args) when !found = None ->
+          found := Some args
+      | _ -> ())
+    e;
+  !found
+
+and expr_contains_call name e =
+  Visit.fold_expr
+    (fun acc e ->
+      acc
+      || match e with Ast.Call (n, _) -> String.equal n name | _ -> false)
+    false e
+
+(* --- the pass ----------------------------------------------------------- *)
+
+let check_core_count env =
+  if not env.Pass.options.Pass.many_to_one then
+    let threads =
+      Analysis.Thread_analysis.static_thread_count
+        env.Pass.analysis.Analysis.Pipeline.threads
+    in
+    match threads with
+    | Some n when n > env.Pass.options.Pass.ncores ->
+        raise (Too_many_threads (n, env.Pass.options.Pass.ncores))
+    | Some _ | None -> ()
+
+(* [for (myTask = myID; myTask < nt; myTask += RCCE_num_ues()) body] *)
+let task_loop ~loc ~nt body =
+  let init =
+    Ast.For_expr (Ast.assign (Ast.var task_var) (Ast.var core_id_var))
+  in
+  let cond = Ast.Binary (Ast.Lt, Ast.var task_var, Ast.int nt) in
+  let step =
+    Ast.Assign (Some Ast.Add, Ast.var task_var, Ast.call "RCCE_num_ues" [])
+  in
+  Ast.stmt ~loc
+    (Ast.Sfor (init, Some cond, Some step, Ast.stmt ~loc (Ast.Sblock body)))
+
+let transform env (program : Ast.program) =
+  check_core_count env;
+  let seq = ref 0 in   (* order of appearance of standalone creates *)
+  let uses_task_loop = ref false in
+  (* In many-to-one mode a counted create/join loop becomes a task loop;
+     [bounds] is the (counter, trip) pair when statically known. *)
+  let task_mode bounds =
+    if env.Pass.options.Pass.many_to_one then
+      match bounds with Some (_, nt) -> Some nt | None -> None
+    else None
+  in
+  let rewrite (s : Ast.stmt) =
+    match s.Ast.s_desc with
+    | Ast.Sfor (_, _, _, _) when stmt_contains_call "pthread_create" s -> begin
+        match s.Ast.s_desc with
+        | Ast.Sfor (_, _, _, body) ->
+            let bounds = Analysis.Thread_analysis.loop_bounds s in
+            let counter = Option.map fst bounds in
+            let stmts =
+              match body.Ast.s_desc with
+              | Ast.Sblock stmts -> stmts
+              | _ -> [ body ]
+            in
+            (match task_mode bounds with
+            | Some nt ->
+                uses_task_loop := true;
+                Pass.note env
+                  "threads-to-processes: create loop at %s became a                    many-to-one task loop over %d threads"
+                  (Srcloc.to_string s.Ast.s_loc) nt;
+                let lowered =
+                  lower_body ~env ~counter ~index_var:task_var ~seq stmts
+                in
+                Some [ task_loop ~loc:s.Ast.s_loc ~nt lowered ]
+            | None ->
+                Pass.note env
+                  "threads-to-processes: dismantled create loop at %s"
+                  (Srcloc.to_string s.Ast.s_loc);
+                Some
+                  (lower_body ~env ~counter ~index_var:core_id_var ~seq
+                     stmts))
+        | _ -> None
+      end
+    | Ast.Sfor (_, _, _, _) when stmt_contains_call "pthread_join" s -> begin
+        match s.Ast.s_desc with
+        | Ast.Sfor (_, _, _, body) ->
+            let bounds = Analysis.Thread_analysis.loop_bounds s in
+            let counter = Option.map fst bounds in
+            let stmts =
+              match body.Ast.s_desc with
+              | Ast.Sblock stmts -> stmts
+              | _ -> [ body ]
+            in
+            (match task_mode bounds with
+            | Some nt ->
+                uses_task_loop := true;
+                let rest =
+                  lower_body ~env ~counter ~index_var:task_var ~seq stmts
+                in
+                Pass.note env
+                  "threads-to-processes: join loop at %s became a barrier                    and a task loop"
+                  (Srcloc.to_string s.Ast.s_loc);
+                let wrapped =
+                  if rest = [] then []
+                  else [ task_loop ~loc:s.Ast.s_loc ~nt rest ]
+                in
+                Some (barrier_stmt s.Ast.s_loc :: wrapped)
+            | None ->
+                let rest =
+                  lower_body ~env ~counter ~index_var:core_id_var ~seq stmts
+                in
+                Pass.note env
+                  "threads-to-processes: join loop at %s became a barrier"
+                  (Srcloc.to_string s.Ast.s_loc);
+                Some (barrier_stmt s.Ast.s_loc :: rest))
+        | _ -> None
+      end
+    | Ast.Sexpr e when expr_contains_call "pthread_create" e -> begin
+        (* standalone create: a thread-specific task isolated on one core *)
+        match find_create_call e with
+        | Some args -> begin
+            match
+              direct_call ~counter:None ~index_var:core_id_var s.Ast.s_loc
+                args
+            with
+            | Some call ->
+                let k = !seq in
+                incr seq;
+                let guard =
+                  Ast.Binary (Ast.Eq, Ast.var core_id_var, Ast.int k)
+                in
+                Pass.note env
+                  "threads-to-processes: standalone create pinned to core %d"
+                  k;
+                Some
+                  [ Ast.stmt ~loc:s.Ast.s_loc (Ast.Sif (guard, call, None)) ]
+            | None -> None
+          end
+        | None -> None
+      end
+    | Ast.Sexpr e when expr_contains_call "pthread_join" e ->
+        Some [ barrier_stmt s.Ast.s_loc ]
+    | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sblock _ | Ast.Sif _ | Ast.Swhile _
+    | Ast.Sdo _ | Ast.Sfor _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue
+    | Ast.Snull -> None
+  in
+  let program = Visit.rewrite_program_topdown rewrite program in
+  (* insert the core-ID variable at the top of main *)
+  let add_core_id (fn : Ast.func) =
+    if String.equal fn.Ast.f_name "main" then
+      let decl =
+        Ast.stmt (Ast.Sdecl [ Ast.decl core_id_var Ctype.Int ])
+      in
+      let init =
+        Ast.stmt
+          (Ast.Sexpr (Ast.assign (Ast.var core_id_var)
+                        (Ast.call "RCCE_ue" [])))
+      in
+      let task_decl =
+        if !uses_task_loop then
+          [ Ast.stmt (Ast.Sdecl [ Ast.decl task_var Ctype.Int ]) ]
+        else []
+      in
+      { fn with Ast.f_body = (decl :: init :: task_decl) @ fn.Ast.f_body }
+    else fn
+  in
+  {
+    program with
+    Ast.p_globals =
+      List.map
+        (fun g ->
+          match g with
+          | Ast.Gfunc fn -> Ast.Gfunc (add_core_id fn)
+          | Ast.Gvar _ | Ast.Gproto _ -> g)
+        program.Ast.p_globals;
+  }
+
+let pass = { Pass.name = "threads-to-processes"; transform }

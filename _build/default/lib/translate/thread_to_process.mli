@@ -1,0 +1,20 @@
+(** Stage 5, Algorithm 4: convert thread launches into per-process calls.
+
+    Create loops are dismantled into a direct call with the loop counter
+    replaced by the core-ID variable; standalone creates become calls
+    guarded by [if (myID == k)]; join loops collapse into one
+    [RCCE_barrier] followed by the rest of their body; [myID] is declared
+    and initialized from [RCCE_ue()] at the top of [main]. *)
+
+val core_id_var : string
+(** ["myID"]. *)
+
+val task_var : string
+(** ["myTask"]: the index of the many-to-one task loop emitted when
+    [many_to_one] maps several threads onto one core (section 7.2). *)
+
+exception Too_many_threads of int * int
+(** [(threads, cores)]: the program statically creates more threads than
+    the target has cores (the paper's section 7.2 limitation). *)
+
+val pass : Pass.t

@@ -1,0 +1,1 @@
+lib/workloads/dot.ml: Array Costs Float Reduce Scc Sharr Workload

@@ -1,0 +1,1 @@
+lib/workloads/dot.mli: Workload

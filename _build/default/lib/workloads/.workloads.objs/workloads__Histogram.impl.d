@@ -1,0 +1,1 @@
+lib/workloads/histogram.ml: Array Costs Scc Sharr Workload

@@ -1,0 +1,1 @@
+lib/workloads/pi.ml: Costs Float Reduce Scc Sharr Workload

@@ -1,0 +1,1 @@
+lib/workloads/pi.mli: Workload

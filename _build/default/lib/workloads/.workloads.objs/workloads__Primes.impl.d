@@ -1,0 +1,1 @@
+lib/workloads/primes.ml: Costs Reduce Scc Sharr Workload

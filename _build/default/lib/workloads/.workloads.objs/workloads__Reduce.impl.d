@@ -1,0 +1,1 @@
+lib/workloads/reduce.ml: Costs Scc Sharr

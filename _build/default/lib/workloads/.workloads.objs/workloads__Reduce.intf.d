@@ -1,0 +1,1 @@
+lib/workloads/reduce.mli: Scc Sharr

@@ -1,0 +1,1 @@
+lib/workloads/sharr.ml: Array Printf Scc

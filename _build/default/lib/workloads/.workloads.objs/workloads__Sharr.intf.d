@@ -1,0 +1,1 @@
+lib/workloads/sharr.mli: Scc

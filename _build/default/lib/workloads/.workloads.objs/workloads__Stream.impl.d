@@ -1,0 +1,1 @@
+lib/workloads/stream.ml: Array Costs List Scc Sharr Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Dot Histogram List Lu Pi Primes Stream String Sum35 Workload

@@ -1,0 +1,1 @@
+lib/workloads/sum35.ml: Costs Float Reduce Scc Sharr Workload

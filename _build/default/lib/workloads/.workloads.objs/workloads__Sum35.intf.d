@@ -1,0 +1,1 @@
+lib/workloads/sum35.mli: Workload

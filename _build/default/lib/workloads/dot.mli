@@ -1,0 +1,12 @@
+(** Dot Product: two large shared vectors multiply-accumulated over
+    [reps] passes.  The most load-dense benchmark; off-chip it sits in
+    memory-controller contention, on-chip it stages blocks through each
+    core's MPB slice. *)
+
+type params = { n : int; reps : int; block : int }
+
+val default : params
+
+val reference : params -> float
+
+val make : ?params:params -> unit -> Workload.t

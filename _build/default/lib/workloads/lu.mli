@@ -1,0 +1,15 @@
+(** LU Decomposition: in-place Doolittle elimination without pivoting on
+    a diagonally-dominant shared matrix, rows dealt round-robin with a
+    barrier per step.  Sized to exceed the 32-core MPB, so the on-chip
+    configuration falls back off-chip and stages only the pivot row —
+    the paper's "very slight improvement" observation. *)
+
+type params = { n : int; block : int }
+
+val default : params
+(** 192 x 192 doubles (294912 bytes > the 256 KB 32-core MPB). *)
+
+val reference : params -> float array
+(** The sequentially eliminated matrix, row-major. *)
+
+val make : ?params:params -> unit -> Workload.t

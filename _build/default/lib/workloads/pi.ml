@@ -1,0 +1,46 @@
+(* Pi Approximation (the paper's Algorithm 12): numerical integration of
+   4/(1+x^2) over [0,1].  Perfectly balanced compute with negligible
+   memory traffic — the benchmark the paper uses for its scalability study
+   (Figure 6.3) and the best case of Figure 6.1 (32x on 32 cores). *)
+
+type params = { steps : int }
+
+let default = { steps = 1 lsl 20 }
+
+let reference steps =
+  let step = 1.0 /. float_of_int steps in
+  let sum = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let x = (float_of_int i +. 0.5) *. step in
+    sum := !sum +. (4.0 /. (1.0 +. (x *. x)))
+  done;
+  !sum *. step
+
+let make ?(params = default) () : Workload.t =
+  {
+    Workload.name = "pi";
+    instantiate =
+      (fun ctx ->
+        let units = ctx.Workload.units in
+        let partials =
+          Workload.alloc ctx ~name:"partials" ~elts:units ~elt_bytes:8
+        in
+        let result = ref Float.nan in
+        let steps = params.steps in
+        let body (api : Scc.Engine.api) =
+          let u = api.Scc.Engine.self in
+          let lo, hi = Sharr.chunk_range ~n:steps ~units ~u in
+          let step = 1.0 /. float_of_int steps in
+          let sum = ref 0.0 in
+          for i = lo to hi - 1 do
+            let x = (float_of_int i +. 0.5) *. step in
+            sum := !sum +. (4.0 /. (1.0 +. (x *. x)))
+          done;
+          api.Scc.Engine.compute ((hi - lo) * Costs.pi_step);
+          match Reduce.sum api partials !sum with
+          | Some total -> result := total *. step
+          | None -> ()
+        in
+        let verify () = Float.abs (!result -. reference steps) < 1e-9 in
+        { Workload.body; verify });
+  }

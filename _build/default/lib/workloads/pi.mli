@@ -1,0 +1,13 @@
+(** Pi Approximation (the paper's Algorithm 12): numerical integration of
+    4/(1+x^2) — perfectly balanced compute, the paper's Figure 6.3
+    scalability benchmark and the best case of Figure 6.1. *)
+
+type params = { steps : int }
+
+val default : params
+(** 2^20 steps. *)
+
+val reference : int -> float
+(** Sequential reference result for [steps]. *)
+
+val make : ?params:params -> unit -> Workload.t

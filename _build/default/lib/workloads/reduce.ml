@@ -1,0 +1,17 @@
+(* The benchmarks' common ending: each unit writes its partial result to a
+   shared array, everyone meets at a barrier, and unit 0 combines the
+   partials.  All accesses are timed; only unit 0 gets the total. *)
+
+let sum (api : Scc.Engine.api) partials v =
+  let u = api.Scc.Engine.self in
+  Sharr.set api partials u v;
+  api.Scc.Engine.barrier ();
+  if u = 0 then begin
+    let total = ref 0.0 in
+    for i = 0 to Sharr.length partials - 1 do
+      total := !total +. Sharr.get api partials i;
+      api.Scc.Engine.compute Costs.fp_add
+    done;
+    Some !total
+  end
+  else None

@@ -1,0 +1,5 @@
+(** Parallel sum-reduction over a shared partials array: write own
+    partial, barrier, unit 0 combines.  All accesses are timed. *)
+
+val sum : Scc.Engine.api -> Sharr.t -> float -> float option
+(** Returns [Some total] in unit 0, [None] elsewhere. *)

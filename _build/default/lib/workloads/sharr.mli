@@ -1,0 +1,38 @@
+(** Simulated arrays: native OCaml data (benchmarks compute verifiable
+    results) paired with a simulated address layout (every access is timed
+    through the memory hierarchy). *)
+
+type layout =
+  | Contiguous of int  (** base address *)
+  | Striped of { chunks : int array; chunk_bytes : int }
+      (** round-robin chunks across MPB slices *)
+
+type t = {
+  name : string;
+  data : float array;
+  elt_bytes : int;
+  layout : layout;
+}
+
+val create : name:string -> elts:int -> elt_bytes:int -> layout -> t
+
+val length : t -> int
+val data : t -> float array
+val addr_of : t -> int -> int
+
+val get : Scc.Engine.api -> t -> int -> float
+(** Timed single-element read. *)
+
+val set : Scc.Engine.api -> t -> int -> float -> unit
+
+val touch_block :
+  Scc.Engine.api -> write:bool -> t -> off:int -> len:int -> unit
+(** Timing-only block access over elements [off, off+len); stripe chunks
+    split the run.  The caller does the data work natively. *)
+
+val load_block : Scc.Engine.api -> t -> off:int -> len:int -> unit
+val store_block : Scc.Engine.api -> t -> off:int -> len:int -> unit
+
+val chunk_range : n:int -> units:int -> u:int -> int * int
+(** Contiguous index range owned by unit [u] of [units] (the paper's
+    divide-by-thread-ID partitioning). *)

@@ -1,0 +1,167 @@
+(* Stream (the paper's Algorithms 13-16): the Copy / Scale / Add / Triad
+   kernels over three vectors sized well beyond the caches, each unit
+   sweeping its contiguous chunk, a barrier between kernels.
+
+   On-chip configuration: three 1 MB arrays cannot live in the 256 KB MPB,
+   so blocks are *staged* through each core's slice — bulk-copied in from
+   shared DRAM, run through every rep of the four (element-wise) kernels,
+   and bulk-copied back.  This is exactly the paper's observation that
+   "transfers to and from the MPB may be done in bulk copy of memory ...
+   further improving performance for an all-memory synthetic benchmark",
+   and it is why Stream gains the most in Figure 6.2. *)
+
+type params = { n : int; reps : int; block : int }
+
+let default = { n = 1 lsl 17; reps = 12; block = 256 }
+
+let scalar = 3.0
+
+let fill_a i = float_of_int ((i mod 13) + 1)
+let fill_c i = float_of_int ((i mod 7) + 1) *. 0.5
+
+(* One rep of the four kernels over [lo, hi): all element-wise, so
+   blocking over the index space commutes with the rep loop. *)
+let kernels_native a b c lo hi =
+  for j = lo to hi - 1 do
+    c.(j) <- a.(j)                       (* Copy:  c = a       *)
+  done;
+  for j = lo to hi - 1 do
+    b.(j) <- scalar *. c.(j)             (* Scale: b = s*c     *)
+  done;
+  for j = lo to hi - 1 do
+    c.(j) <- a.(j) +. b.(j)              (* Add:   c = a+b     *)
+  done;
+  for j = lo to hi - 1 do
+    a.(j) <- b.(j) +. (scalar *. c.(j))  (* Triad: a = b+s*c   *)
+  done
+
+let reference { n; reps; _ } =
+  let a = Array.init n fill_a in
+  let b = Array.make n 0.0 in
+  let c = Array.init n fill_c in
+  for _ = 1 to reps do
+    kernels_native a b c 0 n
+  done;
+  (a, b, c)
+
+let arrays_equal x y =
+  Array.length x = Array.length y
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if v <> y.(i) then ok := false) x;
+      !ok)
+
+let kernel_cycles len =
+  len
+  * (Costs.stream_copy_elt + Costs.stream_scale_elt + Costs.stream_add_elt
+   + Costs.stream_triad_elt)
+
+let make ?(params = default) () : Workload.t =
+  {
+    Workload.name = "stream";
+    instantiate =
+      (fun ctx ->
+        let units = ctx.Workload.units in
+        let { n; reps; block } = params in
+        let a = Workload.alloc ctx ~name:"a" ~elts:n ~elt_bytes:8 in
+        let b = Workload.alloc ctx ~name:"b" ~elts:n ~elt_bytes:8 in
+        let c = Workload.alloc ctx ~name:"c" ~elts:n ~elt_bytes:8 in
+        for i = 0 to n - 1 do
+          (Sharr.data a).(i) <- fill_a i;
+          (Sharr.data c).(i) <- fill_c i
+        done;
+        let da = Sharr.data a and db = Sharr.data b and dc = Sharr.data c in
+        (* staging buffers: block elements of each of the three arrays *)
+        let scratch = Workload.mpb_scratch ctx ~bytes:(3 * block * 8) in
+        let sweep api ~srcs ~dst ~elt_cycles ~update lo hi =
+          let off = ref lo in
+          while !off < hi do
+            let len = min block (hi - !off) in
+            List.iter (fun s -> Sharr.load_block api s ~off:!off ~len) srcs;
+            Sharr.store_block api dst ~off:!off ~len;
+            api.Scc.Engine.compute (len * elt_cycles);
+            off := !off + len
+          done;
+          update lo hi
+        in
+        let direct_body (api : Scc.Engine.api) =
+          let u = api.Scc.Engine.self in
+          let lo, hi = Sharr.chunk_range ~n ~units ~u in
+          for _ = 1 to reps do
+            sweep api ~srcs:[ a ] ~dst:c ~elt_cycles:Costs.stream_copy_elt
+              ~update:(fun lo hi ->
+                for j = lo to hi - 1 do dc.(j) <- da.(j) done)
+              lo hi;
+            api.Scc.Engine.barrier ();
+            sweep api ~srcs:[ c ] ~dst:b ~elt_cycles:Costs.stream_scale_elt
+              ~update:(fun lo hi ->
+                for j = lo to hi - 1 do db.(j) <- scalar *. dc.(j) done)
+              lo hi;
+            api.Scc.Engine.barrier ();
+            sweep api ~srcs:[ a; b ] ~dst:c ~elt_cycles:Costs.stream_add_elt
+              ~update:(fun lo hi ->
+                for j = lo to hi - 1 do dc.(j) <- da.(j) +. db.(j) done)
+              lo hi;
+            api.Scc.Engine.barrier ();
+            sweep api ~srcs:[ b; c ] ~dst:a ~elt_cycles:Costs.stream_triad_elt
+              ~update:(fun lo hi ->
+                for j = lo to hi - 1 do
+                  da.(j) <- db.(j) +. (scalar *. dc.(j))
+                done)
+              lo hi;
+            api.Scc.Engine.barrier ()
+          done
+        in
+        (* Staged: per block — bulk copy a and c in, run all reps of the
+           four kernels against the MPB, bulk copy a, b and c back. *)
+        let staged_body base (api : Scc.Engine.api) =
+          let u = api.Scc.Engine.self in
+          let lo, hi = Sharr.chunk_range ~n ~units ~u in
+          let mpb_a = base and mpb_b = base + (block * 8) in
+          let mpb_c = base + (2 * block * 8) in
+          let off = ref lo in
+          while !off < hi do
+            let len = min block (hi - !off) in
+            let bytes = len * 8 in
+            (* stage in: DRAM -> MPB *)
+            Sharr.load_block api a ~off:!off ~len;
+            api.Scc.Engine.store mpb_a ~bytes;
+            Sharr.load_block api c ~off:!off ~len;
+            api.Scc.Engine.store mpb_c ~bytes;
+            for _ = 1 to reps do
+              (* all four kernels against the MPB copies *)
+              api.Scc.Engine.load mpb_a ~bytes;
+              api.Scc.Engine.store mpb_c ~bytes;
+              api.Scc.Engine.load mpb_c ~bytes;
+              api.Scc.Engine.store mpb_b ~bytes;
+              api.Scc.Engine.load mpb_a ~bytes;
+              api.Scc.Engine.load mpb_b ~bytes;
+              api.Scc.Engine.store mpb_c ~bytes;
+              api.Scc.Engine.load mpb_b ~bytes;
+              api.Scc.Engine.load mpb_c ~bytes;
+              api.Scc.Engine.store mpb_a ~bytes;
+              api.Scc.Engine.compute (kernel_cycles len);
+              kernels_native da db dc !off (!off + len)
+            done;
+            (* stage out: MPB -> DRAM *)
+            api.Scc.Engine.load mpb_a ~bytes;
+            Sharr.store_block api a ~off:!off ~len;
+            api.Scc.Engine.load mpb_b ~bytes;
+            Sharr.store_block api b ~off:!off ~len;
+            api.Scc.Engine.load mpb_c ~bytes;
+            Sharr.store_block api c ~off:!off ~len;
+            off := !off + len
+          done;
+          api.Scc.Engine.barrier ()
+        in
+        let body =
+          match ctx.Workload.mode, scratch with
+          | Workload.Rcce (Workload.On_chip, _), Some bases ->
+              fun api -> staged_body bases.(api.Scc.Engine.self) api
+          | (Workload.Pthread_baseline _ | Workload.Rcce _), _ -> direct_body
+        in
+        let verify () =
+          let ra, rb, rc = reference params in
+          arrays_equal da ra && arrays_equal db rb && arrays_equal dc rc
+        in
+        { Workload.body; verify });
+  }

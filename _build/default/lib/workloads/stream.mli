@@ -1,0 +1,16 @@
+(** Stream (the paper's Algorithms 13-16): Copy / Scale / Add / Triad
+    over three vectors sized beyond the caches.  The on-chip
+    configuration stages blocks through each core's MPB slice — the
+    paper's "bulk copy" remark and its biggest Figure 6.2 gain. *)
+
+type params = { n : int; reps : int; block : int }
+
+val default : params
+
+val scalar : float
+(** The STREAM scale/triad constant (3.0). *)
+
+val reference : params -> float array * float array * float array
+(** Final (a, b, c) after [reps] passes of the four kernels. *)
+
+val make : ?params:params -> unit -> Workload.t

@@ -1,0 +1,25 @@
+(* The paper's benchmark suite, grouped as section 5.2 describes: linear
+   algebra (LU Decomposition, Dot Product), approximation and number
+   theory (Pi Approximation, Count Primes, 3-5-Sum), and the synthetic
+   memory benchmark (Stream). *)
+
+let pi = Pi.make ()
+let primes = Primes.make ()
+let sum35 = Sum35.make ()
+let dot = Dot.make ()
+let lu = Lu.make ()
+let stream = Stream.make ()
+let histogram = Histogram.make ()
+
+(* Figure order used throughout the paper's result plots. *)
+let all = [ pi; sum35; primes; stream; dot; lu ]
+
+(* The paper's six plus the synchronization-sensitivity probe. *)
+let extended = all @ [ histogram ]
+
+let find name =
+  List.find_opt
+    (fun (w : Workload.t) -> String.equal w.Workload.name name)
+    extended
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) extended

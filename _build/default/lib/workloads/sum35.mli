@@ -1,0 +1,11 @@
+(** 3-5-Sum: sum the multiples of 3 and 5 below the bound, split by
+    thread ID — balanced modulo-heavy compute (the paper's 29x). *)
+
+type params = { bound : int }
+
+val default : params
+
+val reference : int -> float
+(** Sequential sum below the bound. *)
+
+val make : ?params:params -> unit -> Workload.t

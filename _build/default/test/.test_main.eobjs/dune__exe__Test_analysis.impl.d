@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Cfront Exp Ir List Parser QCheck QCheck_alcotest

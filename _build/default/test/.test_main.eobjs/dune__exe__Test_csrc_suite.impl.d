@@ -1,0 +1,1 @@
+test/test_csrc_suite.ml: Alcotest Array Cexec Cfront Exp List Parser Printf String Translate Workloads

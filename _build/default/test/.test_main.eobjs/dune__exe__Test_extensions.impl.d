@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cexec Cfront Exp List Parser Rcce Scc String Translate

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Cexec Cfront Exp List Parser Preproc Printexc Printf QCheck QCheck_alcotest Scc Srcloc String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Cexec Cfront Exp List Parser Pretty Scc String Translate

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Cfront Ir List Option Parser Srcloc String

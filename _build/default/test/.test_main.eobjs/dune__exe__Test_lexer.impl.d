@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Cfront Lexer List Srcloc String Token

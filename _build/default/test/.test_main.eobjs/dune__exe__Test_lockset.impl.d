@@ -1,0 +1,1 @@
+test/test_lockset.ml: Alcotest Cexec Cfront Exp List Parser Translate

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Ast Cexec Cfront Constfold List Parser Pretty Printf QCheck QCheck_alcotest String Translate

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Cfront Ctype Exp Float List Parser Pretty Printf QCheck QCheck_alcotest Srcloc String

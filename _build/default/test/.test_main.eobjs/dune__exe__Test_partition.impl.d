@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Analysis Exp Ir List Partition Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_preproc.ml: Alcotest Cexec Cfront List Parser Preproc Pretty Srcloc String Translate

@@ -1,0 +1,1 @@
+test/test_rcce.ml: Alcotest Array List Printf Pthread_sim Rcce Scc

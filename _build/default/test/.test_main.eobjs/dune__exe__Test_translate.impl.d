@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Ast Cexec Cfront Exp List Parser Srcloc String Translate

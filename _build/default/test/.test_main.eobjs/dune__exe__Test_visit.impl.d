@@ -1,0 +1,1 @@
+test/test_visit.ml: Alcotest Ast Cfront List Parser Pretty Srcloc String Visit

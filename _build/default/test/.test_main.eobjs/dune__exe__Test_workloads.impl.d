@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Exp List Printf QCheck QCheck_alcotest Scc String Workloads

@@ -1,0 +1,107 @@
+open Cfront
+
+(* The full benchmark suite as C source, through the whole pipeline:
+   parse, translate, and interpret both the Pthread original and the RCCE
+   conversion — the outputs must agree benchmark by benchmark. *)
+
+let first_line s =
+  match String.split_on_char '\n' (String.trim s) with
+  | l :: _ -> l
+  | [] -> ""
+
+(* Run original and converted; every process of the converted program
+   must print the original's (first) line.  At these test sizes the
+   converted program is not necessarily faster — per-element uncached
+   shared accesses can outweigh a few cores of parallelism, which is the
+   paper's own motivation for the MPB — so only equivalence is
+   asserted. *)
+let check_equivalent ?options ~name ~nt src =
+  let program = Parser.program ~file:(name ^ ".c") src in
+  let original = Cexec.Interp.run_pthread program in
+  let translated, _ =
+    Translate.Driver.translate_program ?options program
+  in
+  let converted = Cexec.Interp.run_rcce ~ncores:nt translated in
+  let expected = first_line original.Cexec.Interp.output in
+  Alcotest.(check bool) (name ^ ": original produced output") true
+    (String.length expected > 0);
+  String.split_on_char '\n' (String.trim converted.Cexec.Interp.output)
+  |> List.iter (fun line ->
+         Alcotest.(check string) (name ^ ": same result") expected line)
+
+let test_sum35 () =
+  check_equivalent ~name:"sum35" ~nt:4 (Exp.Csrc.sum35 ~nt:4 ~bound:5_000)
+
+let test_dot () =
+  check_equivalent ~name:"dot" ~nt:4 (Exp.Csrc.dot ~nt:4 ~n:2_048)
+
+let test_stream () =
+  check_equivalent ~name:"stream" ~nt:4 (Exp.Csrc.stream ~nt:4 ~n:1_024)
+
+let test_lu () =
+  check_equivalent ~name:"lu" ~nt:4 (Exp.Csrc.lu ~nt:4 ~n:24)
+
+let test_stream_barriers_enforced () =
+  (* the stream kernels have cross-thread dependencies through the
+     barriers: scale reads what copy wrote on *other* threads' chunks is
+     false here (chunks are disjoint), but triad reads b and c written in
+     earlier kernels — check against a sequential reference *)
+  let n = 512 in
+  let src = Exp.Csrc.stream ~nt:4 ~n in
+  let r = Cexec.Interp.run_pthread (Parser.program src) in
+  (* sequential model of the four kernels *)
+  let a = Array.init n (fun i -> float_of_int ((i mod 13) + 1)) in
+  let b = Array.make n 0.0 in
+  let c = Array.make n 0.0 in
+  for j = 0 to n - 1 do c.(j) <- a.(j) done;
+  for j = 0 to n - 1 do b.(j) <- 3.0 *. c.(j) done;
+  for j = 0 to n - 1 do c.(j) <- a.(j) +. b.(j) done;
+  for j = 0 to n - 1 do a.(j) <- b.(j) +. (3.0 *. c.(j)) done;
+  let checksum = ref 0.0 in
+  for i = 0 to n - 1 do
+    checksum := !checksum +. a.(i) +. b.(i) +. c.(i)
+  done;
+  let expected = Printf.sprintf "stream checksum = %f" !checksum in
+  Alcotest.(check string) "matches the sequential kernels" expected
+    (first_line r.Cexec.Interp.output)
+
+let test_lu_matches_native_workload () =
+  (* the C program and the native OCaml workload implement the same
+     elimination: their checksums must agree *)
+  let n = 16 in
+  let src = Exp.Csrc.lu ~nt:2 ~n in
+  let r = Cexec.Interp.run_pthread (Parser.program src) in
+  let reference =
+    Workloads.Lu.reference { Workloads.Lu.n; block = 256 }
+  in
+  let checksum = Array.fold_left ( +. ) 0.0 reference in
+  let expected = Printf.sprintf "lu checksum = %f" checksum in
+  Alcotest.(check string) "C and OCaml eliminations agree" expected
+    (first_line r.Cexec.Interp.output)
+
+let test_whole_suite_many_to_one () =
+  (* every benchmark source also survives the many-to-one mapping *)
+  let options =
+    { Translate.Pass.default_options with
+      Translate.Pass.ncores = 2; many_to_one = true }
+  in
+  List.iter
+    (fun (name, src) ->
+      check_equivalent ~options ~name:(name ^ "-m21") ~nt:2 src)
+    [ ("pi", Exp.Csrc.pi ~nt:6 ~steps:1_024);
+      ("sum35", Exp.Csrc.sum35 ~nt:6 ~bound:2_000);
+      ("dot", Exp.Csrc.dot ~nt:6 ~n:600) ]
+
+let suite =
+  [
+    Alcotest.test_case "sum35 end to end" `Quick test_sum35;
+    Alcotest.test_case "dot end to end" `Quick test_dot;
+    Alcotest.test_case "stream end to end" `Quick test_stream;
+    Alcotest.test_case "lu end to end" `Quick test_lu;
+    Alcotest.test_case "stream barrier semantics" `Quick
+      test_stream_barriers_enforced;
+    Alcotest.test_case "lu matches native workload" `Quick
+      test_lu_matches_native_workload;
+    Alcotest.test_case "suite under many-to-one" `Quick
+      test_whole_suite_many_to_one;
+  ]

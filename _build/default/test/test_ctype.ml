@@ -1,0 +1,83 @@
+open Cfront
+
+(* Types: 32-bit ABI sizes, element counts, declarator rendering. *)
+
+let test_sizeof () =
+  let check msg ty expected =
+    Alcotest.(check int) msg expected (Ctype.sizeof ty)
+  in
+  check "char" Ctype.Char 1;
+  check "short" Ctype.Short 2;
+  check "int" Ctype.Int 4;
+  check "long is 4 on IA-32" Ctype.Long 4;
+  check "float" Ctype.Float 4;
+  check "double" Ctype.Double 8;
+  check "pointer is 4" (Ctype.Ptr Ctype.Double) 4;
+  check "array" (Ctype.Array (Ctype.Int, Some 3)) 12;
+  check "array of doubles" (Ctype.Array (Ctype.Double, Some 10)) 80;
+  check "unsized array decays" (Ctype.Array (Ctype.Int, None)) 4;
+  check "unsigned int" (Ctype.Unsigned Ctype.Int) 4;
+  check "pthread_t" (Ctype.Named "pthread_t") 4;
+  check "pthread_mutex_t" (Ctype.Named "pthread_mutex_t") 24
+
+let test_element_count () =
+  Alcotest.(check int) "scalar" 1 (Ctype.element_count Ctype.Int);
+  Alcotest.(check int) "pointer" 1 (Ctype.element_count (Ctype.Ptr Ctype.Int));
+  Alcotest.(check int) "array" 3
+    (Ctype.element_count (Ctype.Array (Ctype.Int, Some 3)))
+
+let test_predicates () =
+  Alcotest.(check bool) "int is integer" true (Ctype.is_integer Ctype.Int);
+  Alcotest.(check bool) "float not integer" false
+    (Ctype.is_integer Ctype.Float);
+  Alcotest.(check bool) "double is floating" true
+    (Ctype.is_floating Ctype.Double);
+  Alcotest.(check bool) "pointer is pointer" true
+    (Ctype.is_pointer (Ctype.Ptr Ctype.Void));
+  Alcotest.(check bool) "array decays to pointer" true
+    (Ctype.is_pointer (Ctype.Array (Ctype.Int, Some 2)));
+  Alcotest.(check bool) "scalar covers each class" true
+    (Ctype.is_scalar Ctype.Int && Ctype.is_scalar Ctype.Float
+    && Ctype.is_scalar (Ctype.Ptr Ctype.Void))
+
+let test_pointee () =
+  Alcotest.(check bool) "pointee of int*" true
+    (Ctype.pointee (Ctype.Ptr Ctype.Int) = Some Ctype.Int);
+  Alcotest.(check bool) "pointee of array" true
+    (Ctype.pointee (Ctype.Array (Ctype.Double, Some 4)) = Some Ctype.Double);
+  Alcotest.(check bool) "no pointee of int" true
+    (Ctype.pointee Ctype.Int = None)
+
+let test_decl_rendering () =
+  let check msg ty name expected =
+    Alcotest.(check string) msg expected (Ctype.decl ty name)
+  in
+  check "scalar" Ctype.Int "x" "int x";
+  check "pointer" (Ctype.Ptr Ctype.Int) "p" "int *p";
+  check "double pointer" (Ctype.Ptr (Ctype.Ptr Ctype.Char)) "argv"
+    "char **argv";
+  check "array" (Ctype.Array (Ctype.Int, Some 3)) "sum" "int sum[3]";
+  check "array of pointers" (Ctype.Array (Ctype.Ptr Ctype.Int, Some 3)) "v"
+    "int *v[3]";
+  check "named type array" (Ctype.Array (Ctype.Named "pthread_t", Some 3))
+    "threads" "pthread_t threads[3]"
+
+let test_equal () =
+  Alcotest.(check bool) "structural equality" true
+    (Ctype.equal
+       (Ctype.Ptr (Ctype.Array (Ctype.Int, Some 2)))
+       (Ctype.Ptr (Ctype.Array (Ctype.Int, Some 2))));
+  Alcotest.(check bool) "length matters" false
+    (Ctype.equal
+       (Ctype.Array (Ctype.Int, Some 2))
+       (Ctype.Array (Ctype.Int, Some 3)))
+
+let suite =
+  [
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+    Alcotest.test_case "element count" `Quick test_element_count;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "pointee" `Quick test_pointee;
+    Alcotest.test_case "declarator rendering" `Quick test_decl_rendering;
+    Alcotest.test_case "equality" `Quick test_equal;
+  ]

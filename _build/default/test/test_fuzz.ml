@@ -1,0 +1,172 @@
+open Cfront
+
+(* Robustness properties: no input — however malformed — may take the
+   frontend or the engine outside its documented error channel, and the
+   simulator stays deterministic under randomly generated programs. *)
+
+(* --- frontend fuzz ----------------------------------------------------------- *)
+
+(* Random printable soup: the parser must either succeed or raise
+   Srcloc.Error — never any other exception. *)
+let gen_soup =
+  QCheck.Gen.(
+    string_size (int_bound 200)
+      ~gen:
+        (frequency
+           [ (8, printable);
+             (2, oneofl [ '{'; '}'; '('; ')'; '"'; '\''; '\\'; '#'; '\n' ]) ]))
+
+let qcheck_parser_total =
+  QCheck.Test.make ~count:500 ~name:"parser is total over printable soup"
+    (QCheck.make gen_soup ~print:(Printf.sprintf "%S"))
+    (fun src ->
+      match Parser.program src with
+      | _ -> true
+      | exception Srcloc.Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "unexpected exception %s on %S"
+            (Printexc.to_string e) src)
+
+(* Shuffled valid tokens: still only Srcloc.Error allowed. *)
+let token_pool =
+  [ "int"; "double"; "if"; "else"; "while"; "for"; "return"; "break";
+    "x"; "y"; "f"; "42"; "3.5"; "+"; "-"; "*"; "/"; "="; "=="; "<"; ";";
+    ","; "("; ")"; "{"; "}"; "["; "]"; "&"; "!"; "\"s\""; "'c'" ]
+
+let gen_token_soup =
+  QCheck.Gen.(
+    map (String.concat " ")
+      (list_size (int_bound 60) (oneofl token_pool)))
+
+let qcheck_parser_total_on_tokens =
+  QCheck.Test.make ~count:500
+    ~name:"parser is total over shuffled valid tokens"
+    (QCheck.make gen_token_soup ~print:(Printf.sprintf "%S"))
+    (fun src ->
+      match Parser.program src with
+      | _ -> true
+      | exception Srcloc.Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "unexpected exception %s on %S"
+            (Printexc.to_string e) src)
+
+let qcheck_preproc_total =
+  QCheck.Test.make ~count:300 ~name:"preprocessor is total"
+    (QCheck.make gen_soup ~print:(Printf.sprintf "%S"))
+    (fun src ->
+      match Preproc.expand src with
+      | _ -> true
+      | exception Srcloc.Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "unexpected exception %s on %S"
+            (Printexc.to_string e) src)
+
+(* --- random simulator programs ----------------------------------------------- *)
+
+(* A structured random program per context: compute bursts, loads and
+   stores into a shared region, matched acquire/release pairs, and an
+   identical number of barriers in every context — well-formed by
+   construction, so it must terminate without deadlock, and repeated runs
+   must give identical elapsed times. *)
+type op =
+  | Op_compute of int
+  | Op_load of int        (* offset *)
+  | Op_store of int
+  | Op_locked of int * int  (* lock id, compute inside *)
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_bound 20)
+      (frequency
+         [ (3, map (fun n -> Op_compute (1 + (abs n mod 5_000))) int);
+           (3, map (fun o -> Op_load (abs o mod 4_096)) int);
+           (3, map (fun o -> Op_store (abs o mod 4_096)) int);
+           (1,
+            map2
+              (fun l n -> Op_locked (abs l mod 4, 1 + (abs n mod 500)))
+              int int) ]))
+
+let gen_program =
+  QCheck.Gen.(
+    pair (int_range 1 8) (pair (int_bound 3) (list_size (return 8) gen_ops)))
+
+let print_program (ncores, (barriers, ops)) =
+  Printf.sprintf "cores=%d barriers=%d ops=%s" ncores barriers
+    (String.concat "|"
+       (List.map
+          (fun ops ->
+            String.concat ";"
+              (List.map
+                 (function
+                   | Op_compute n -> Printf.sprintf "c%d" n
+                   | Op_load o -> Printf.sprintf "l%d" o
+                   | Op_store o -> Printf.sprintf "s%d" o
+                   | Op_locked (l, n) -> Printf.sprintf "k%d:%d" l n)
+                 ops))
+          ops))
+
+let run_random (ncores, (barriers, per_ctx_ops)) =
+  let eng = Scc.Engine.create () in
+  let mm = Scc.Engine.memmap eng in
+  let shared = Scc.Memmap.alloc mm Scc.Memmap.Shared_dram ~bytes:8_192 in
+  let ops_for u =
+    match List.nth_opt per_ctx_ops (u mod max 1 (List.length per_ctx_ops)) with
+    | Some ops -> ops
+    | None -> []
+  in
+  for core = 0 to ncores - 1 do
+    ignore
+      (Scc.Engine.spawn eng ~core (fun api ->
+           List.iter
+             (fun op ->
+               match op with
+               | Op_compute n -> api.Scc.Engine.compute n
+               | Op_load o -> api.Scc.Engine.load (shared + o) ~bytes:32
+               | Op_store o -> api.Scc.Engine.store (shared + o) ~bytes:32
+               | Op_locked (l, n) ->
+                   api.Scc.Engine.acquire l;
+                   api.Scc.Engine.compute n;
+                   api.Scc.Engine.release l)
+             (ops_for api.Scc.Engine.self);
+           for _ = 1 to barriers do
+             api.Scc.Engine.barrier ()
+           done))
+  done;
+  Scc.Engine.run eng;
+  Scc.Engine.elapsed_ps eng
+
+let qcheck_engine_no_deadlock_and_deterministic =
+  QCheck.Test.make ~count:200
+    ~name:"engine: random well-formed programs terminate deterministically"
+    (QCheck.make gen_program ~print:print_program)
+    (fun program ->
+      match run_random program, run_random program with
+      | a, b ->
+          if a <> b then
+            QCheck.Test.fail_reportf "elapsed differs: %d vs %d" a b
+          else true
+      | exception Scc.Engine.Deadlock msg ->
+          QCheck.Test.fail_reportf "deadlock: %s" msg)
+
+(* --- interpreter determinism --------------------------------------------------- *)
+
+let qcheck_interp_deterministic =
+  QCheck.Test.make ~count:30
+    ~name:"interpreter: repeated runs are bit-identical"
+    (QCheck.make QCheck.Gen.(int_range 2 8) ~print:string_of_int)
+    (fun nt ->
+      let src = Exp.Csrc.pi ~nt ~steps:512 in
+      let program = Parser.program src in
+      let a = Cexec.Interp.run_pthread program in
+      let b = Cexec.Interp.run_pthread program in
+      a.Cexec.Interp.elapsed_ps = b.Cexec.Interp.elapsed_ps
+      && String.equal a.Cexec.Interp.output b.Cexec.Interp.output)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_parser_total;
+    QCheck_alcotest.to_alcotest qcheck_parser_total_on_tokens;
+    QCheck_alcotest.to_alcotest qcheck_preproc_total;
+    QCheck_alcotest.to_alcotest qcheck_engine_no_deadlock_and_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_interp_deterministic;
+  ]

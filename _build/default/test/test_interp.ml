@@ -1,0 +1,414 @@
+open Cfront
+
+(* The C interpreter: expression and statement semantics, pointers,
+   functions, pthreads, RCCE programs, and the end-to-end equivalence of
+   original vs translated benchmarks. *)
+
+let run_main ?cfg src =
+  Cexec.Interp.run_pthread ?cfg (Parser.program ~file:"t.c" src)
+
+let output src = (run_main src).Cexec.Interp.output
+
+let check_output msg src expected =
+  Alcotest.(check string) msg expected (output src)
+
+let exit_value src =
+  match (run_main src).Cexec.Interp.exit_values with
+  | [ v ] -> Cexec.Value.as_int v
+  | _ -> Alcotest.fail "expected one exit value"
+
+let check_exit msg src expected =
+  Alcotest.(check int) msg expected (exit_value src)
+
+(* --- expressions ------------------------------------------------------------ *)
+
+let test_arithmetic () =
+  check_exit "precedence" "int main() { return 2 + 3 * 4; }" 14;
+  check_exit "division truncates" "int main() { return 7 / 2; }" 3;
+  check_exit "modulo" "int main() { return 17 % 5; }" 2;
+  check_exit "unary minus" "int main() { return -(3 - 5); }" 2;
+  check_exit "bitwise" "int main() { return (6 & 3) | (1 << 4); }" 18;
+  check_exit "comparison yields 0/1" "int main() { return (3 < 5) + (5 < 3); }" 1;
+  check_exit "logical not" "int main() { return !0 + !7; }" 1;
+  check_exit "ternary" "int main() { return 1 ? 10 : 20; }" 10
+
+let test_floats () =
+  check_output "float arithmetic"
+    {|int main() { double x = 1.5; double y = x * 4.0 + 0.25; printf("%f\n", y); return 0; }|}
+    "6.250000\n";
+  check_exit "int/float conversion" "int main() { double d = 7.9; return (int)d; }" 7;
+  check_exit "mixed promotes" "int main() { return (int)(1 / 2.0 * 8.0); }" 4
+
+let test_short_circuit () =
+  (* the second operand must not be evaluated (it would divide by zero) *)
+  check_exit "&& short-circuits" "int main() { int z = 0; return 0 && (1 / z); }" 0;
+  check_exit "|| short-circuits" "int main() { int z = 0; return 1 || (1 / z); }" 1
+
+let test_compound_assignment () =
+  check_exit "+= and *=" "int main() { int a = 3; a += 4; a *= 2; return a; }" 14;
+  check_exit "pre/post increment"
+    "int main() { int a = 5; int b = a++; int c = ++a; return b * 10 + c; }" 57
+
+let test_division_by_zero () =
+  match run_main "int main() { int z = 0; return 1 / z; }" with
+  | _ -> Alcotest.fail "division by zero should raise"
+  | exception Cexec.Value.Type_error _ -> ()
+
+(* --- control flow ------------------------------------------------------------- *)
+
+let test_loops () =
+  check_exit "for loop sum"
+    "int main() { int s = 0; int i; for (i = 1; i <= 10; i++) { s += i; } return s; }"
+    55;
+  check_exit "while with break"
+    {|int main() {
+        int i = 0;
+        while (1) { if (i == 7) break; i++; }
+        return i;
+      }|}
+    7;
+  check_exit "continue skips"
+    {|int main() {
+        int s = 0; int i;
+        for (i = 0; i < 10; i++) { if (i % 2) continue; s += i; }
+        return s;
+      }|}
+    20;
+  check_exit "do-while runs once"
+    "int main() { int i = 100; do { i++; } while (i < 5); return i; }" 101
+
+let test_nested_control () =
+  check_exit "nested loops"
+    {|int main() {
+        int total = 0; int i; int j;
+        for (i = 0; i < 5; i++) {
+          for (j = 0; j < 5; j++) {
+            if (j > i) break;
+            total++;
+          }
+        }
+        return total;
+      }|}
+    15
+
+(* --- pointers and arrays --------------------------------------------------- *)
+
+let test_pointers () =
+  check_exit "address and deref"
+    "int main() { int x = 5; int *p = &x; *p = 9; return x; }" 9;
+  check_exit "pointer arithmetic"
+    {|int main() {
+        int a[4];
+        int *p = a;
+        *(p + 2) = 42;
+        return a[2];
+      }|}
+    42;
+  check_exit "array indexing"
+    {|int main() {
+        int a[8]; int i;
+        for (i = 0; i < 8; i++) { a[i] = i * i; }
+        return a[5];
+      }|}
+    25;
+  check_exit "pointer into array element"
+    {|int main() {
+        int a[3]; a[1] = 7;
+        int *p = &a[1];
+        return *p;
+      }|}
+    7
+
+let test_global_state () =
+  check_exit "globals initialized"
+    "int g = 42;\nint main() { return g; }" 42;
+  check_exit "global array initializer"
+    "int a[3] = {5, 6, 7};\nint main() { return a[0] + a[1] + a[2]; }" 18;
+  check_exit "global default zero" "int z;\nint main() { return z; }" 0
+
+let test_functions () =
+  check_exit "call and return"
+    "int add(int a, int b) { return a + b; }\nint main() { return add(3, 4); }"
+    7;
+  check_exit "recursion"
+    {|int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+      int main() { return fib(10); }|}
+    55;
+  check_exit "pointer argument mutates"
+    {|void bump(int *p) { *p = *p + 1; }
+      int main() { int x = 10; bump(&x); bump(&x); return x; }|}
+    12;
+  check_exit "locals are per call"
+    {|int f(int n) { int local = n * 2; return local; }
+      int main() { return f(1) + f(2); }|}
+    6
+
+let test_printf () =
+  check_output "int formatting"
+    {|int main() { printf("a=%d b=%d\n", 1, 2 + 3); return 0; }|}
+    "a=1 b=5\n";
+  check_output "percent escape" {|int main() { printf("100%%\n"); return 0; }|}
+    "100%\n";
+  check_output "char" {|int main() { printf("%c%c\n", 104, 105); return 0; }|}
+    "hi\n"
+
+let test_null_dereference_reported () =
+  (match run_main "int main() { int *p = NULL; return *p; }" with
+  | _ -> Alcotest.fail "null read should raise"
+  | exception Cexec.Interp.Runtime_error msg ->
+      Alcotest.(check bool) "mentions null" true
+        (let needle = "null pointer" in
+         let n = String.length needle and m = String.length msg in
+         let rec scan i =
+           i + n <= m && (String.sub msg i n = needle || scan (i + 1))
+         in
+         scan 0));
+  match run_main "int main() { int *p = NULL; *p = 1; return 0; }" with
+  | _ -> Alcotest.fail "null write should raise"
+  | exception Cexec.Interp.Runtime_error _ -> ()
+
+let test_unbound_variable_reported () =
+  match run_main "int main() { return nosuch; }" with
+  | _ -> Alcotest.fail "unbound variable should raise"
+  | exception Cexec.Interp.Runtime_error _ -> ()
+
+let test_unknown_function_reported () =
+  match run_main "int main() { return mystery(1); }" with
+  | _ -> Alcotest.fail "unknown function should raise"
+  | exception Cexec.Interp.Runtime_error _ -> ()
+
+(* --- pthread programs ----------------------------------------------------- *)
+
+let test_pthread_example_4_1 () =
+  let r = Cexec.Interp.run_pthread (Exp.Example41.parse ()) in
+  Alcotest.(check string) "the paper's example output"
+    "Sum Array: 1\nSum Array: 2\nSum Array: 3\n" r.Cexec.Interp.output
+
+let test_pthread_mutex_counter () =
+  let src = Exp.Csrc.mutex_counter ~nt:4 ~iters:25 in
+  let r = Cexec.Interp.run_pthread (Parser.program src) in
+  Alcotest.(check string) "all increments counted" "counter = 100\n"
+    r.Cexec.Interp.output
+
+let test_pthread_threads_share_globals () =
+  check_output "threads see each other's writes"
+    {|#include <pthread.h>
+      #include <stdio.h>
+      int x;
+      void *w(void *a) { x = x + 10; pthread_exit(NULL); }
+      int main() {
+        pthread_t t;
+        x = 5;
+        pthread_create(&t, NULL, w, NULL);
+        pthread_join(t, NULL);
+        printf("%d\n", x);
+        return 0;
+      }|}
+    "15\n"
+
+(* --- RCCE programs ----------------------------------------------------------- *)
+
+let run_rcce ~ncores src =
+  Cexec.Interp.run_rcce ~ncores (Parser.program ~file:"t.c" src)
+
+let test_rcce_ue_and_shared () =
+  let r =
+    run_rcce ~ncores:4
+      {|#include <stdio.h>
+        int *cells;
+        int RCCE_APP(int argc, char **argv) {
+          RCCE_init(&argc, &argv);
+          cells = (int*)RCCE_shmalloc(sizeof(int) * 4);
+          int me;
+          me = RCCE_ue();
+          cells[me] = me * me;
+          RCCE_barrier(&RCCE_COMM_WORLD);
+          if (me == 0) {
+            int i;
+            int total = 0;
+            for (i = 0; i < 4; i++) { total = total + cells[i]; }
+            printf("total = %d\n", total);
+          }
+          RCCE_finalize();
+          return 0;
+        }|}
+  in
+  Alcotest.(check string) "shared cells summed" "total = 14\n"
+    r.Cexec.Interp.output
+
+let test_rcce_globals_are_private () =
+  (* each process has its own copy of an ordinary global *)
+  let r =
+    run_rcce ~ncores:3
+      {|#include <stdio.h>
+        int mine;
+        int RCCE_APP(int argc, char **argv) {
+          RCCE_init(&argc, &argv);
+          mine = RCCE_ue() + 1;
+          RCCE_barrier(&RCCE_COMM_WORLD);
+          printf("%d", mine);
+          RCCE_finalize();
+          return 0;
+        }|}
+  in
+  (* each prints its own value; order is simulation order but the
+     multiset must be {1,2,3} *)
+  let sorted =
+    r.Cexec.Interp.output |> String.to_seq |> List.of_seq
+    |> List.sort compare |> List.to_seq |> String.of_seq
+  in
+  Alcotest.(check string) "private globals" "123" sorted
+
+let test_rcce_locks () =
+  let r =
+    run_rcce ~ncores:4
+      {|#include <stdio.h>
+        int *counter;
+        int RCCE_APP(int argc, char **argv) {
+          RCCE_init(&argc, &argv);
+          counter = (int*)RCCE_shmalloc(sizeof(int) * 1);
+          int i;
+          for (i = 0; i < 10; i++) {
+            RCCE_acquire_lock(0);
+            *counter = *counter + 1;
+            RCCE_release_lock(0);
+          }
+          RCCE_barrier(&RCCE_COMM_WORLD);
+          if (RCCE_ue() == 0) { printf("%d\n", *counter); }
+          RCCE_finalize();
+          return 0;
+        }|}
+  in
+  Alcotest.(check string) "lock-protected count" "40\n" r.Cexec.Interp.output
+
+let test_rcce_mpb_malloc () =
+  let r =
+    run_rcce ~ncores:2
+      {|#include <stdio.h>
+        int *fast;
+        int RCCE_APP(int argc, char **argv) {
+          RCCE_init(&argc, &argv);
+          fast = (int*)RCCE_malloc(sizeof(int) * 2);
+          fast[RCCE_ue()] = 7 + RCCE_ue();
+          RCCE_barrier(&RCCE_COMM_WORLD);
+          if (RCCE_ue() == 1) { printf("%d %d\n", fast[0], fast[1]); }
+          RCCE_finalize();
+          return 0;
+        }|}
+  in
+  Alcotest.(check string) "on-chip shared data" "7 8\n" r.Cexec.Interp.output
+
+let test_translated_on_chip_placement_runs () =
+  (* translate with on-chip capacity: the output allocates with
+     RCCE_malloc, and the interpreter serves it from the simulated MPB
+     with the same results *)
+  let program = Exp.Example41.parse () in
+  let options =
+    { Translate.Pass.default_options with Translate.Pass.capacity = 8192 }
+  in
+  let translated, _ =
+    Translate.Driver.translate_program ~options program
+  in
+  let text = Pretty.program translated in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec scan i = i + n <= m && (String.sub text i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "uses the on-chip allocator" true
+    (contains "RCCE_malloc");
+  let r = Cexec.Interp.run_rcce ~ncores:3 translated in
+  Alcotest.(check string) "same sums from the MPB"
+    "Sum Array: 1
+Sum Array: 2
+Sum Array: 3
+" r.Cexec.Interp.output;
+  (* and the traffic really went to the MPB *)
+  let stats = Scc.Engine.stats r.Cexec.Interp.engine in
+  Alcotest.(check bool) "MPB lines touched" true
+    (Scc.Stats.total_mpb_lines stats > 0)
+
+(* --- end-to-end: original vs translated --------------------------------------- *)
+
+let end_to_end src ~nt =
+  let program = Parser.program ~file:"e2e.c" src in
+  let original = Cexec.Interp.run_pthread program in
+  let translated, _ = Translate.Driver.translate_program program in
+  let converted = Cexec.Interp.run_rcce ~ncores:nt translated in
+  (original, converted)
+
+let test_end_to_end_pi () =
+  let original, converted = end_to_end (Exp.Csrc.pi ~nt:8 ~steps:4096) ~nt:8 in
+  (* every process prints the same final value as the original *)
+  let expected = String.trim original.Cexec.Interp.output in
+  Alcotest.(check bool) "original printed pi" true
+    (String.length expected > 0);
+  String.split_on_char '\n' (String.trim converted.Cexec.Interp.output)
+  |> List.iter (fun line -> Alcotest.(check string) "same pi" expected line);
+  Alcotest.(check bool) "converted is faster" true
+    (converted.Cexec.Interp.elapsed_ps < original.Cexec.Interp.elapsed_ps)
+
+let test_end_to_end_primes () =
+  let original, converted =
+    end_to_end (Exp.Csrc.primes ~nt:4 ~limit:400) ~nt:4
+  in
+  let expected = String.trim original.Cexec.Interp.output in
+  String.split_on_char '\n' (String.trim converted.Cexec.Interp.output)
+  |> List.iter (fun line ->
+         Alcotest.(check string) "same prime count" expected line)
+
+let test_end_to_end_mutex () =
+  let original, converted =
+    end_to_end (Exp.Csrc.mutex_counter ~nt:4 ~iters:10) ~nt:4
+  in
+  Alcotest.(check string) "original counted" "counter = 40"
+    (String.trim original.Cexec.Interp.output);
+  String.split_on_char '\n' (String.trim converted.Cexec.Interp.output)
+  |> List.iter (fun line ->
+         Alcotest.(check string) "same count" "counter = 40" line)
+
+let test_end_to_end_example () =
+  let program = Exp.Example41.parse () in
+  let original = Cexec.Interp.run_pthread program in
+  let translated, _ = Translate.Driver.translate_program program in
+  let converted = Cexec.Interp.run_rcce ~ncores:3 translated in
+  Alcotest.(check string) "same output as the original"
+    original.Cexec.Interp.output converted.Cexec.Interp.output
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "floats" `Quick test_floats;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "compound assignment" `Quick test_compound_assignment;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "loops" `Quick test_loops;
+    Alcotest.test_case "nested control" `Quick test_nested_control;
+    Alcotest.test_case "pointers" `Quick test_pointers;
+    Alcotest.test_case "globals" `Quick test_global_state;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "printf" `Quick test_printf;
+    Alcotest.test_case "null dereference" `Quick
+      test_null_dereference_reported;
+    Alcotest.test_case "unbound variable" `Quick
+      test_unbound_variable_reported;
+    Alcotest.test_case "unknown function" `Quick
+      test_unknown_function_reported;
+    Alcotest.test_case "pthread example 4.1" `Quick test_pthread_example_4_1;
+    Alcotest.test_case "pthread mutex counter" `Quick
+      test_pthread_mutex_counter;
+    Alcotest.test_case "threads share globals" `Quick
+      test_pthread_threads_share_globals;
+    Alcotest.test_case "rcce ue and shared" `Quick test_rcce_ue_and_shared;
+    Alcotest.test_case "rcce private globals" `Quick
+      test_rcce_globals_are_private;
+    Alcotest.test_case "rcce locks" `Quick test_rcce_locks;
+    Alcotest.test_case "rcce MPB malloc" `Quick test_rcce_mpb_malloc;
+    Alcotest.test_case "translated on-chip placement" `Quick
+      test_translated_on_chip_placement_runs;
+    Alcotest.test_case "end-to-end pi" `Quick test_end_to_end_pi;
+    Alcotest.test_case "end-to-end primes" `Quick test_end_to_end_primes;
+    Alcotest.test_case "end-to-end mutex" `Quick test_end_to_end_mutex;
+    Alcotest.test_case "end-to-end example 4.1" `Quick
+      test_end_to_end_example;
+  ]

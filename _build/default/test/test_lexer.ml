@@ -1,0 +1,99 @@
+open Cfront
+
+(* Lexer: token streams, literals, comments, preprocessor handling,
+   positions and error reporting. *)
+
+let lex src =
+  let toks, _ = Lexer.tokenize src in
+  List.filter_map
+    (fun { Token.tok; _ } -> if tok = Token.Eof then None else Some tok)
+    toks
+
+let check_tokens msg expected src =
+  Alcotest.(check (list string))
+    msg expected
+    (List.map Token.to_string (lex src))
+
+let test_punctuation () =
+  check_tokens "operators split correctly"
+    [ "a"; "+"; "+="; "++"; "b" ]
+    "a + += ++ b";
+  check_tokens "shift vs compare" [ "a"; "<<"; "b"; "<"; "c"; "<<="; "d" ]
+    "a << b < c <<= d";
+  check_tokens "arrow and minus" [ "p"; "->"; "x"; "-"; "--"; "y" ]
+    "p->x - --y"
+
+let test_keywords () =
+  check_tokens "keywords recognized"
+    [ "int"; "main"; "("; "void"; ")"; "{"; "return"; "0"; ";"; "}" ]
+    "int main(void) { return 0; }";
+  check_tokens "keyword prefix is an identifier" [ "integer"; "iffy" ]
+    "integer iffy"
+
+let test_literals () =
+  (match lex "42 3.5 1e3 0.5f 10L 'a' '\\n'" with
+  | [ Token.Int_lit 42; Token.Float_lit 3.5; Token.Float_lit 1000.0;
+      Token.Float_lit 0.5; Token.Int_lit 10; Token.Char_lit 'a';
+      Token.Char_lit '\n' ] -> ()
+  | toks ->
+      Alcotest.failf "unexpected literal tokens: %s"
+        (String.concat " " (List.map Token.to_string toks)));
+  match lex {|"hi\n" "a\"b"|} with
+  | [ Token.Str_lit "hi\n"; Token.Str_lit "a\"b" ] -> ()
+  | toks ->
+      Alcotest.failf "unexpected string tokens: %s"
+        (String.concat " " (List.map Token.to_string toks))
+
+let test_comments () =
+  check_tokens "line comments skipped" [ "a"; "b" ] "a // c1\nb // c2";
+  check_tokens "block comments skipped" [ "a"; "b" ] "a /* x\ny */ b";
+  check_tokens "comment between tokens" [ "a"; "+"; "b" ] "a/*c*/+/*d*/b"
+
+let test_includes_collected () =
+  let _, includes =
+    Lexer.tokenize "#include <stdio.h>\n#define N 3\n#include \"x.h\"\nint a;"
+  in
+  Alcotest.(check (list string))
+    "only #include lines collected"
+    [ "#include <stdio.h>"; "#include \"x.h\"" ]
+    includes
+
+let test_positions () =
+  let lexer = Lexer.create ~file:"t.c" "ab\n  cd" in
+  let t1 = Lexer.next lexer in
+  let t2 = Lexer.next lexer in
+  Alcotest.(check string) "first at 1:1" "t.c:1:1"
+    (Srcloc.to_string t1.Token.loc);
+  Alcotest.(check string) "second at 2:3" "t.c:2:3"
+    (Srcloc.to_string t2.Token.loc)
+
+let expect_lex_error msg src =
+  match Lexer.tokenize src with
+  | _ -> Alcotest.failf "%s: expected a lexical error" msg
+  | exception Srcloc.Error _ -> ()
+
+let test_errors () =
+  expect_lex_error "unterminated string" "\"abc";
+  expect_lex_error "unterminated comment" "/* abc";
+  expect_lex_error "unterminated char" "'a";
+  expect_lex_error "bad escape" {|"\q"|};
+  expect_lex_error "stray character" "a $ b"
+
+let test_eof_is_sticky () =
+  let lexer = Lexer.create "x" in
+  ignore (Lexer.next lexer);
+  Alcotest.(check bool) "eof" true ((Lexer.next lexer).Token.tok = Token.Eof);
+  Alcotest.(check bool) "still eof" true
+    ((Lexer.next lexer).Token.tok = Token.Eof)
+
+let suite =
+  [
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "includes collected" `Quick test_includes_collected;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "eof is sticky" `Quick test_eof_is_sticky;
+  ]

@@ -1,0 +1,207 @@
+open Cfront
+
+(* The Eraser lockset race detector, standalone and wired into the
+   interpreter. *)
+
+module IS = Cexec.Lockset.Int_set
+
+let set xs = List.fold_left (fun s x -> IS.add x s) IS.empty xs
+
+(* --- state machine, directly --------------------------------------------- *)
+
+let test_single_thread_never_races () =
+  let d = Cexec.Lockset.create () in
+  for _ = 1 to 10 do
+    Cexec.Lockset.access d ~ctx:0 ~held:IS.empty ~write:true 100
+  done;
+  Alcotest.(check int) "no reports" 0 (List.length (Cexec.Lockset.reports d))
+
+let test_read_sharing_is_fine () =
+  let d = Cexec.Lockset.create () in
+  Cexec.Lockset.access d ~ctx:0 ~held:IS.empty ~write:true 100;
+  Cexec.Lockset.access d ~ctx:1 ~held:IS.empty ~write:false 100;
+  Cexec.Lockset.access d ~ctx:2 ~held:IS.empty ~write:false 100;
+  Alcotest.(check int) "initialization then read-sharing" 0
+    (List.length (Cexec.Lockset.reports d))
+
+let test_unlocked_write_write_races () =
+  let d = Cexec.Lockset.create () in
+  Cexec.Lockset.access d ~ctx:0 ~held:IS.empty ~write:true 100;
+  Cexec.Lockset.access d ~ctx:1 ~held:IS.empty ~write:true 100;
+  Alcotest.(check int) "one report" 1 (List.length (Cexec.Lockset.reports d))
+
+let test_consistent_lock_protects () =
+  let d = Cexec.Lockset.create () in
+  Cexec.Lockset.access d ~ctx:0 ~held:(set [ 1 ]) ~write:true 100;
+  Cexec.Lockset.access d ~ctx:1 ~held:(set [ 1 ]) ~write:true 100;
+  Cexec.Lockset.access d ~ctx:2 ~held:(set [ 1; 2 ]) ~write:true 100;
+  Alcotest.(check int) "no reports under a common lock" 0
+    (List.length (Cexec.Lockset.reports d))
+
+let test_inconsistent_locks_race () =
+  let d = Cexec.Lockset.create () in
+  Cexec.Lockset.access d ~ctx:0 ~held:(set [ 1 ]) ~write:true 100;
+  (* Eraser initializes the candidate set at the access that leaves the
+     Exclusive state, so the race surfaces on the next access *)
+  Cexec.Lockset.access d ~ctx:1 ~held:(set [ 2 ]) ~write:true 100;
+  Alcotest.(check int) "not yet reportable" 0
+    (List.length (Cexec.Lockset.reports d));
+  Cexec.Lockset.access d ~ctx:0 ~held:(set [ 1 ]) ~write:true 100;
+  Alcotest.(check int) "disjoint locksets race" 1
+    (List.length (Cexec.Lockset.reports d))
+
+let test_reports_once_per_location () =
+  let d = Cexec.Lockset.create () in
+  for ctx = 0 to 4 do
+    Cexec.Lockset.access d ~ctx ~held:IS.empty ~write:true 100
+  done;
+  Alcotest.(check int) "single report despite many racy accesses" 1
+    (List.length (Cexec.Lockset.reports d))
+
+let test_region_naming () =
+  let d = Cexec.Lockset.create () in
+  Cexec.Lockset.name_region d ~base:1000 ~bytes:40 "table";
+  Cexec.Lockset.access d ~ctx:0 ~held:IS.empty ~write:true 1016;
+  Cexec.Lockset.access d ~ctx:1 ~held:IS.empty ~write:true 1016;
+  match Cexec.Lockset.reports d with
+  | [ r ] ->
+      Alcotest.(check string) "array element named" "table[+16]"
+        r.Cexec.Lockset.location
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+(* --- through the interpreter ------------------------------------------------ *)
+
+let run_detect src =
+  Cexec.Interp.run_pthread ~detect_races:true (Parser.program ~file:"r.c" src)
+
+let unsync_counter =
+  {|#include <pthread.h>
+    int counter;
+    void *w(void *a) {
+      int i;
+      for (i = 0; i < 5; i++) { counter = counter + 1; }
+      pthread_exit(NULL);
+    }
+    int main() {
+      pthread_t t[3];
+      int i;
+      for (i = 0; i < 3; i++) { pthread_create(&t[i], NULL, w, (void *)i); }
+      for (i = 0; i < 3; i++) { pthread_join(t[i], NULL); }
+      return counter;
+    }|}
+
+let test_interp_detects_unsynchronized_counter () =
+  let r = run_detect unsync_counter in
+  Alcotest.(check bool) "counter flagged" true
+    (List.exists
+       (fun (rep : Cexec.Lockset.report) ->
+         rep.Cexec.Lockset.location = "counter")
+       r.Cexec.Interp.races)
+
+let test_interp_mutex_protects () =
+  let r = run_detect (Exp.Csrc.mutex_counter ~nt:3 ~iters:5) in
+  Alcotest.(check (list string)) "no races with the mutex" []
+    (List.map
+       (fun (rep : Cexec.Lockset.report) -> rep.Cexec.Lockset.location)
+       r.Cexec.Interp.races)
+
+let test_interp_example_4_1_clean () =
+  (* disjoint per-thread writes then post-join reads: no races *)
+  let r =
+    Cexec.Interp.run_pthread ~detect_races:true (Exp.Example41.parse ())
+  in
+  Alcotest.(check (list string)) "example 4.1 is race-free" []
+    (List.map
+       (fun (rep : Cexec.Lockset.report) -> rep.Cexec.Lockset.location)
+       r.Cexec.Interp.races)
+
+let test_interp_rcce_locked_counter_clean () =
+  let src =
+    {|int *counter;
+      int RCCE_APP(int argc, char **argv) {
+        RCCE_init(&argc, &argv);
+        counter = (int*)RCCE_shmalloc(sizeof(int) * 1);
+        int i;
+        for (i = 0; i < 5; i++) {
+          RCCE_acquire_lock(0);
+          *counter = *counter + 1;
+          RCCE_release_lock(0);
+        }
+        RCCE_finalize();
+        return 0;
+      }|}
+  in
+  let r =
+    Cexec.Interp.run_rcce ~detect_races:true ~ncores:4
+      (Parser.program ~file:"r.c" src)
+  in
+  Alcotest.(check (list string)) "rcce lock protects" []
+    (List.map
+       (fun (rep : Cexec.Lockset.report) -> rep.Cexec.Lockset.location)
+       r.Cexec.Interp.races)
+
+let test_interp_rcce_unlocked_flagged () =
+  let src =
+    {|int *counter;
+      int RCCE_APP(int argc, char **argv) {
+        RCCE_init(&argc, &argv);
+        counter = (int*)RCCE_shmalloc(sizeof(int) * 1);
+        *counter = *counter + 1;
+        RCCE_finalize();
+        return 0;
+      }|}
+  in
+  let r =
+    Cexec.Interp.run_rcce ~detect_races:true ~ncores:4
+      (Parser.program ~file:"r.c" src)
+  in
+  Alcotest.(check bool) "unlocked shared increment flagged" true
+    (List.exists
+       (fun (rep : Cexec.Lockset.report) ->
+         rep.Cexec.Lockset.location = "shmalloc#0")
+       r.Cexec.Interp.races)
+
+let test_translation_preserves_protection () =
+  (* the paper's mutex -> test-and-set conversion must preserve the
+     locking discipline: the converted program is also race-free *)
+  let src = Exp.Csrc.mutex_counter ~nt:4 ~iters:6 in
+  let program = Parser.program ~file:"mc.c" src in
+  let translated, _ = Translate.Driver.translate_program program in
+  let r = Cexec.Interp.run_rcce ~detect_races:true ~ncores:4 translated in
+  Alcotest.(check (list string)) "converted program race-free" []
+    (List.map
+       (fun (rep : Cexec.Lockset.report) -> rep.Cexec.Lockset.location)
+       r.Cexec.Interp.races)
+
+let test_detection_off_by_default () =
+  let r = Cexec.Interp.run_pthread (Parser.program unsync_counter) in
+  Alcotest.(check int) "no reports when disabled" 0
+    (List.length r.Cexec.Interp.races)
+
+let suite =
+  [
+    Alcotest.test_case "single thread clean" `Quick
+      test_single_thread_never_races;
+    Alcotest.test_case "read sharing clean" `Quick test_read_sharing_is_fine;
+    Alcotest.test_case "unlocked write-write" `Quick
+      test_unlocked_write_write_races;
+    Alcotest.test_case "consistent lock" `Quick test_consistent_lock_protects;
+    Alcotest.test_case "inconsistent locks" `Quick
+      test_inconsistent_locks_race;
+    Alcotest.test_case "reports once" `Quick test_reports_once_per_location;
+    Alcotest.test_case "region naming" `Quick test_region_naming;
+    Alcotest.test_case "interp: unsynchronized counter" `Quick
+      test_interp_detects_unsynchronized_counter;
+    Alcotest.test_case "interp: mutex protects" `Quick
+      test_interp_mutex_protects;
+    Alcotest.test_case "interp: example 4.1 clean" `Quick
+      test_interp_example_4_1_clean;
+    Alcotest.test_case "interp: rcce locked clean" `Quick
+      test_interp_rcce_locked_counter_clean;
+    Alcotest.test_case "interp: rcce unlocked flagged" `Quick
+      test_interp_rcce_unlocked_flagged;
+    Alcotest.test_case "translation preserves protection" `Quick
+      test_translation_preserves_protection;
+    Alcotest.test_case "detection off by default" `Quick
+      test_detection_off_by_default;
+  ]

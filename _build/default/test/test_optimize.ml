@@ -1,0 +1,203 @@
+open Cfront
+
+(* Constant folding and the optimize pass, including a qcheck property:
+   folding never changes what the interpreter computes. *)
+
+let fold src = Pretty.expr (Constfold.expr (Parser.expression src))
+
+let check_fold msg src expected =
+  Alcotest.(check string) msg expected (fold src)
+
+let test_int_folding () =
+  check_fold "arithmetic" "2 + 3 * 4" "14";
+  check_fold "division truncates" "7 / 2" "3";
+  check_fold "modulo" "17 % 5" "2";
+  check_fold "comparison" "3 < 5" "1";
+  check_fold "logic" "1 && 0" "0";
+  check_fold "bitwise" "(6 & 3) | 16" "18";
+  check_fold "shift" "1 << 4" "16";
+  check_fold "negation" "-(2 + 3)" "-5";
+  check_fold "bitwise not" "~0" "-1";
+  check_fold "nested" "(1 + 2) * (3 + 4)" "21"
+
+let test_float_folding () =
+  check_fold "float add" "1.5 + 2.25" "3.75";
+  check_fold "mixed promotes" "1 / 2.0" "0.5";
+  check_fold "float compare" "2.5 > 1.0" "1"
+
+let test_division_by_zero_not_folded () =
+  check_fold "div by zero untouched" "1 / 0" "1 / 0";
+  check_fold "mod by zero untouched" "5 % 0" "5 % 0";
+  check_fold "float div by zero untouched" "1.0 / 0.0" "1.0 / 0.0"
+
+let test_identities () =
+  check_fold "x + 0" "x + 0" "x";
+  check_fold "0 + x" "0 + x" "x";
+  check_fold "x * 1" "x * 1" "x";
+  check_fold "x - 0" "x - 0" "x";
+  check_fold "0 && f()" "0 && f()" "0";
+  check_fold "1 || f()" "1 || f()" "1";
+  (* effectful operands must not be dropped *)
+  check_fold "g() + 0 kept" "g() + 0" "g() + 0"
+
+let test_ternary_and_sizeof () =
+  check_fold "true branch" "1 ? a : b" "a";
+  check_fold "false branch" "0 ? a : b" "b";
+  check_fold "sizeof int" "sizeof(int)" "4";
+  check_fold "sizeof double" "sizeof(double)" "8";
+  check_fold "cast to int" "(int)3.9" "3";
+  check_fold "cast to double" "(double)3" "3.0"
+
+let test_const_truth () =
+  Alcotest.(check (option bool)) "2 > 1" (Some true)
+    (Constfold.const_truth (Parser.expression "2 > 1"));
+  Alcotest.(check (option bool)) "3 - 3" (Some false)
+    (Constfold.const_truth (Parser.expression "3 - 3"));
+  Alcotest.(check (option bool)) "unknown" None
+    (Constfold.const_truth (Parser.expression "x + 1"))
+
+(* --- the optimize pass -------------------------------------------------------- *)
+
+let contains needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec scan i = i + n <= m && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let optimized_options =
+  { Translate.Pass.default_options with Translate.Pass.optimize = true }
+
+let test_dead_branch_removed () =
+  let src =
+    {|#include <pthread.h>
+      int flag;
+      void *w(void *a) {
+        if (1 == 1) { flag = 1; } else { impossible(); }
+        if (2 < 1) { never(); }
+        while (0) { spin(); }
+        pthread_exit(NULL);
+      }
+      int main() {
+        pthread_t t;
+        pthread_create(&t, NULL, w, NULL);
+        pthread_join(t, NULL);
+        return 0;
+      }|}
+  in
+  let out, report =
+    Translate.Driver.translate_to_string ~options:optimized_options src
+  in
+  Alcotest.(check bool) "impossible() gone" false (contains "impossible" out);
+  Alcotest.(check bool) "never() gone" false (contains "never" out);
+  Alcotest.(check bool) "spin() gone" false (contains "spin" out);
+  Alcotest.(check bool) "kept the live branch" true (contains "flag" out);
+  Alcotest.(check bool) "optimize noted" true
+    (List.exists (contains "optimize:") report.Translate.Driver.notes)
+
+let test_unreachable_after_return () =
+  let src =
+    {|int f(void) {
+        return 1;
+        unreachable();
+      }
+      int main() { return f(); }|}
+  in
+  let out, _ =
+    Translate.Driver.translate_to_string ~options:optimized_options src
+  in
+  Alcotest.(check bool) "unreachable() dropped" false
+    (contains "unreachable" out)
+
+let test_off_by_default () =
+  let src = "int main() { if (1) { a(); } return 2 + 3; }" in
+  let out, _ = Translate.Driver.translate_to_string src in
+  Alcotest.(check bool) "shape preserved without -O" true
+    (contains "if (1)" out && contains "2 + 3" out)
+
+(* --- qcheck: folding preserves interpreter semantics -------------------------- *)
+
+(* integer expressions over variables a=5, b=-3, c=11, avoiding division
+   (whose by-zero behaviour differs between folded and unfolded paths) *)
+let gen_int_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> Ast.Int_lit (n mod 100)) small_signed_int;
+        oneofl [ Ast.Var "a"; Ast.Var "b"; Ast.Var "c" ] ]
+  in
+  let ops =
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt; Ast.Le;
+      Ast.Ge; Ast.Land; Ast.Lor; Ast.Band; Ast.Bor; Ast.Bxor ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [ (2, leaf);
+               (4,
+                map3
+                  (fun op x y -> Ast.Binary (op, x, y))
+                  (oneofl ops) (self (n / 2)) (self (n / 2)));
+               (1, map (fun e -> Ast.Unary (Ast.Neg, e)) (self (n - 1)));
+               (1, map (fun e -> Ast.Unary (Ast.Not, e)) (self (n - 1)));
+               (1,
+                map3
+                  (fun c x y -> Ast.Cond (c, x, y))
+                  (self (n / 3)) (self (n / 3)) (self (n / 3))) ])
+
+let interp_value expr_text =
+  let src =
+    Printf.sprintf
+      "int main() { int a = 5; int b = -3; int c = 11; return %s; }"
+      expr_text
+  in
+  match Cexec.Interp.run_pthread (Parser.program src) with
+  | r -> begin
+      match r.Cexec.Interp.exit_values with
+      | [ v ] -> Some (Cexec.Value.as_int v)
+      | _ -> None
+    end
+  | exception _ -> None
+
+let qcheck_folding_preserves_semantics =
+  QCheck.Test.make ~count:200
+    ~name:"constant folding preserves interpreter results"
+    (QCheck.make gen_int_expr ~print:Pretty.expr)
+    (fun e ->
+      let original = Pretty.expr e in
+      let folded = Pretty.expr (Constfold.expr e) in
+      match interp_value original, interp_value folded with
+      | Some a, Some b ->
+          if a <> b then
+            QCheck.Test.fail_reportf "%s = %d but folded %s = %d" original a
+              folded b
+          else true
+      | None, None -> true
+      | Some _, None | None, Some _ ->
+          QCheck.Test.fail_reportf "folding changed definedness of %s"
+            original)
+
+let qcheck_folding_never_grows =
+  QCheck.Test.make ~count:200 ~name:"folding never grows the expression"
+    (QCheck.make gen_int_expr ~print:Pretty.expr)
+    (fun e ->
+      String.length (Pretty.expr (Constfold.expr e))
+      <= String.length (Pretty.expr e))
+
+let suite =
+  [
+    Alcotest.test_case "int folding" `Quick test_int_folding;
+    Alcotest.test_case "float folding" `Quick test_float_folding;
+    Alcotest.test_case "division by zero" `Quick
+      test_division_by_zero_not_folded;
+    Alcotest.test_case "identities" `Quick test_identities;
+    Alcotest.test_case "ternary and sizeof" `Quick test_ternary_and_sizeof;
+    Alcotest.test_case "const truth" `Quick test_const_truth;
+    Alcotest.test_case "dead branches removed" `Quick
+      test_dead_branch_removed;
+    Alcotest.test_case "unreachable after return" `Quick
+      test_unreachable_after_return;
+    Alcotest.test_case "off by default" `Quick test_off_by_default;
+    QCheck_alcotest.to_alcotest qcheck_folding_preserves_semantics;
+    QCheck_alcotest.to_alcotest qcheck_folding_never_grows;
+  ]

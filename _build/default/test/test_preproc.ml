@@ -1,0 +1,171 @@
+open Cfront
+
+(* The macro preprocessor (section 7.1): defines, function-like macros,
+   conditionals, literals/comments protection, and the end-to-end case
+   the paper calls out — Pthread calls wrapped in macros.  Output is
+   line-preserving: every input line maps to one output line. *)
+
+let expand ?defines src = Preproc.expand ?defines src
+
+let check msg src expected =
+  Alcotest.(check string) msg expected (expand src)
+
+let test_object_macros () =
+  check "simple substitution" "#define N 3\nint a[N];" "\nint a[3];";
+  check "several uses" "#define X 7\nint a = X + X;" "\nint a = 7 + 7;";
+  check "identifier boundaries respected" "#define N 3\nint NN = N;"
+    "\nint NN = 3;";
+  check "redefinition wins" "#define A 1\n#define A 2\nint x = A;"
+    "\n\nint x = 2;"
+
+let test_chained_expansion () =
+  check "macro in macro" "#define A B\n#define B 5\nint x = A;"
+    "\n\nint x = 5;"
+
+let test_function_macros () =
+  check "parameters substituted"
+    "#define SQ(x) ((x) * (x))\nint a = SQ(4);" "\nint a = ((4) * (4));";
+  check "two parameters" "#define ADD(a, b) (a + b)\nint x = ADD(1, 2);"
+    "\nint x = (1 + 2);";
+  check "nested call argument" "#define ID(x) x\nint y = ID(f(1, 2));"
+    "\nint y = f(1, 2);";
+  check "name without args left alone" "#define F(x) x\nint F;" "\nint F;";
+  check "zero-argument macro" "#define Z() 9\nint x = Z();" "\nint x = 9;"
+
+let test_undef () =
+  check "undef stops substitution" "#define A 1\n#undef A\nint x = A;"
+    "\n\nint x = A;"
+
+let test_conditionals () =
+  check "ifdef taken" "#define ON 1\n#ifdef ON\nint a;\n#endif"
+    "\n\nint a;\n";
+  check "ifdef skipped" "#ifdef OFF\nint a;\n#endif\nint b;"
+    "\n\n\nint b;";
+  check "ifndef" "#ifndef OFF\nint a;\n#endif" "\nint a;\n";
+  check "else branch" "#ifdef OFF\nint a;\n#else\nint b;\n#endif"
+    "\n\n\nint b;\n";
+  check "nested"
+    "#define A 1\n#ifdef A\n#ifdef B\nint x;\n#else\nint y;\n#endif\n#endif"
+    "\n\n\n\n\nint y;\n\n"
+
+let test_literals_protected () =
+  check "strings untouched" "#define N 3\nchar *s = \"N N\";"
+    "\nchar *s = \"N N\";";
+  check "line comments untouched" "#define N 3\nint a; // N stays"
+    "\nint a; // N stays";
+  check "block comments untouched" "#define N 3\nint a; /* N */ int b[N];"
+    "\nint a; /* N */ int b[3];";
+  check "multi-line comment"
+    "#define N 3\n/* first N\n   second N */\nint b[N];"
+    "\n/* first N\n   second N */\nint b[3];"
+
+let test_line_structure_preserved () =
+  (* diagnostics after preprocessing must point at original lines *)
+  let src = "#define N 3\n\nint a[N]\nint b;" in
+  match Parser.program ~file:"lines.c" src with
+  | _ -> Alcotest.fail "missing semicolon should fail"
+  | exception Srcloc.Error (loc, _) ->
+      Alcotest.(check int) "error on original line 4" 4 loc.Srcloc.line
+
+let test_seeded_defines () =
+  Alcotest.(check string) "-D style seeding" "int n = 32;"
+    (expand ~defines:[ ("CORES", "32") ] "int n = CORES;")
+
+let test_errors () =
+  let expect msg src =
+    match expand src with
+    | _ -> Alcotest.failf "%s: expected an error" msg
+    | exception Srcloc.Error _ -> ()
+  in
+  expect "recursive macro" "#define A A + 1\nint x = A;";
+  expect "mutually recursive" "#define A B\n#define B A\nint x = A;";
+  expect "unterminated ifdef" "#ifdef X\nint a;";
+  expect "stray endif" "#endif";
+  expect "stray else" "#else";
+  expect "arity mismatch" "#define F(a, b) a\nint x = F(1);";
+  expect "unsupported directive" "#error nope"
+
+(* --- the paper's section 7.1 case: macro-wrapped Pthread code ------------------ *)
+
+let macro_pthread_src =
+  {|#include <stdio.h>
+#include <pthread.h>
+#define NT 4
+#define CREATE(t, f, a) pthread_create(&t, NULL, f, (void *) a)
+#define JOIN(t) pthread_join(t, NULL)
+
+int cells[NT];
+
+void *work(void *tid) {
+    int id = (int)tid;
+    cells[id] = id + 10;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t th[NT];
+    int i;
+    for (i = 0; i < NT; i++) { CREATE(th[i], work, i); }
+    for (i = 0; i < NT; i++) { JOIN(th[i]); }
+    for (i = 0; i < NT; i++) { printf("%d\n", cells[i]); }
+    return 0;
+}
+|}
+
+let test_macro_wrapped_pthreads_translate () =
+  let translated, report =
+    Translate.Driver.translate_source ~file:"macro.c" macro_pthread_src
+  in
+  let out = Pretty.program translated in
+  let contains needle =
+    let n = String.length needle and m = String.length out in
+    let rec scan i = i + n <= m && (String.sub out i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "create loop dismantled" true
+    (contains "work((void*)myID)");
+  Alcotest.(check bool) "no pthread left" false (contains "pthread");
+  Alcotest.(check (option int)) "four threads seen" (Some 4)
+    report.Translate.Driver.thread_count
+
+let test_macro_wrapped_pthreads_end_to_end () =
+  let program = Parser.program ~file:"macro.c" macro_pthread_src in
+  let original = Cexec.Interp.run_pthread program in
+  let translated, _ = Translate.Driver.translate_program program in
+  let converted = Cexec.Interp.run_rcce ~ncores:4 translated in
+  (* the final print loop survives on every process, so the converted
+     output is four interleaved copies of the original's lines *)
+  let sorted output =
+    String.split_on_char '\n' (String.trim output) |> List.sort compare
+  in
+  let expected =
+    List.concat_map (fun l -> [ l; l; l; l ])
+      (sorted original.Cexec.Interp.output)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "four copies of each line" expected
+    (sorted converted.Cexec.Interp.output)
+
+let test_no_directives_is_identity () =
+  let src = "int main() { return 1 + 2; }\n" in
+  Alcotest.(check string) "identity" src (expand src)
+
+let suite =
+  [
+    Alcotest.test_case "object macros" `Quick test_object_macros;
+    Alcotest.test_case "chained expansion" `Quick test_chained_expansion;
+    Alcotest.test_case "function macros" `Quick test_function_macros;
+    Alcotest.test_case "undef" `Quick test_undef;
+    Alcotest.test_case "conditionals" `Quick test_conditionals;
+    Alcotest.test_case "literals protected" `Quick test_literals_protected;
+    Alcotest.test_case "line structure preserved" `Quick
+      test_line_structure_preserved;
+    Alcotest.test_case "seeded defines" `Quick test_seeded_defines;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "macro-wrapped pthreads translate" `Quick
+      test_macro_wrapped_pthreads_translate;
+    Alcotest.test_case "macro-wrapped pthreads end to end" `Quick
+      test_macro_wrapped_pthreads_end_to_end;
+    Alcotest.test_case "no directives = identity" `Quick
+      test_no_directives_is_identity;
+  ]

@@ -1,0 +1,90 @@
+(* Execution tracing. *)
+
+let run_traced () =
+  let trace = Scc.Trace.create () in
+  let eng = Scc.Engine.create ~trace () in
+  let mm = Scc.Engine.memmap eng in
+  let shared = Scc.Memmap.alloc mm Scc.Memmap.Shared_dram ~bytes:256 in
+  let mpb = Scc.Memmap.alloc mm (Scc.Memmap.Mpb 0) ~bytes:64 in
+  for core = 0 to 1 do
+    ignore
+      (Scc.Engine.spawn eng ~core (fun api ->
+           api.Scc.Engine.compute 1_000;
+           api.Scc.Engine.load shared ~bytes:64;
+           api.Scc.Engine.load mpb ~bytes:32;
+           api.Scc.Engine.barrier ()))
+  done;
+  Scc.Engine.run eng;
+  (eng, trace)
+
+let test_events_recorded () =
+  let _, trace = run_traced () in
+  let kinds =
+    List.sort_uniq compare
+      (List.map
+         (fun (e : Scc.Trace.event) -> Scc.Trace.kind_to_string e.Scc.Trace.kind)
+         (Scc.Trace.events trace))
+  in
+  List.iter
+    (fun k ->
+      if not (List.mem k kinds) then
+        Alcotest.failf "missing %s events (have: %s)" k
+          (String.concat ", " kinds))
+    [ "compute"; "shared-dram"; "mpb"; "barrier" ]
+
+let test_intervals_well_formed () =
+  let eng, trace = run_traced () in
+  let horizon = Scc.Engine.elapsed_ps eng in
+  List.iter
+    (fun (e : Scc.Trace.event) ->
+      if e.Scc.Trace.start_ps < 0 || e.Scc.Trace.end_ps > horizon
+         || e.Scc.Trace.start_ps >= e.Scc.Trace.end_ps then
+        Alcotest.failf "bad interval [%d, %d] (horizon %d)"
+          e.Scc.Trace.start_ps e.Scc.Trace.end_ps horizon)
+    (Scc.Trace.events trace)
+
+let test_busy_accounting () =
+  let _, trace = run_traced () in
+  let busy = Scc.Trace.busy_by_kind trace ~ctx:0 in
+  let compute = try List.assoc Scc.Trace.Compute busy with Not_found -> 0 in
+  Alcotest.(check int) "1000 cycles of compute traced"
+    (Scc.Config.core_cycles_ps Scc.Config.default 1_000)
+    compute
+
+let test_chrome_json_shape () =
+  let _, trace = run_traced () in
+  let json = Scc.Trace.to_chrome_json trace in
+  Alcotest.(check bool) "array brackets" true
+    (String.length json > 2 && json.[0] = '[');
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec scan i = i + n <= m && (String.sub json i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "duration events" true (contains {|"ph":"X"|});
+  Alcotest.(check bool) "kind names present" true (contains "shared-dram")
+
+let test_limit_respected () =
+  let trace = Scc.Trace.create ~limit:3 () in
+  for i = 0 to 9 do
+    Scc.Trace.record trace ~ctx:0 ~core:0 ~start_ps:(i * 10)
+      ~end_ps:((i * 10) + 5) Scc.Trace.Compute
+  done;
+  Alcotest.(check int) "capped at 3" 3 (Scc.Trace.length trace)
+
+let test_tracing_off_by_default () =
+  let eng = Scc.Engine.create () in
+  ignore (Scc.Engine.spawn eng ~core:0 (fun api -> api.Scc.Engine.compute 10));
+  Scc.Engine.run eng;
+  Alcotest.(check bool) "no trace" true (Scc.Engine.trace eng = None)
+
+let suite =
+  [
+    Alcotest.test_case "events recorded" `Quick test_events_recorded;
+    Alcotest.test_case "intervals well-formed" `Quick
+      test_intervals_well_formed;
+    Alcotest.test_case "busy accounting" `Quick test_busy_accounting;
+    Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+    Alcotest.test_case "limit respected" `Quick test_limit_respected;
+    Alcotest.test_case "off by default" `Quick test_tracing_off_by_default;
+  ]

@@ -1,0 +1,212 @@
+(* The benchmark suite: every workload verifies in all three execution
+   modes, and the relationships the paper reports hold at test scale. *)
+
+let quick_suite = Exp.Experiments.suite Exp.Experiments.Quick
+
+let run w mode = Workloads.Workload.run w mode
+
+let test_all_verify_in_all_modes () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun mode ->
+          let r = run w mode in
+          if not r.Workloads.Workload.verified then
+            Alcotest.failf "%s not verified under %s"
+              w.Workloads.Workload.name
+              (Workloads.Workload.mode_to_string mode))
+        [ Workloads.Workload.Pthread_baseline 8;
+          Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 8);
+          Workloads.Workload.Rcce (Workloads.Workload.On_chip, 8) ])
+    quick_suite
+
+let test_rcce_beats_baseline () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let base = run w (Workloads.Workload.Pthread_baseline 8) in
+      let rcce =
+        run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 8))
+      in
+      let s = Workloads.Workload.speedup ~baseline:base rcce in
+      if s <= 1.5 then
+        Alcotest.failf "%s: expected clear parallel speedup, got %.2fx"
+          w.Workloads.Workload.name s)
+    quick_suite
+
+let test_more_cores_never_slower () =
+  let w = List.hd quick_suite (* pi *) in
+  let elapsed n =
+    (run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, n)))
+      .Workloads.Workload.elapsed_ps
+  in
+  let e2 = elapsed 2 and e8 = elapsed 8 and e32 = elapsed 32 in
+  Alcotest.(check bool) "8 <= 2 cores" true (e8 <= e2);
+  Alcotest.(check bool) "32 <= 8 cores" true (e32 <= e8)
+
+let test_primes_imbalance () =
+  (* contiguous partitioning makes the last unit the straggler: speedup
+     clearly below the unit count *)
+  let w = Workloads.Primes.make ~params:{ Workloads.Primes.limit = 6_000 } () in
+  let base = run w (Workloads.Workload.Pthread_baseline 16) in
+  let rcce =
+    run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 16))
+  in
+  let s = Workloads.Workload.speedup ~baseline:base rcce in
+  Alcotest.(check bool)
+    (Printf.sprintf "primes speedup %.1fx well below 16x" s)
+    true
+    (s > 4.0 && s < 13.0)
+
+let test_pi_near_linear () =
+  let w = Workloads.Pi.make ~params:{ Workloads.Pi.steps = 1 lsl 16 } () in
+  let base = run w (Workloads.Workload.Pthread_baseline 16) in
+  let rcce =
+    run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 16))
+  in
+  let s = Workloads.Workload.speedup ~baseline:base rcce in
+  Alcotest.(check bool)
+    (Printf.sprintf "pi speedup %.1fx close to 16x" s)
+    true
+    (s > 13.0 && s < 20.0)
+
+let test_stream_gains_from_mpb () =
+  let w =
+    Workloads.Stream.make
+      ~params:{ Workloads.Stream.n = 1 lsl 14; reps = 4; block = 256 } ()
+  in
+  let off = run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 32)) in
+  let mpb = run w (Workloads.Workload.Rcce (Workloads.Workload.On_chip, 32)) in
+  Alcotest.(check bool) "MPB variant verified" true
+    mpb.Workloads.Workload.verified;
+  Alcotest.(check bool) "MPB clearly faster for stream" true
+    (mpb.Workloads.Workload.elapsed_ps * 3 / 2
+    < off.Workloads.Workload.elapsed_ps)
+
+let test_lu_mpb_fallback_noted () =
+  let w = Workloads.Lu.make ~params:{ Workloads.Lu.n = 96; block = 256 } () in
+  let mpb = run w (Workloads.Workload.Rcce (Workloads.Workload.On_chip, 4)) in
+  (* 96x96 doubles = 73 KB > 4 cores x 8 KB: must fall back *)
+  Alcotest.(check bool) "fallback note emitted" true
+    (List.exists
+       (fun n ->
+         let contains needle hay =
+           let ln = String.length needle and lh = String.length hay in
+           let rec scan i =
+             i + ln <= lh && (String.sub hay i ln = needle || scan (i + 1))
+           in
+           scan 0
+         in
+         contains "exceeds the on-chip MPB" n)
+       mpb.Workloads.Workload.notes);
+  Alcotest.(check bool) "still verified" true mpb.Workloads.Workload.verified
+
+let test_deterministic_results () =
+  let w = Workloads.Dot.make ~params:{ Workloads.Dot.n = 4096; reps = 2; block = 256 } () in
+  let mode = Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 8) in
+  let a = run w mode and b = run w mode in
+  Alcotest.(check int) "identical elapsed time"
+    a.Workloads.Workload.elapsed_ps b.Workloads.Workload.elapsed_ps
+
+let test_chunk_range_covers () =
+  (* the per-unit ranges partition [0, n) exactly *)
+  let check n units =
+    let covered = Array.make n 0 in
+    for u = 0 to units - 1 do
+      let lo, hi = Workloads.Sharr.chunk_range ~n ~units ~u in
+      for i = lo to hi - 1 do
+        covered.(i) <- covered.(i) + 1
+      done
+    done;
+    Array.iteri
+      (fun i c ->
+        if c <> 1 then
+          Alcotest.failf "n=%d units=%d: index %d covered %d times" n units
+            i c)
+      covered
+  in
+  check 100 7;
+  check 64 8;
+  check 13 4;
+  check 5 5
+
+let qcheck_chunk_range =
+  QCheck.Test.make ~count:200 ~name:"chunk ranges partition the index space"
+    (QCheck.pair QCheck.(int_range 1 1000) QCheck.(int_range 1 48))
+    (fun (n, units) ->
+      QCheck.assume (units <= n);
+      let total =
+        List.fold_left
+          (fun acc u ->
+            let lo, hi = Workloads.Sharr.chunk_range ~n ~units ~u in
+            acc + (hi - lo))
+          0
+          (List.init units (fun u -> u))
+      in
+      total = n)
+
+let test_sharr_striped_addressing () =
+  let chunks = [| 1000; 2000; 3000 |] in
+  let arr =
+    Workloads.Sharr.create ~name:"x" ~elts:24 ~elt_bytes:8
+      (Workloads.Sharr.Striped { chunks; chunk_bytes = 64 })
+  in
+  (* 8 elements per 64-byte chunk *)
+  Alcotest.(check int) "element 0 in chunk 0" 1000
+    (Workloads.Sharr.addr_of arr 0);
+  Alcotest.(check int) "element 8 in chunk 1" 2000
+    (Workloads.Sharr.addr_of arr 8);
+  Alcotest.(check int) "element 9 offset" 2008
+    (Workloads.Sharr.addr_of arr 9);
+  Alcotest.(check int) "element 23 in chunk 2" (3000 + 56)
+    (Workloads.Sharr.addr_of arr 23)
+
+let test_sharr_bounds_checked () =
+  let arr =
+    Workloads.Sharr.create ~name:"x" ~elts:4 ~elt_bytes:8
+      (Workloads.Sharr.Contiguous 0)
+  in
+  let eng = Scc.Engine.create () in
+  ignore
+    (Scc.Engine.spawn eng ~core:0 (fun api ->
+         match Workloads.Sharr.load_block api arr ~off:2 ~len:10 with
+         | _ -> Alcotest.fail "out-of-range block accepted"
+         | exception Invalid_argument _ -> ()));
+  Scc.Engine.run eng
+
+let test_histogram_verifies_and_lags () =
+  let w =
+    Workloads.Histogram.make
+      ~params:{ Workloads.Histogram.n = 1 lsl 12; bins = 32; locks = 4 } ()
+  in
+  let base = run w (Workloads.Workload.Pthread_baseline 16) in
+  let rcce =
+    run w (Workloads.Workload.Rcce (Workloads.Workload.Off_chip, 16))
+  in
+  Alcotest.(check bool) "baseline verified" true
+    base.Workloads.Workload.verified;
+  Alcotest.(check bool) "rcce verified" true rcce.Workloads.Workload.verified;
+  let s = Workloads.Workload.speedup ~baseline:base rcce in
+  Alcotest.(check bool)
+    (Printf.sprintf "lock-bound speedup %.1fx well below 16x" s)
+    true (s < 10.0)
+
+let suite =
+  [
+    Alcotest.test_case "all verify in all modes" `Slow
+      test_all_verify_in_all_modes;
+    Alcotest.test_case "rcce beats baseline" `Slow test_rcce_beats_baseline;
+    Alcotest.test_case "more cores never slower" `Slow
+      test_more_cores_never_slower;
+    Alcotest.test_case "primes imbalance" `Quick test_primes_imbalance;
+    Alcotest.test_case "pi near linear" `Quick test_pi_near_linear;
+    Alcotest.test_case "stream MPB gain" `Quick test_stream_gains_from_mpb;
+    Alcotest.test_case "lu MPB fallback" `Quick test_lu_mpb_fallback_noted;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_results;
+    Alcotest.test_case "chunk ranges" `Quick test_chunk_range_covers;
+    QCheck_alcotest.to_alcotest qcheck_chunk_range;
+    Alcotest.test_case "striped addressing" `Quick
+      test_sharr_striped_addressing;
+    Alcotest.test_case "block bounds" `Quick test_sharr_bounds_checked;
+    Alcotest.test_case "histogram lock-bound" `Quick
+      test_histogram_verifies_and_lags;
+  ]
