@@ -2,6 +2,7 @@
 
      hsmcc translate file.c            translated C on stdout
      hsmcc analyze file.c              Tables 4.1/4.2-style analysis report
+     hsmcc check file.c                static data-race detection
      hsmcc run file.c --cores 8        interpret on the simulated SCC
 *)
 
@@ -38,10 +39,19 @@ let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
     optimize;
   }
 
+let diag_format_of_flag fmt =
+  match Diag.format_of_string fmt with
+  | Some f -> f
+  | None ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: unknown diagnostic format '%s' \
+                         (expected gcc or json)" fmt);
+      exit 2
+
 (* --- translate ------------------------------------------------------------ *)
 
 let translate_cmd path ncores capacity density sound_locals many_to_one
-    optimize verbose =
+    optimize race_check warn_error diag_format verbose =
   let program = or_die (parse_source path) in
   let options =
     options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
@@ -55,9 +65,35 @@ let translate_cmd path ncores capacity density sound_locals many_to_one
         List.iter
           (fun n -> prerr_endline ("--   " ^ n))
           report.Translate.Driver.notes
+      end;
+      if race_check then begin
+        let status =
+          Diag.emit ~format:(diag_format_of_flag diag_format)
+            ~werror:warn_error stderr report.Translate.Driver.diagnostics
+        in
+        if status <> 0 then exit status
       end
   | exception Translate.Driver.Error e ->
       prerr_endline ("hsmcc: " ^ Translate.Driver.error_to_string e);
+      exit 1
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd path warn_error diag_format =
+  let program = or_die (parse_source path) in
+  match Analysis.Pipeline.analyze program with
+  | analysis ->
+      let diags = Analysis.Race.check analysis in
+      let diags =
+        if warn_error then Diag.promote_warnings diags else diags
+      in
+      let format = diag_format_of_flag diag_format in
+      let status = Diag.emit ~format stdout diags in
+      if format = Diag.Gcc then prerr_endline (Diag.summary diags);
+      exit status
+  | exception Cfront.Srcloc.Error (loc, msg) ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: %s: %s" (Cfront.Srcloc.to_string loc) msg);
       exit 1
 
 (* --- analyze -------------------------------------------------------------- *)
@@ -136,7 +172,7 @@ let cfg_cmd path func =
 
 (* --- run -------------------------------------------------------------------- *)
 
-let run_cmd path ncores detect_races =
+let run_cmd path ncores detect_races diag_format =
   let program = or_die (parse_source path) in
   let result =
     try
@@ -149,9 +185,13 @@ let run_cmd path ncores detect_races =
   print_string result.Cexec.Interp.output;
   Printf.eprintf "-- simulated time: %.3f ms\n"
     (float_of_int result.Cexec.Interp.elapsed_ps /. 1e9);
-  List.iter
-    (fun r -> Printf.eprintf "-- %s\n" (Cexec.Lockset.report_to_string r))
-    result.Cexec.Interp.races;
+  (* dynamic reports print through the same renderer as [hsmcc check] *)
+  let diags =
+    List.map Cexec.Lockset.report_to_diag result.Cexec.Interp.races
+  in
+  ignore
+    (Diag.emit ~format:(diag_format_of_flag diag_format) stderr diags
+      : int);
   if detect_races && result.Cexec.Interp.races = [] then
     prerr_endline "-- no data races detected"
 
@@ -200,10 +240,28 @@ let optimize_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pass notes.")
 
+let race_check_arg =
+  Arg.(value & flag
+       & info [ "race-check" ]
+           ~doc:"Run the static data-race detector and print its \
+                 diagnostics on stderr.")
+
+let warn_error_arg =
+  Arg.(value & flag
+       & info [ "warn-error"; "Werror" ]
+           ~doc:"Treat warnings as errors (non-zero exit when any \
+                 diagnostic is emitted).")
+
+let diag_format_arg =
+  Arg.(value & opt string "gcc"
+       & info [ "diag-format" ] ~docv:"FORMAT"
+           ~doc:"Diagnostic output format: gcc (file:line:col text) or \
+                 json (one array of objects).")
+
 let translate_term =
   Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
         $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
-        $ verbose_arg)
+        $ race_check_arg $ warn_error_arg $ diag_format_arg $ verbose_arg)
 
 let translate_cmd_info =
   Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")
@@ -212,6 +270,13 @@ let translate_cmd_info =
 let analyze_cmd_info =
   Cmd.v (Cmd.info "analyze" ~doc:"Run Stages 1-3 and print the analysis")
     Term.(const analyze_cmd $ file_arg)
+
+let check_cmd_info =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically detect data races (lockset analysis over the \
+             Stage 1-3 facts)")
+    Term.(const check_cmd $ file_arg $ warn_error_arg $ diag_format_arg)
 
 let run_cores_arg =
   Arg.(value & opt int 1
@@ -226,7 +291,8 @@ let detect_races_arg =
 
 let run_cmd_info =
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program on the simulated SCC")
-    Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg)
+    Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg
+          $ diag_format_arg)
 
 let defines_arg =
   Arg.(value & opt_all string []
@@ -253,7 +319,7 @@ let main =
     (Cmd.info "hsmcc" ~version:"1.0.0"
        ~doc:"Pthread-to-RCCE translation framework for hybrid shared \
              memory manycores")
-    [ translate_cmd_info; analyze_cmd_info; run_cmd_info;
+    [ translate_cmd_info; analyze_cmd_info; check_cmd_info; run_cmd_info;
       preprocess_cmd_info; cfg_cmd_info ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,31 @@
+/* The correctly synchronized variant: every access to `counter` from a
+   thread context holds mutex `m`, so `hsmcc check` reports nothing. */
+#include <stdio.h>
+#include <pthread.h>
+
+int counter;
+pthread_mutex_t m;
+
+void *work(void *tid) {
+    int i;
+    for (i = 0; i < 1000; i++) {
+        pthread_mutex_lock(&m);
+        counter = counter + 1;
+        pthread_mutex_unlock(&m);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_mutex_init(&m, NULL);
+    int t;
+    pthread_t threads[4];
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("counter = %d\n", counter);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/* A race the default dynamic schedule never sees: the write to `data`
+   sits behind `enable`, which stays 0 in this run.  The static lockset
+   detector still reports it, because both workers may reach the store
+   with no lock held. */
+#include <stdio.h>
+#include <pthread.h>
+
+int data;
+int enable;
+
+void *work(void *tid) {
+    if (enable) {
+        data = data + 1;
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[4];
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("data = %d\n", data);
+    return 0;
+}

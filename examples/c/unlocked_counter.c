@@ -1,0 +1,29 @@
+/* The classic unsynchronized counter: two worker instances increment
+   `counter` with no lock held.  Both `hsmcc check` (statically) and
+   `hsmcc run --detect-races` (dynamically, schedule permitting) flag
+   the same location. */
+#include <stdio.h>
+#include <pthread.h>
+
+int counter;
+
+void *work(void *tid) {
+    int i;
+    for (i = 0; i < 1000; i++) {
+        counter = counter + 1;
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[4];
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("counter = %d\n", counter);
+    return 0;
+}

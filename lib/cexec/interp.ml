@@ -151,15 +151,15 @@ let lookup task name =
   in
   in_frames task.frames
 
-let name_region task ~base ~bytes name =
+let name_region task ?loc ~base ~bytes name =
   match task.proc.sh.races with
   | None -> ()
-  | Some detector -> Lockset.name_region detector ~base ~bytes name
+  | Some detector -> Lockset.name_region detector ?loc ~base ~bytes name
 
-let declare task name ty =
+let declare task ?loc name ty =
   let bytes = max (Ctype.sizeof ty) 4 in
   let lv = { addr = alloc_private task ~bytes; ty } in
-  name_region task ~base:lv.addr ~bytes name;
+  name_region task ?loc ~base:lv.addr ~bytes name;
   Hashtbl.replace (current_frame task) name lv;
   lv
 
@@ -382,7 +382,7 @@ and exec_block task stmts =
   go stmts
 
 and exec_decl task (d : Ast.decl) =
-  let lv = declare task d.Ast.d_name d.Ast.d_type in
+  let lv = declare task ~loc:d.Ast.d_loc d.Ast.d_name d.Ast.d_type in
   match d.Ast.d_init with
   | None -> ()
   | Some (Ast.Init_expr e) ->
@@ -732,7 +732,7 @@ let setup_globals task =
       let ty = d.Ast.d_type in
       let bytes = max (Ctype.sizeof ty) 4 in
       let lv = { addr = alloc_private task ~bytes; ty } in
-      name_region task ~base:lv.addr ~bytes d.Ast.d_name;
+      name_region task ~loc:d.Ast.d_loc ~base:lv.addr ~bytes d.Ast.d_name;
       Hashtbl.replace task.proc.globals d.Ast.d_name lv;
       match d.Ast.d_init with
       | None -> poke task lv.addr ty (Value.zero_of ty)

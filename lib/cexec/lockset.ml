@@ -29,32 +29,41 @@ type entry = {
 type report = {
   addr : int;
   location : string;   (* variable or region name, when known *)
+  loc : Cfront.Srcloc.t option;   (* declaration site of the region *)
   by_ctx : int;
   write : bool;
 }
 
+type region = {
+  base : int;
+  bytes : int;
+  name : string;
+  decl_loc : Cfront.Srcloc.t option;
+}
+
 type t = {
   entries : (int, entry) Hashtbl.t;
-  mutable regions : (int * int * string) list;  (* base, bytes, name *)
+  mutable regions : region list;
   mutable reports : report list;
 }
 
 let create () =
   { entries = Hashtbl.create 256; regions = []; reports = [] }
 
-let name_region t ~base ~bytes name =
-  t.regions <- (base, bytes, name) :: t.regions
+let name_region t ?loc ~base ~bytes name =
+  t.regions <- { base; bytes; name; decl_loc = loc } :: t.regions
+
+let region_of t addr =
+  List.find_opt
+    (fun r -> addr >= r.base && addr < r.base + r.bytes)
+    t.regions
 
 let location_of t addr =
-  let rec find = function
-    | [] -> Printf.sprintf "address %#x" addr
-    | (base, bytes, name) :: rest ->
-        if addr >= base && addr < base + bytes then
-          if bytes <= 8 then name
-          else Printf.sprintf "%s[+%d]" name (addr - base)
-        else find rest
-  in
-  find t.regions
+  match region_of t addr with
+  | None -> Printf.sprintf "address %#x" addr
+  | Some r ->
+      if r.bytes <= 8 then r.name
+      else Printf.sprintf "%s[+%d]" r.name (addr - r.base)
 
 let entry_of t addr =
   match Hashtbl.find_opt t.entries addr with
@@ -67,8 +76,9 @@ let entry_of t addr =
 let report t e ~addr ~ctx ~write =
   if not e.reported then begin
     e.reported <- true;
+    let loc = Option.bind (region_of t addr) (fun r -> r.decl_loc) in
     t.reports <-
-      { addr; location = location_of t addr; by_ctx = ctx; write }
+      { addr; location = location_of t addr; loc; by_ctx = ctx; write }
       :: t.reports
   end
 
@@ -114,6 +124,19 @@ let racy_locations t =
   List.sort_uniq compare (List.map (fun r -> r.location) (reports t))
 
 let report_to_string r =
-  Printf.sprintf "data race: %s %s by context %d with no common lock"
+  let where =
+    match r.loc with
+    | Some loc -> Printf.sprintf " (declared at %s)" (Cfront.Srcloc.to_string loc)
+    | None -> ""
+  in
+  Printf.sprintf "data race: %s %s by context %d with no common lock%s"
     (if r.write then "written" else "read")
-    r.location r.by_ctx
+    r.location r.by_ctx where
+
+(* The dynamic reports flow through the same diagnostics engine as the
+   static detector's, so [hsmcc run] and [hsmcc check] print alike. *)
+let report_to_diag r =
+  Diag.warning ?loc:r.loc ~code:"race-dynamic"
+    (Printf.sprintf "data race: %s %s by context %d with no common lock"
+       (if r.write then "written" else "read")
+       r.location r.by_ctx)

@@ -13,14 +13,18 @@ type t
 type report = {
   addr : int;
   location : string;  (** variable or region name, when known *)
+  loc : Cfront.Srcloc.t option;
+      (** declaration site of the containing region, when known *)
   by_ctx : int;
   write : bool;
 }
 
 val create : unit -> t
 
-val name_region : t -> base:int -> bytes:int -> string -> unit
-(** Associate an address range with a variable name for reporting. *)
+val name_region :
+  t -> ?loc:Cfront.Srcloc.t -> base:int -> bytes:int -> string -> unit
+(** Associate an address range with a variable name (and, when known,
+    its declaration site) for reporting. *)
 
 val access : t -> ctx:int -> held:Int_set.t -> write:bool -> int -> unit
 (** One access by context [ctx] holding lock set [held]. *)
@@ -38,3 +42,7 @@ val racy_locations : t -> string list
 (** Distinct locations with at least one race, sorted. *)
 
 val report_to_string : report -> string
+
+val report_to_diag : report -> Diag.t
+(** Render through the unified diagnostics engine (code
+    ["race-dynamic"]), so dynamic and static reports print alike. *)

@@ -1,0 +1,183 @@
+open Cfront
+
+(* The unified diagnostics engine: every checker — the static race
+   detector, the dynamic Eraser lockset, future analyses — produces
+   [Diag.t] values, and one renderer pair (gcc-style text and JSON)
+   prints them all, so tools composing hsmcc see a single format.
+
+   A diagnostic is anchored at a source location when one is known,
+   carries a stable machine-readable [code] (printed in brackets, the
+   way gcc prints [-Wname]), and may attach related notes pointing at
+   the other half of a conflict. *)
+
+type severity = Note | Warning | Error
+
+type related = { rel_loc : Srcloc.t option; rel_message : string }
+
+type t = {
+  severity : severity;
+  code : string;              (* stable identifier, e.g. "race" *)
+  loc : Srcloc.t option;
+  message : string;
+  related : related list;     (* secondary locations, in emission order *)
+}
+
+let make ?loc ?(related = []) ~severity ~code message =
+  { severity; code; loc; message; related }
+
+let error ?loc ?related ~code message =
+  make ?loc ?related ~severity:Error ~code message
+
+let warning ?loc ?related ~code message =
+  make ?loc ?related ~severity:Warning ~code message
+
+let note ?loc ?related ~code message =
+  make ?loc ?related ~severity:Note ~code message
+
+let related_note ?loc message = { rel_loc = loc; rel_message = message }
+
+let severity_to_string = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(* Errors first, then warnings, then notes; within a severity keep
+   source order by location. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+let loc_key = function
+  | None -> ("", 0, 0)
+  | Some { Srcloc.file; line; col } -> (file, line, col)
+
+let compare_diag a b =
+  match compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> compare (loc_key a.loc) (loc_key b.loc)
+  | c -> c
+
+let sort diags = List.stable_sort compare_diag diags
+
+(* --- counting and -Werror semantics ------------------------------------- *)
+
+type counts = { errors : int; warnings : int; notes : int }
+
+let count diags =
+  List.fold_left
+    (fun c d ->
+      match d.severity with
+      | Error -> { c with errors = c.errors + 1 }
+      | Warning -> { c with warnings = c.warnings + 1 }
+      | Note -> { c with notes = c.notes + 1 })
+    { errors = 0; warnings = 0; notes = 0 }
+    diags
+
+(* gcc's -Werror: warnings become errors (notes stay notes). *)
+let promote_warnings diags =
+  List.map
+    (fun d ->
+      match d.severity with
+      | Warning -> { d with severity = Error }
+      | Error | Note -> d)
+    diags
+
+let exit_code ?(werror = false) diags =
+  let c = count diags in
+  if c.errors > 0 || (werror && c.warnings > 0) then 1 else 0
+
+let plural n word = if n = 1 then word else word ^ "s"
+
+(* The one-line tail gcc prints after a noisy compile. *)
+let summary diags =
+  let c = count diags in
+  let parts =
+    (if c.warnings > 0 then
+       [ Printf.sprintf "%d %s" c.warnings (plural c.warnings "warning") ]
+     else [])
+    @
+    if c.errors > 0 then
+      [ Printf.sprintf "%d %s" c.errors (plural c.errors "error") ]
+    else []
+  in
+  match parts with
+  | [] -> "no diagnostics generated"
+  | parts -> String.concat " and " parts ^ " generated"
+
+(* --- renderers ----------------------------------------------------------- *)
+
+type format = Gcc | Json
+
+let format_of_string = function
+  | "gcc" | "text" -> Some Gcc
+  | "json" -> Some Json
+  | _ -> None
+
+let loc_prefix = function
+  | Some loc -> Srcloc.to_string loc ^ ": "
+  | None -> ""
+
+let to_gcc_string d =
+  let head =
+    Printf.sprintf "%s%s: %s [%s]" (loc_prefix d.loc)
+      (severity_to_string d.severity)
+      d.message d.code
+  in
+  let notes =
+    List.map
+      (fun r ->
+        Printf.sprintf "%snote: %s" (loc_prefix r.rel_loc) r.rel_message)
+      d.related
+  in
+  String.concat "\n" (head :: notes)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_loc = function
+  | None -> "null"
+  | Some { Srcloc.file; line; col } ->
+      Printf.sprintf {|{"file":"%s","line":%d,"col":%d}|}
+        (json_escape file) line col
+
+let to_json_string d =
+  let related =
+    List.map
+      (fun r ->
+        Printf.sprintf {|{"loc":%s,"message":"%s"}|} (json_of_loc r.rel_loc)
+          (json_escape r.rel_message))
+      d.related
+  in
+  Printf.sprintf
+    {|{"severity":"%s","code":"%s","loc":%s,"message":"%s","related":[%s]}|}
+    (severity_to_string d.severity)
+    (json_escape d.code) (json_of_loc d.loc) (json_escape d.message)
+    (String.concat "," related)
+
+(* Render a batch: gcc-style prints one (multi-line) block per diagnostic;
+   JSON prints a single array so consumers can [json.parse] the whole
+   output. *)
+let render_all format diags =
+  match format with
+  | Gcc -> String.concat "\n" (List.map to_gcc_string diags)
+  | Json ->
+      "[" ^ String.concat "," (List.map to_json_string diags) ^ "]"
+
+(* Print to a channel and return the exit status the caller should use:
+   the full -Werror pipeline in one call. *)
+let emit ?(format = Gcc) ?(werror = false) oc diags =
+  let diags = sort (if werror then promote_warnings diags else diags) in
+  if diags <> [] then begin
+    output_string oc (render_all format diags);
+    output_char oc '\n'
+  end;
+  exit_code ~werror diags

@@ -1,0 +1,68 @@
+open Cfront
+
+(** The unified diagnostics engine: severity-tagged, source-anchored
+    messages with gcc-style and JSON renderers, warning counts and
+    [-Werror] semantics.  Both the static race detector and the dynamic
+    Eraser lockset report through this type, so [hsmcc check] and
+    [hsmcc run] print in one format. *)
+
+type severity = Note | Warning | Error
+
+type related = { rel_loc : Srcloc.t option; rel_message : string }
+(** A secondary location attached to a diagnostic (e.g. the other access
+    of a race pair). *)
+
+type t = {
+  severity : severity;
+  code : string;        (** stable machine-readable identifier, e.g. "race" *)
+  loc : Srcloc.t option;
+  message : string;
+  related : related list;
+}
+
+val make :
+  ?loc:Srcloc.t -> ?related:related list ->
+  severity:severity -> code:string -> string -> t
+
+val error : ?loc:Srcloc.t -> ?related:related list -> code:string -> string -> t
+val warning : ?loc:Srcloc.t -> ?related:related list -> code:string -> string -> t
+val note : ?loc:Srcloc.t -> ?related:related list -> code:string -> string -> t
+
+val related_note : ?loc:Srcloc.t -> string -> related
+
+val severity_to_string : severity -> string
+
+val sort : t list -> t list
+(** Errors, then warnings, then notes; by source location within a
+    severity (stable). *)
+
+type counts = { errors : int; warnings : int; notes : int }
+
+val count : t list -> counts
+
+val promote_warnings : t list -> t list
+(** gcc's [-Werror]: every [Warning] becomes an [Error]. *)
+
+val exit_code : ?werror:bool -> t list -> int
+(** [1] when any error is present — or, under [werror], any warning —
+    [0] otherwise. *)
+
+val summary : t list -> string
+(** The "[N] warnings generated" tail line. *)
+
+type format = Gcc | Json
+
+val format_of_string : string -> format option
+(** Recognizes ["gcc"] (alias ["text"]) and ["json"]. *)
+
+val to_gcc_string : t -> string
+(** ["file:line:col: severity: message \[code\]"], followed by one
+    indent-free note line per related location. *)
+
+val to_json_string : t -> string
+
+val render_all : format -> t list -> string
+(** Gcc: newline-separated blocks.  Json: one array of objects. *)
+
+val emit : ?format:format -> ?werror:bool -> out_channel -> t list -> int
+(** Sort (promoting under [werror]), print, and return the exit code. *)

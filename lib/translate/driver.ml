@@ -9,6 +9,7 @@ type report = {
   partition : Partition.Partitioner.result;
   notes : string list;        (* pass remarks, in emission order *)
   thread_count : int option;  (* statically determined thread count *)
+  diagnostics : Diag.t list;  (* static race detector findings *)
 }
 
 type error =
@@ -71,6 +72,9 @@ let translate_program ?(options = Pass.default_options) program =
           thread_count =
             Analysis.Thread_analysis.static_thread_count
               analysis.Analysis.Pipeline.threads;
+          (* the static race check rides on the analysis the translator
+             needed anyway; callers decide whether to print or enforce *)
+          diagnostics = Analysis.Race.check analysis;
         }
       in
       (translated, report)

@@ -8,6 +8,8 @@ type report = {
   partition : Partition.Partitioner.result;
   notes : string list;        (** pass remarks, in emission order *)
   thread_count : int option;  (** statically determined thread count *)
+  diagnostics : Diag.t list;
+      (** static race detector findings on the input program *)
 }
 
 type error =

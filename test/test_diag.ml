@@ -1,0 +1,137 @@
+open Cfront
+
+(* The diagnostics engine: golden renderer strings, counting, sorting,
+   and the -Werror exit-code semantics. *)
+
+let loc file line col = { Srcloc.file; line; col }
+
+let race_warning =
+  Diag.warning
+    ~loc:(loc "a.c" 13 9)
+    ~related:
+      [ Diag.related_note ~loc:(loc "a.c" 21 5) "conflicting read here" ]
+    ~code:"race" "data race on 'counter'"
+
+(* --- gcc renderer ---------------------------------------------------------- *)
+
+let test_gcc_golden () =
+  Alcotest.(check string) "warning with related note"
+    "a.c:13:9: warning: data race on 'counter' [race]\n\
+     a.c:21:5: note: conflicting read here"
+    (Diag.to_gcc_string race_warning)
+
+let test_gcc_no_loc () =
+  Alcotest.(check string) "location-free diagnostic"
+    "error: out of cores [cores]"
+    (Diag.to_gcc_string (Diag.error ~code:"cores" "out of cores"))
+
+(* --- JSON renderer --------------------------------------------------------- *)
+
+let test_json_golden () =
+  Alcotest.(check string) "full object"
+    {|{"severity":"warning","code":"race","loc":{"file":"a.c","line":13,"col":9},"message":"data race on 'counter'","related":[{"loc":{"file":"a.c","line":21,"col":5},"message":"conflicting read here"}]}|}
+    (Diag.to_json_string race_warning)
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes, backslashes and newlines escaped"
+    {|{"severity":"note","code":"c","loc":null,"message":"a \"b\"\\\n","related":[]}|}
+    (Diag.to_json_string (Diag.note ~code:"c" "a \"b\"\\\n"))
+
+let test_json_batch_is_array () =
+  Alcotest.(check string) "render_all Json wraps one array"
+    {|[{"severity":"error","code":"x","loc":null,"message":"m","related":[]}]|}
+    (Diag.render_all Diag.Json [ Diag.error ~code:"x" "m" ])
+
+(* --- sorting, counting, summaries ------------------------------------------ *)
+
+let test_sort_by_severity_then_loc () =
+  let n = Diag.note ~code:"n" "n" in
+  let w1 = Diag.warning ~loc:(loc "a.c" 2 1) ~code:"w" "w1" in
+  let w2 = Diag.warning ~loc:(loc "a.c" 9 1) ~code:"w" "w2" in
+  let e = Diag.error ~loc:(loc "z.c" 1 1) ~code:"e" "e" in
+  Alcotest.(check (list string)) "errors, warnings by loc, notes"
+    [ "e"; "w1"; "w2"; "n" ]
+    (List.map (fun d -> d.Diag.message) (Diag.sort [ n; w2; e; w1 ]))
+
+let test_count_and_summary () =
+  let diags =
+    [ race_warning; Diag.warning ~code:"race" "w2"; Diag.error ~code:"e" "e" ]
+  in
+  let c = Diag.count diags in
+  Alcotest.(check (list int)) "counts" [ 1; 2; 0 ]
+    [ c.Diag.errors; c.Diag.warnings; c.Diag.notes ];
+  Alcotest.(check string) "plural summary" "2 warnings and 1 error generated"
+    (Diag.summary diags);
+  Alcotest.(check string) "singular summary" "1 warning generated"
+    (Diag.summary [ race_warning ]);
+  Alcotest.(check string) "empty summary" "no diagnostics generated"
+    (Diag.summary [])
+
+(* --- -Werror --------------------------------------------------------------- *)
+
+let test_promote_warnings () =
+  let promoted = Diag.promote_warnings [ race_warning; Diag.note ~code:"n" "n" ] in
+  Alcotest.(check (list string)) "warning becomes error, note survives"
+    [ "error"; "note" ]
+    (List.map (fun d -> Diag.severity_to_string d.Diag.severity) promoted)
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean" 0 (Diag.exit_code []);
+  Alcotest.(check int) "warnings pass" 0 (Diag.exit_code [ race_warning ]);
+  Alcotest.(check int) "warnings fail under -Werror" 1
+    (Diag.exit_code ~werror:true [ race_warning ]);
+  Alcotest.(check int) "errors always fail" 1
+    (Diag.exit_code [ Diag.error ~code:"e" "e" ])
+
+let test_format_of_string () =
+  Alcotest.(check bool) "gcc" true (Diag.format_of_string "gcc" = Some Diag.Gcc);
+  Alcotest.(check bool) "text alias" true
+    (Diag.format_of_string "text" = Some Diag.Gcc);
+  Alcotest.(check bool) "json" true
+    (Diag.format_of_string "json" = Some Diag.Json);
+  Alcotest.(check bool) "unknown" true (Diag.format_of_string "xml" = None)
+
+(* emit = sort + promote + print + exit code, in one call *)
+let emit_to_string ?format ?werror diags =
+  let path = Filename.temp_file "diag" ".out" in
+  let oc = open_out path in
+  let status = Diag.emit ?format ?werror oc diags in
+  close_out oc;
+  let ic = open_in_bin path in
+  let out =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove path)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (status, out)
+
+let test_emit_golden () =
+  let status, out = emit_to_string ~werror:true [ race_warning ] in
+  Alcotest.(check int) "-Werror exit code through emit" 1 status;
+  Alcotest.(check string) "promoted and newline-terminated"
+    "a.c:13:9: error: data race on 'counter' [race]\n\
+     a.c:21:5: note: conflicting read here\n"
+    out
+
+let test_emit_empty_prints_nothing () =
+  let status, out = emit_to_string [] in
+  Alcotest.(check int) "clean exit" 0 status;
+  Alcotest.(check string) "no output" "" out
+
+let suite =
+  [
+    Alcotest.test_case "gcc golden" `Quick test_gcc_golden;
+    Alcotest.test_case "gcc without loc" `Quick test_gcc_no_loc;
+    Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json batch array" `Quick test_json_batch_is_array;
+    Alcotest.test_case "sort order" `Quick test_sort_by_severity_then_loc;
+    Alcotest.test_case "count and summary" `Quick test_count_and_summary;
+    Alcotest.test_case "promote warnings" `Quick test_promote_warnings;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "format of string" `Quick test_format_of_string;
+    Alcotest.test_case "emit golden" `Quick test_emit_golden;
+    Alcotest.test_case "emit empty" `Quick test_emit_empty_prints_nothing;
+  ]

@@ -19,6 +19,8 @@ let () =
       ("exp", Test_exp.suite);
       ("extensions", Test_extensions.suite);
       ("lockset", Test_lockset.suite);
+      ("diag", Test_diag.suite);
+      ("race", Test_race.suite);
       ("optimize", Test_optimize.suite);
       ("trace", Test_trace.suite);
       ("csrc-suite", Test_csrc_suite.suite);
