@@ -1,0 +1,67 @@
+(* Translation-throughput benchmark: the full session path — parse,
+   demand every Stage 1-4 fact, run the Stage-5 passes with structural
+   verification — over the generated benchmark sources, repeated until a
+   fixed wall-clock budget is spent.
+
+     dune exec bench/translate_bench.exe [-- OUT.json]
+
+   writes BENCH_translate.json:
+     { "wall_s": ..., "programs_per_s": ..., "facts_computed": ... }
+*)
+
+let nt = 8
+
+let sources =
+  [
+    ("pi", Exp.Csrc.pi ~nt ~steps:4096);
+    ("primes", Exp.Csrc.primes ~nt ~limit:2_000);
+    ("sum35", Exp.Csrc.sum35 ~nt ~bound:20_000);
+    ("dot", Exp.Csrc.dot ~nt ~n:4096);
+    ("stream", Exp.Csrc.stream ~nt ~n:4096);
+    ("lu", Exp.Csrc.lu ~nt ~n:32);
+    ("mutex_counter", Exp.Csrc.mutex_counter ~nt ~iters:1_000);
+    ("example41", Exp.Example41.source);
+  ]
+
+let translate_one (name, src) =
+  let file = name ^ ".c" in
+  let session = Session.create ~file (Cfront.Parser.program ~file src) in
+  let _translated, _report = Translate.Driver.translate_session session in
+  Session.facts_computed session
+
+let budget_s = 2.0
+
+let () =
+  let out =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> "BENCH_translate.json"
+  in
+  (* warm-up: fault in the whole path once before the clock starts *)
+  ignore (List.fold_left (fun acc s -> acc + translate_one s) 0 sources);
+  let started = Unix.gettimeofday () in
+  let programs = ref 0 in
+  let facts = ref 0 in
+  while Unix.gettimeofday () -. started < budget_s do
+    List.iter
+      (fun s ->
+        facts := !facts + translate_one s;
+        incr programs)
+      sources
+  done;
+  let wall_s = Unix.gettimeofday () -. started in
+  let json =
+    Printf.sprintf
+      "{\n  \"wall_s\": %.3f,\n  \"programs_per_s\": %.1f,\n  \
+       \"facts_computed\": %d\n}\n"
+      wall_s
+      (float_of_int !programs /. wall_s)
+      !facts
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "translated %d programs in %.2f s (%.1f programs/s, %d facts) -> %s\n"
+    !programs wall_s
+    (float_of_int !programs /. wall_s)
+    !facts out

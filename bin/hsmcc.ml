@@ -39,6 +39,25 @@ let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
     optimize;
   }
 
+let timings_format_of_flag fmt =
+  match Session.timings_format_of_string fmt with
+  | Some f -> f
+  | None ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: unknown timings format '%s' \
+                         (expected table or json)" fmt);
+      exit 2
+
+(* Per-provider/per-pass instrumentation, on stderr so stdout stays the
+   translated program. *)
+let emit_timings session format =
+  let rendered =
+    match timings_format_of_flag format with
+    | `Table -> Session.render_timings session
+    | `Json -> Session.render_timings_json session
+  in
+  output_string stderr rendered
+
 let diag_format_of_flag fmt =
   match Diag.format_of_string fmt with
   | Some f -> f
@@ -51,13 +70,17 @@ let diag_format_of_flag fmt =
 (* --- translate ------------------------------------------------------------ *)
 
 let translate_cmd path ncores capacity density sound_locals many_to_one
-    optimize race_check warn_error diag_format verbose =
+    optimize race_check warn_error diag_format timings timings_format
+    verbose =
   let program = or_die (parse_source path) in
   let options =
     options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
       ~optimize
   in
-  match Translate.Driver.translate_program ~options program with
+  (* one session carries the whole command: the race check below reuses
+     the very facts the translator demanded — nothing runs twice *)
+  let session = Session.create ~file:path ~options program in
+  match Translate.Driver.translate_session session with
   | translated, report ->
       print_string (Cfront.Pretty.program translated);
       if verbose then begin
@@ -66,6 +89,9 @@ let translate_cmd path ncores capacity density sound_locals many_to_one
           (fun n -> prerr_endline ("--   " ^ n))
           report.Translate.Driver.notes
       end;
+      if timings || timings_format <> None then
+        emit_timings session
+          (Option.value timings_format ~default:"table");
       if race_check then begin
         let status =
           Diag.emit ~format:(diag_format_of_flag diag_format)
@@ -81,9 +107,9 @@ let translate_cmd path ncores capacity density sound_locals many_to_one
 
 let check_cmd path warn_error diag_format =
   let program = or_die (parse_source path) in
-  match Analysis.Pipeline.analyze program with
-  | analysis ->
-      let diags = Analysis.Race.check analysis in
+  let session = Session.create ~file:path program in
+  match Session.race_diags session with
+  | diags ->
       let diags =
         if warn_error then Diag.promote_warnings diags else diags
       in
@@ -100,7 +126,8 @@ let check_cmd path warn_error diag_format =
 
 let analyze_cmd path =
   let program = or_die (parse_source path) in
-  match Analysis.Pipeline.analyze program with
+  let session = Session.create ~file:path program in
+  match Session.pipeline session with
   | a ->
       print_endline "Per-variable information (post Stage 3):";
       print_string (Exp.Tabulate.render (Analysis.Pipeline.table_4_1 a));
@@ -153,22 +180,18 @@ let preprocess_cmd path defines =
 
 let cfg_cmd path func =
   let program = or_die (parse_source path) in
-  let functions = Cfront.Ast.functions program in
+  let session = Session.create ~file:path program in
+  let cfgs = Session.cfgs session in
   let selected =
     match func with
-    | None -> functions
-    | Some name ->
-        List.filter
-          (fun (fn : Cfront.Ast.func) -> fn.Cfront.Ast.f_name = name)
-          functions
+    | None -> cfgs
+    | Some name -> List.filter (fun (n, _) -> n = name) cfgs
   in
   if selected = [] then begin
     prerr_endline "hsmcc: no matching function";
     exit 1
   end;
-  List.iter
-    (fun fn -> print_string (Ir.Cfg.to_dot (Ir.Cfg.build fn)))
-    selected
+  List.iter (fun (_, cfg) -> print_string (Ir.Cfg.to_dot cfg)) selected
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -258,10 +281,23 @@ let diag_format_arg =
            ~doc:"Diagnostic output format: gcc (file:line:col text) or \
                  json (one array of objects).")
 
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ]
+           ~doc:"Print per-provider/per-pass wall-clock and invocation \
+                 counts on stderr after translating.")
+
+let timings_format_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timings-format" ] ~docv:"FORMAT"
+           ~doc:"Timings output format: table (fixed columns) or json. \
+                 Implies $(b,--timings).")
+
 let translate_term =
   Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
         $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
-        $ race_check_arg $ warn_error_arg $ diag_format_arg $ verbose_arg)
+        $ race_check_arg $ warn_error_arg $ diag_format_arg $ timings_arg
+        $ timings_format_arg $ verbose_arg)
 
 let translate_cmd_info =
   Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")

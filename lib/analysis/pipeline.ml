@@ -23,20 +23,32 @@ let snapshot (scope : Scope_analysis.t) : snapshot =
       Ir.Var_id.Map.add id (Sharing.status info.Varinfo.sharing) acc)
     Ir.Var_id.Map.empty scope.Scope_analysis.all_vars
 
-let analyze ?(include_possible = false) (program : Ast.program) =
-  let symtab = Ir.Symtab.build program in
-  (* Stage 1 *)
+(* The stages as separately callable steps, so a demand-driven session
+   (lib/session) can run — and memoize — each exactly once.  Stage 2 and
+   Stage 3 refine [scope] in place, so the caller must force them in
+   order; the sharing snapshot each returns is the corresponding Table
+   4.2 column. *)
+
+let stage1 symtab =
   let scope = Scope_analysis.run symtab in
-  let after_stage1 = snapshot scope in
-  (* Stage 2 *)
+  (scope, snapshot scope)
+
+let stage2 scope =
   let threads = Thread_analysis.run scope in
   Thread_analysis.refine_sharing scope threads;
-  let after_stage2 = snapshot scope in
-  (* Stage 3 *)
+  (threads, snapshot scope)
+
+let stage3 ?(include_possible = false) symtab scope =
   let points_to = Points_to.run symtab in
   Points_to.refine_sharing ~include_possible scope points_to;
   Points_to.demote_unused_globals scope;
-  let after_stage3 = snapshot scope in
+  (points_to, snapshot scope)
+
+let analyze ?include_possible (program : Ast.program) =
+  let symtab = Ir.Symtab.build program in
+  let scope, after_stage1 = stage1 symtab in
+  let threads, after_stage2 = stage2 scope in
+  let points_to, after_stage3 = stage3 ?include_possible symtab scope in
   let access = Access_count.run scope threads in
   { scope; threads; points_to; access;
     after_stage1; after_stage2; after_stage3 }

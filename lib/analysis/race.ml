@@ -211,9 +211,15 @@ let expr_stmt_table (fn : Ast.func) =
     fn.Ast.f_body;
   !tbl
 
-(* Raw accesses of one function, with the must-held lockset attached. *)
-let accesses_of_func ~symtab ~points_to (fn : Ast.func) =
-  let lh = Lockheld.analyze symtab fn in
+(* Raw accesses of one function, with the must-held lockset attached.
+   [lockheld] lets a session supply its memoized per-function dataflow
+   solutions instead of re-running the analysis here. *)
+let accesses_of_func ~symtab ~points_to ?lockheld (fn : Ast.func) =
+  let lh =
+    match lockheld with
+    | Some lh -> lh
+    | None -> Lockheld.analyze symtab fn
+  in
   let cfg = Lockheld.cfg lh in
   let expr_stmt = expr_stmt_table fn in
   let acc = ref [] in
@@ -322,7 +328,7 @@ let reachable program root =
   in
   go [] root
 
-let run (pipeline : Pipeline.t) =
+let run ?(locksets = []) (pipeline : Pipeline.t) =
   let scope = pipeline.Pipeline.scope in
   let symtab = scope.Scope_analysis.symtab in
   let program = Ir.Symtab.program symtab in
@@ -354,7 +360,8 @@ let run (pipeline : Pipeline.t) =
     match Hashtbl.find_opt raw_cache fn_name with
     | Some raws -> raws
     | None ->
-        let raws = accesses_of_func ~symtab ~points_to fn in
+        let lockheld = List.assoc_opt fn_name locksets in
+        let raws = accesses_of_func ~symtab ~points_to ?lockheld fn in
         Hashtbl.replace raw_cache fn_name raws;
         raws
   in
@@ -483,4 +490,5 @@ let to_diags t = List.map to_diag t.races
 let racy_variables t = List.map (fun r -> r.rvar) t.races
 
 (* The one-call entry point: analyze, then detect. *)
-let check (pipeline : Pipeline.t) = to_diags (run pipeline)
+let check ?locksets (pipeline : Pipeline.t) =
+  to_diags (run ?locksets pipeline)

@@ -27,8 +27,12 @@ let suite = function
 
 (* --- Tables 4.1 / 4.2 / 6.1 ---------------------------------------------- *)
 
-let analysis_of_example () =
-  Analysis.Pipeline.analyze (Example41.parse ())
+(* One session for the running example: both tables (and anything else
+   that joins later) share the memoized Stage 1-3 facts. *)
+let example_session =
+  lazy (Session.create ~file:Example41.file (Example41.parse ()))
+
+let analysis_of_example () = Session.pipeline (Lazy.force example_session)
 
 let table_4_1 () =
   let a = analysis_of_example () in

@@ -1,0 +1,131 @@
+open Cfront
+
+(** A compilation session: one parsed program plus a registry of typed,
+    lazily-computed, memoized analysis {e facts}.
+
+    Every consumer of the Stage 1–4 analyses — [hsmcc check],
+    [hsmcc translate], the experiments harness, the tests — works
+    against one session, so each fact is computed {b at most once} per
+    program generation no matter how many commands ride on it.  A
+    transform pass publishing a rewritten program ({!set_program}) bumps
+    the generation and invalidates every cached fact; the next demand
+    recomputes against the new program.
+
+    Each provider records how often it ran and how much wall-clock it
+    spent; {!timings} / {!render_timings} surface that as the
+    [hsmcc translate --timings] report. *)
+
+(** {1 Options} *)
+
+type options = {
+  ncores : int;            (** cores of the target chip *)
+  capacity : int;          (** on-chip bytes available for shared data *)
+  strategy : Partition.Partitioner.strategy;
+  sound_locals : bool;
+      (** hoist shared locals into shared memory (the thesis's example
+          output leaves them on the process stack) *)
+  include_possible : bool; (** propagate sharing via Possible relations *)
+  many_to_one : bool;
+      (** map several threads onto one core with a task loop instead of
+          rejecting programs with more threads than cores *)
+  optimize : bool;
+      (** constant folding + dead-branch elimination (section 7.3) *)
+}
+
+val default_options : options
+(** 48 cores, all-off-chip placement, paper-faithful behaviour. *)
+
+(** {1 Sessions} *)
+
+type t
+
+val create : ?file:string -> ?options:options -> Ast.program -> t
+
+val program : t -> Ast.program
+(** The current program (the latest generation). *)
+
+val file : t -> string option
+val options : t -> options
+
+val generation : t -> int
+(** Starts at 0; incremented by every {!set_program}. *)
+
+val set_program : t -> Ast.program -> unit
+(** Publish a transformed program: bumps the generation and invalidates
+    every cached fact.  Instrumentation counters are cumulative across
+    generations. *)
+
+(** {1 Facts}
+
+    Each accessor demands one provider; dependencies are forced first,
+    so a single call computes exactly the transitive closure it needs.
+    All raise [Srcloc.Error] on semantic errors in the program (e.g.
+    duplicate declarations), like the underlying analyses. *)
+
+val symtab : t -> Ir.Symtab.t
+
+val scope : t -> Analysis.Scope_analysis.t
+(** Stage 1.  Note the record is refined in place by the Stage 2/3
+    providers; demand {!pipeline} for the all-stages-applied view. *)
+
+val threads : t -> Analysis.Thread_analysis.t
+(** Stage 2. *)
+
+val points_to : t -> Analysis.Points_to.t
+(** Stage 3. *)
+
+val access_counts : t -> Analysis.Access_count.t
+
+val sharing_snapshots :
+  t ->
+  Analysis.Pipeline.snapshot
+  * Analysis.Pipeline.snapshot
+  * Analysis.Pipeline.snapshot
+(** Sharing status after Stages 1/2/3 — the Table 4.2 columns. *)
+
+val pipeline : t -> Analysis.Pipeline.t
+(** The assembled Stage 1–3 record every downstream consumer takes. *)
+
+val cfgs : t -> (string * Ir.Cfg.t) list
+(** One control-flow graph per function, in program order. *)
+
+val locksets : t -> (string * Analysis.Lockheld.t) list
+(** Must-hold lockset dataflow solution per function. *)
+
+val races : t -> Analysis.Race.t
+val race_diags : t -> Diag.t list
+val partition : t -> Partition.Partitioner.result
+(** Stage 4, using the session options' strategy and capacity. *)
+
+(** {1 Instrumentation} *)
+
+type timing = {
+  t_name : string;
+  t_kind : [ `Fact | `Pass ];
+  t_invocations : int;
+  t_wall_s : float;         (** cumulative across generations *)
+  t_deps : string list;     (** provider names this one demands *)
+}
+
+val timings : t -> timing list
+(** Every provider or pass that ran, in first-invocation order. *)
+
+val invocations : t -> string -> int
+(** Cumulative invocation count of a provider (0 if it never ran). *)
+
+val facts_computed : t -> int
+(** Total fact-provider invocations (passes excluded). *)
+
+val record_pass : t -> name:string -> (unit -> 'a) -> 'a
+(** Time an arbitrary unit of work (a Stage-5 transform pass, the
+    structural validator) into the same table as the fact providers. *)
+
+val render_timings : t -> string
+(** Human-readable table, one row per provider/pass. *)
+
+val render_timings_json : t -> string
+(** One JSON array of objects with keys [name], [kind], [invocations],
+    [wall_ms], [deps] — same conventions as [Diag]'s JSON renderer. *)
+
+val timings_format_of_string : string -> [ `Table | `Json ] option
+(** Recognizes ["table"] (alias ["text"]) and ["json"]. *)

@@ -72,4 +72,4 @@ let transform env (program : Ast.program) =
     app_name;
   { Ast.p_includes = includes; p_globals = globals }
 
-let pass = { Pass.name = "add-rcce"; transform }
+let pass = { Pass.name = "add-rcce"; transform; forbids_after = [] }

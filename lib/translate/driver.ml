@@ -1,8 +1,11 @@
 open Cfront
 
 (* The Driver, in Cetus terms: runs the analysis phase (Stages 1-3), the
-   partitioner (Stage 4), and the transform passes (Stage 5) in series,
-   producing the RCCE program plus a report of what happened. *)
+   partitioner (Stage 4), and the transform passes (Stage 5) over one
+   compilation session, producing the RCCE program plus a report of what
+   happened.  All facts come from the session's registry, so a caller
+   that already demanded them (e.g. [hsmcc check] before an internal
+   translate) pays for each analysis exactly once. *)
 
 type report = {
   analysis : Analysis.Pipeline.t;
@@ -51,30 +54,30 @@ let passes_for (options : Pass.options) =
       Shared_rewrite.pass; Add_rcce.pass; Optimize.pass; Cleanup.pass ]
   else passes
 
-let translate_program ?(options = Pass.default_options) program =
-  let analysis =
-    Analysis.Pipeline.analyze
-      ~include_possible:options.Pass.include_possible program
+let translate_session session =
+  let ctx = Pass.ctx_of_session session in
+  let analysis = Pass.analysis ctx in
+  (* the static race check and the thread count ride on the source
+     program's facts: demand them before any pass publishes a new
+     generation (memoized — free if the caller already checked) *)
+  let diagnostics = Session.race_diags session in
+  let thread_count =
+    Analysis.Thread_analysis.static_thread_count
+      analysis.Analysis.Pipeline.threads
   in
-  let items = Partition.Partitioner.items_of_analysis analysis in
-  let partition =
-    Partition.Partitioner.partition ~strategy:options.Pass.strategy
-      Partition.Memspec.scc ~capacity:options.Pass.capacity items
-  in
-  let env = { Pass.options; analysis; partition; notes = [] } in
-  match Pass.run_all (passes_for options) env program with
+  match
+    Pass.run_all
+      (passes_for (Session.options session))
+      ctx (Session.program session)
+  with
   | translated ->
       let report =
         {
           analysis;
-          partition;
-          notes = List.rev env.Pass.notes;
-          thread_count =
-            Analysis.Thread_analysis.static_thread_count
-              analysis.Analysis.Pipeline.threads;
-          (* the static race check rides on the analysis the translator
-             needed anyway; callers decide whether to print or enforce *)
-          diagnostics = Analysis.Race.check analysis;
+          partition = Pass.partition ctx;
+          notes = Pass.notes ctx;
+          thread_count;
+          diagnostics;
         }
       in
       (translated, report)
@@ -84,6 +87,9 @@ let translate_program ?(options = Pass.default_options) program =
       raise (Error (Too_many_locks n))
   | exception Pass.Inconsistent (pass, diag) ->
       raise (Error (Inconsistent_ir (pass, diag)))
+
+let translate_program ?(options = Pass.default_options) program =
+  translate_session (Session.create ~options program)
 
 let translate_source ?options ?file src =
   match Parser.program ?file src with

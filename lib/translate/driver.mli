@@ -29,9 +29,19 @@ val passes_for : Pass.options -> Pass.t list
 (** The pipeline for the given options (inserts {!Optimize} when
     requested). *)
 
+val translate_session : Session.t -> Ast.program * report
+(** Translate the session's program, demanding every Stage 1–4 fact from
+    the session's memoized registry — analyses a caller already forced
+    (e.g. a race check) are not recomputed.  Each transform publishes a
+    new program generation into the session, so afterwards
+    [Session.program] is the translated program and [Session.timings]
+    carries the per-provider/per-pass instrumentation.
+    @raise Error on any translation failure. *)
+
 val translate_program :
   ?options:Pass.options -> Ast.program -> Ast.program * report
-(** @raise Error on any translation failure. *)
+(** {!translate_session} on a fresh single-use session.
+    @raise Error on any translation failure. *)
 
 val translate_source :
   ?options:Pass.options -> ?file:string -> string -> Ast.program * report

@@ -39,7 +39,7 @@ let lock_index map name =
       k
 
 let transform env (program : Ast.program) =
-  let map = { table = []; ncores = env.Pass.options.Pass.ncores } in
+  let map = { table = []; ncores = (Pass.options env).Pass.ncores } in
   let program =
     Visit.map_program_exprs
       (fun e ->
@@ -72,4 +72,4 @@ let transform env (program : Ast.program) =
     map.table;
   program
 
-let pass = { Pass.name = "mutex-convert"; transform }
+let pass = { Pass.name = "mutex-convert"; transform; forbids_after = [] }

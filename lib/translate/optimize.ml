@@ -74,4 +74,4 @@ let transform env (program : Ast.program) =
     Pass.note env "optimize: removed %d constant branches" !removed_branches;
   program
 
-let pass = { Pass.name = "optimize"; transform }
+let pass = { Pass.name = "optimize"; transform; forbids_after = [] }

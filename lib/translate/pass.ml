@@ -1,65 +1,78 @@
 open Cfront
 
 (* Pass manager in the style of the Cetus framework the paper builds on:
-   each component is an analysis or transform pass, and a driver runs them
-   in series, checking after every transform that the IR is still
-   self-consistent (it prints to parseable C and its symbol table still
-   builds). *)
+   each component is an analysis or transform pass, and a driver runs
+   them in series.  Passes are session-aware: they request the Stage 1-4
+   facts from the compilation session's registry (pinned to the source
+   program's generation) instead of receiving a pre-baked environment,
+   and every transform publishes its result as a new program generation.
+   After each transform the IR is checked structurally, in memory —
+   scope-closed identifiers, a rebuildable symbol table, and no orphaned
+   nodes of a family an earlier pass removed. *)
 
-type options = {
-  ncores : int;            (* cores of the target chip *)
-  capacity : int;          (* on-chip bytes available for shared data *)
+(* The translation options live with the session (the fact providers
+   need them); re-exported here so pass code and callers keep the
+   familiar [Pass.options] spelling. *)
+type options = Session.options = {
+  ncores : int;
+  capacity : int;
   strategy : Partition.Partitioner.strategy;
   sound_locals : bool;
-      (* hoist shared *locals* into shared memory too; the thesis's own
-         example output leaves them on the process stack (see DESIGN.md) *)
-  include_possible : bool; (* propagate sharing via Possible relations *)
+  include_possible : bool;
   many_to_one : bool;
-      (* map several threads onto one core with a task loop instead of
-         rejecting programs with more threads than cores (the paper's
-         section 7.2 future work, after Cichowski et al.) *)
   optimize : bool;
-      (* constant folding + dead-branch elimination (section 7.3) *)
 }
 
-let default_options =
-  {
-    ncores = Partition.Memspec.scc.Partition.Memspec.cores;
-    capacity = 0;   (* all-off-chip, the Figure 6.1 configuration *)
-    strategy = Partition.Partitioner.Size_ascending;
-    sound_locals = false;
-    include_possible = false;
-    many_to_one = false;
-    optimize = false;
-  }
+let default_options = Session.default_options
 
-type env = {
-  options : options;
-  analysis : Analysis.Pipeline.t;
-  partition : Partition.Partitioner.result;
+type ctx = {
+  session : Session.t;
+  base_analysis : Analysis.Pipeline.t;
+      (* Stage 1-3 facts of the source program, pinned: transforms
+         consume the analysis of what the user wrote, not of the
+         half-rewritten intermediate generations *)
+  base_partition : Partition.Partitioner.result;
   mutable notes : string list;   (* pass-emitted remarks, reverse order *)
 }
 
-let note env fmt =
-  Printf.ksprintf (fun msg -> env.notes <- msg :: env.notes) fmt
+let ctx_of_session session =
+  {
+    session;
+    base_analysis = Session.pipeline session;
+    base_partition = Session.partition session;
+    notes = [];
+  }
+
+let session ctx = ctx.session
+let options ctx = Session.options ctx.session
+let analysis ctx = ctx.base_analysis
+let partition ctx = ctx.base_partition
+
+let note ctx fmt =
+  Printf.ksprintf (fun msg -> ctx.notes <- msg :: ctx.notes) fmt
+
+let notes ctx = List.rev ctx.notes
 
 type t = {
   name : string;
-  transform : env -> Ast.program -> Ast.program;
+  transform : ctx -> Ast.program -> Ast.program;
+  forbids_after : string list;
+      (* identifier/type/call/include prefixes this pass removes; they
+         must never reappear in any later generation *)
 }
 
 exception Inconsistent of string * string
-(** [Inconsistent (pass, diagnostic)]: a transform produced an IR that no
-    longer prints/parses cleanly. *)
+(** [Inconsistent (pass, diagnostic)]: a transform produced a program
+    that is no longer structurally well-formed. *)
 
-let check_consistency pass_name program =
-  let printed = Pretty.program program in
-  (match Parser.program printed with
-  | (_ : Ast.program) -> ()
-  | exception Srcloc.Error (loc, msg) ->
-      raise
-        (Inconsistent
-           (pass_name, Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)));
+(* The structural IR validator: a Wellformed visitor plus a symbol-table
+   rebuild, both in memory — this replaces the old print-then-reparse
+   consistency hack. *)
+let check_structure ?(forbid = []) pass_name program =
+  (match Wellformed.check ~forbid program with
+  | Ok () -> ()
+  | Error e ->
+      raise (Inconsistent (pass_name, Wellformed.error_to_string e)));
   match Ir.Symtab.build program with
   | (_ : Ir.Symtab.t) -> ()
   | exception Srcloc.Error (loc, msg) ->
@@ -67,10 +80,37 @@ let check_consistency pass_name program =
         (Inconsistent
            (pass_name, Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg))
 
-let run_all ?(verify = true) passes env program =
-  List.fold_left
-    (fun program pass ->
-      let program = pass.transform env program in
-      if verify then check_consistency pass.name program;
-      program)
-    program passes
+let run_all ?(verify = true) passes ctx program =
+  let _, program =
+    List.fold_left
+      (fun (forbid, program) pass ->
+        let program =
+          Session.record_pass ctx.session ~name:pass.name (fun () ->
+              pass.transform ctx program)
+        in
+        (* publish the new generation: cached facts invalidate, and any
+           fact demanded below recomputes against this program *)
+        Session.set_program ctx.session program;
+        let forbid = pass.forbids_after @ forbid in
+        if verify then begin
+          Session.record_pass ctx.session ~name:"structural-check"
+            (fun () ->
+              match Wellformed.check ~forbid program with
+              | Ok () -> ()
+              | Error e ->
+                  raise
+                    (Inconsistent (pass.name, Wellformed.error_to_string e)));
+          (* the symbol table is a session fact of the new generation:
+             rebuilding it proves declarations are still consistent *)
+          match Session.symtab ctx.session with
+          | (_ : Ir.Symtab.t) -> ()
+          | exception Srcloc.Error (loc, msg) ->
+              raise
+                (Inconsistent
+                   ( pass.name,
+                     Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg ))
+        end;
+        (forbid, program))
+      ([], program) passes
+  in
+  program

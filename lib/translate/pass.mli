@@ -1,9 +1,11 @@
 open Cfront
 
-(** Pass manager in the style of the Cetus framework: transform passes run
-    in series, with an IR self-consistency check after each one. *)
+(** Pass manager in the style of the Cetus framework: transform passes
+    run in series against a compilation session, each publishing its
+    result as a new program generation, with a structural (in-memory)
+    IR well-formedness check after every transform. *)
 
-type options = {
+type options = Session.options = {
   ncores : int;
   capacity : int;
       (** on-chip bytes available for shared data; 0 = all off-chip *)
@@ -23,28 +25,51 @@ type options = {
 val default_options : options
 (** 48 cores, all-off-chip placement, paper-faithful behaviour. *)
 
-type env = {
-  options : options;
-  analysis : Analysis.Pipeline.t;
-  partition : Partition.Partitioner.result;
-  mutable notes : string list;
-}
+type ctx
+(** What a pass sees: the session (for options, notes and current-
+    generation facts) plus the Stage 1–4 facts pinned to the source
+    program — transforms consume the analysis of what the user wrote,
+    not of half-rewritten intermediate generations. *)
 
-val note : env -> ('a, unit, string, unit) format4 -> 'a
+val ctx_of_session : Session.t -> ctx
+(** Demands the Stage 1–3 pipeline and the Stage-4 partition from the
+    session (memoized there) and pins them for the pass run. *)
+
+val session : ctx -> Session.t
+val options : ctx -> options
+
+val analysis : ctx -> Analysis.Pipeline.t
+(** The pinned Stage 1–3 facts of the source program. *)
+
+val partition : ctx -> Partition.Partitioner.result
+(** The pinned Stage-4 partition of the source program. *)
+
+val note : ctx -> ('a, unit, string, unit) format4 -> 'a
 (** Record a remark about what a pass did. *)
+
+val notes : ctx -> string list
+(** Remarks in emission order. *)
 
 type t = {
   name : string;
-  transform : env -> Ast.program -> Ast.program;
+  transform : ctx -> Ast.program -> Ast.program;
+  forbids_after : string list;
+      (** name prefixes (identifiers, types, calls, includes) this pass
+          removes; the structural checker rejects any later generation
+          where one survives — e.g. ["pthread"] after the removal pass *)
 }
 
 exception Inconsistent of string * string
-(** [(pass, diagnostic)]: a transform produced an IR that no longer
-    prints/parses cleanly. *)
+(** [(pass, diagnostic)]: a transform produced a structurally ill-formed
+    program. *)
 
-val check_consistency : string -> Ast.program -> unit
-(** @raise Inconsistent when printing then reparsing the program fails. *)
+val check_structure : ?forbid:string list -> string -> Ast.program -> unit
+(** The structural validator on its own: {!Wellformed.check} plus a
+    symbol-table rebuild, all in memory.
+    @raise Inconsistent on the first violation. *)
 
-val run_all : ?verify:bool -> t list -> env -> Ast.program -> Ast.program
-(** Run passes in order; [verify] (default true) checks consistency after
-    each. *)
+val run_all : ?verify:bool -> t list -> ctx -> Ast.program -> Ast.program
+(** Run passes in order.  Each transform is timed into the session's
+    instrumentation table and publishes a new program generation;
+    [verify] (default true) runs the structural checker after each,
+    with the accumulated [forbids_after] prefixes enforced. *)

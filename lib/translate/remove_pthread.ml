@@ -103,4 +103,8 @@ let transform env (program : Ast.program) =
       !removed_decls !removed_calls;
   { program with Ast.p_globals = globals }
 
-let pass = { Pass.name = "remove-pthread"; transform }
+(* after this pass no pthread-named declaration, type, call or
+   identifier may survive in any later generation; the structural
+   checker enforces it *)
+let pass =
+  { Pass.name = "remove-pthread"; transform; forbids_after = [ "pthread" ] }

@@ -41,7 +41,7 @@ let alloc_fn_of_placement = function
       "RCCE_shmalloc"
 
 let placement_for env id =
-  match Partition.Partitioner.placement_of env.Pass.partition id with
+  match Partition.Partitioner.placement_of (Pass.partition env) id with
   | Some p -> p
   | None -> Partition.Partitioner.Off_chip
 
@@ -90,7 +90,7 @@ let init_stores_of ~name ~scalar (init : Ast.init option) =
 
 let plan_of_global env (d : Ast.decl) =
   let id = Ir.Var_id.global d.Ast.d_name in
-  if not (Analysis.Pipeline.is_shared env.Pass.analysis id) then None
+  if not (Analysis.Pipeline.is_shared (Pass.analysis env) id) then None
   else
     let alloc_fn = alloc_fn_of_placement (placement_for env id) in
     match d.Ast.d_type with
@@ -154,17 +154,45 @@ let remove_prior_mallocs names program =
       | Ast.Snull -> None)
     program
 
-let prepend_to_main stmts (program : Ast.program) =
+let map_main f (program : Ast.program) =
   let globals =
     List.map
       (fun g ->
         match g with
         | Ast.Gfunc fn when String.equal fn.Ast.f_name "main" ->
-            Ast.Gfunc { fn with Ast.f_body = stmts @ fn.Ast.f_body }
+            Ast.Gfunc { fn with Ast.f_body = f fn.Ast.f_body }
         | Ast.Gfunc _ | Ast.Gvar _ | Ast.Gproto _ -> g)
       program.Ast.p_globals
   in
   { program with Ast.p_globals = globals }
+
+let prepend_to_main stmts program = map_main (fun body -> stmts @ body) program
+
+(* Re-emitted initializer stores read [myID], so they must land after
+   the [int myID; myID = RCCE_ue();] prologue thread-to-process put at
+   the top of main — at the very top they would use the variable before
+   its declaration.  (The allocations themselves read no locals and stay
+   above the prologue, in the paper's Example 4.2 order.) *)
+let core_id_prologue (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Sdecl ds ->
+      List.exists
+        (fun d ->
+          String.equal d.Ast.d_name Thread_to_process.core_id_var
+          || String.equal d.Ast.d_name Thread_to_process.task_var)
+        ds
+  | Ast.Sexpr (Ast.Assign (_, Ast.Var v, _)) ->
+      String.equal v Thread_to_process.core_id_var
+  | _ -> false
+
+let insert_after_prologue stmts program =
+  if stmts = [] then program
+  else
+    let rec place = function
+      | s :: rest when core_id_prologue s -> s :: place rest
+      | body -> stmts @ body
+    in
+    map_main place program
 
 (* --- shared locals (sound_locals option) -------------------------------- *)
 
@@ -232,7 +260,7 @@ let hoist_shared_locals env program =
         match info.Analysis.Varinfo.id.Ir.Var_id.scope with
         | Ir.Var_id.Local _ -> true
         | Ir.Var_id.Global | Ir.Var_id.Param _ -> false)
-      (Analysis.Pipeline.shared_variables env.Pass.analysis)
+      (Analysis.Pipeline.shared_variables (Pass.analysis env))
   in
   List.fold_left (hoist_one_local env) program shared_locals
 
@@ -270,16 +298,17 @@ let transform env (program : Ast.program) =
   in
   let program = { program with Ast.p_globals = globals } in
   let program = remove_prior_mallocs names program in
-  let allocs =
-    List.concat_map (fun p -> alloc_stmt p :: p.init_stores) plans
-  in
+  let allocs = List.map alloc_stmt plans in
+  let inits = List.concat_map (fun p -> p.init_stores) plans in
   List.iter
     (fun p ->
       Pass.note env "shared-rewrite: '%s' -> %s(%d x %s)" p.name p.alloc_fn
         p.count (Ctype.to_string p.elt_ty))
     plans;
+  (* inits first, while the prologue is still at the head of main *)
+  let program = insert_after_prologue inits program in
   let program = prepend_to_main allocs program in
-  if env.Pass.options.Pass.sound_locals then hoist_shared_locals env program
+  if (Pass.options env).Pass.sound_locals then hoist_shared_locals env program
   else program
 
-let pass = { Pass.name = "shared-rewrite"; transform }
+let pass = { Pass.name = "shared-rewrite"; transform; forbids_after = [] }

@@ -134,14 +134,14 @@ and expr_contains_call name e =
 (* --- the pass ----------------------------------------------------------- *)
 
 let check_core_count env =
-  if not env.Pass.options.Pass.many_to_one then
+  if not (Pass.options env).Pass.many_to_one then
     let threads =
       Analysis.Thread_analysis.static_thread_count
-        env.Pass.analysis.Analysis.Pipeline.threads
+        (Pass.analysis env).Analysis.Pipeline.threads
     in
     match threads with
-    | Some n when n > env.Pass.options.Pass.ncores ->
-        raise (Too_many_threads (n, env.Pass.options.Pass.ncores))
+    | Some n when n > (Pass.options env).Pass.ncores ->
+        raise (Too_many_threads (n, (Pass.options env).Pass.ncores))
     | Some _ | None -> ()
 
 (* [for (myTask = myID; myTask < nt; myTask += RCCE_num_ues()) body] *)
@@ -163,7 +163,7 @@ let transform env (program : Ast.program) =
   (* In many-to-one mode a counted create/join loop becomes a task loop;
      [bounds] is the (counter, trip) pair when statically known. *)
   let task_mode bounds =
-    if env.Pass.options.Pass.many_to_one then
+    if (Pass.options env).Pass.many_to_one then
       match bounds with Some (_, nt) -> Some nt | None -> None
     else None
   in
@@ -292,4 +292,5 @@ let transform env (program : Ast.program) =
         program.Ast.p_globals;
   }
 
-let pass = { Pass.name = "threads-to-processes"; transform }
+let pass =
+  { Pass.name = "threads-to-processes"; transform; forbids_after = [] }

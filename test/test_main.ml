@@ -12,6 +12,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("partition", Test_partition.suite);
       ("translate", Test_translate.suite);
+      ("session", Test_session.suite);
       ("scc", Test_scc.suite);
       ("rcce", Test_rcce.suite);
       ("workloads", Test_workloads.suite);
