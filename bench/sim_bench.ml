@@ -1,0 +1,181 @@
+(* sim_bench — simulator throughput, written to BENCH_sim.json.
+
+   Two metrics:
+
+   - single-run events/s: the scheduler's event rate interpreting the Pi
+     Pthread program, at a many-context count (1024 threads on 48 cores,
+     where scheduling cost dominates) and at a moderate one (8 threads,
+     where interpretation dominates).  "Events" are scheduler resumes
+     (Scc.Engine.events), a pure function of the simulated schedule, so
+     the rate is comparable across implementations that produce the same
+     results.
+
+   - swept configs/s: the Figure 6.1 sweep (each benchmark in Pthread
+     baseline and translated RCCE form) end to end.
+
+   Each measurement is best-of-N wall time: the simulator is
+   deterministic, so the minimum is the least-noise estimate.
+
+     sim_bench [--quick] [--out FILE] [--check BASELINE]
+
+   --check compares the headline events/s against a previously written
+   BENCH_sim.json and exits 1 on a regression of more than 30% — the CI
+   gate. *)
+
+type meas = {
+  label : string;
+  events : int;
+  best_s : float;
+  events_per_sec : float;
+}
+
+let bench_pi ~label ~nt ~steps ~iters =
+  let src = Exp.Csrc.pi ~nt ~steps in
+  let program = Cfront.Parser.program ~file:"pi.c" src in
+  ignore (Cexec.Interp.run_pthread program);
+  let best = ref infinity in
+  let events = ref 0 in
+  for _ = 1 to iters do
+    let t0 = Unix.gettimeofday () in
+    let r = Cexec.Interp.run_pthread program in
+    let dt = Unix.gettimeofday () -. t0 in
+    events := Scc.Engine.events r.Cexec.Interp.engine;
+    if dt < !best then best := dt
+  done;
+  {
+    label;
+    events = !events;
+    best_s = !best;
+    events_per_sec = float_of_int !events /. !best;
+  }
+
+let bench_sweep ~iters =
+  ignore (Exp.Experiments.fig_6_1_data ~scale:Exp.Experiments.Quick ());
+  let best = ref infinity in
+  let configs = ref 0 in
+  for _ = 1 to iters do
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      Exp.Experiments.fig_6_1_data ~scale:Exp.Experiments.Quick ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    configs := 2 * List.length rows;
+    if dt < !best then best := dt
+  done;
+  (!configs, !best, float_of_int !configs /. !best)
+
+let json_of ~mode ~singles ~sweep:(configs, sweep_s, cps) ~headline =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"hsmc-sim-bench-1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string b "  \"single_run\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"label\": %S, \"events\": %d, \"best_s\": %.6f, \
+            \"events_per_sec\": %.0f}%s\n"
+           m.label m.events m.best_s m.events_per_sec
+           (if i = List.length singles - 1 then "" else ",")))
+    singles;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sweep\": {\"label\": \"fig-6.1-quick\", \"configs\": %d, \
+        \"best_s\": %.6f, \"configs_per_sec\": %.2f},\n"
+       configs sweep_s cps);
+  Buffer.add_string b
+    (Printf.sprintf "  \"headline_events_per_sec\": %.0f\n" headline);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Minimal field scan — the file is our own fixed format. *)
+let headline_of_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let key = "\"headline_events_per_sec\":" in
+  match String.index_opt s '}' with
+  | None -> None
+  | Some _ -> (
+      let rec find i =
+        if i + String.length key > String.length s then None
+        else if String.sub s i (String.length key) = key then
+          Some (i + String.length key)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some j ->
+          let k = ref j in
+          while
+            !k < String.length s
+            && (s.[!k] = ' ' || s.[!k] = '.' || s.[!k] = '-'
+               || (s.[!k] >= '0' && s.[!k] <= '9'))
+          do
+            incr k
+          done;
+          float_of_string_opt (String.trim (String.sub s j (!k - j))))
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_sim.json" in
+  let check = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--check" :: f :: rest ->
+        check := Some f;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf
+          "sim_bench: unknown argument %S\n\
+           usage: sim_bench [--quick] [--out FILE] [--check BASELINE]\n"
+          a;
+        exit 64
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let steps = if !quick then 16384 else 65536 in
+  let iters = if !quick then 3 else 10 in
+  let many =
+    bench_pi ~label:"pi-pthread-1024-threads" ~nt:1024 ~steps ~iters
+  in
+  let moderate = bench_pi ~label:"pi-pthread-8-threads" ~nt:8 ~steps ~iters in
+  let sweep = bench_sweep ~iters:(if !quick then 2 else 5) in
+  let headline = many.events_per_sec in
+  let json =
+    json_of
+      ~mode:(if !quick then "quick" else "full")
+      ~singles:[ many; moderate ] ~sweep ~headline
+  in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  match !check with
+  | None -> ()
+  | Some baseline_file -> (
+      match headline_of_file baseline_file with
+      | None ->
+          Printf.eprintf "sim_bench: cannot read baseline %s\n" baseline_file;
+          exit 65
+      | Some base ->
+          let floor = 0.7 *. base in
+          if headline < floor then begin
+            Printf.eprintf
+              "sim_bench: REGRESSION: %.0f events/s is more than 30%% below \
+               the committed baseline %.0f (floor %.0f)\n"
+              headline base floor;
+            exit 1
+          end
+          else
+            Printf.printf
+              "sim_bench: ok: %.0f events/s vs baseline %.0f (floor %.0f)\n"
+              headline base floor)

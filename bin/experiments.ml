@@ -2,45 +2,26 @@
 
      experiments all                  everything, full scale
      experiments all --quick          everything, small parameters
+     experiments all --jobs 4         sections across a 4-domain pool
      experiments fig-6.1              one section
-*)
+
+   Unknown sections exit with status 2.  Output is byte-identical for
+   any --jobs value (fixed-order gather). *)
 
 open Cmdliner
 
-let sections =
-  [ ("table-4.1", fun _scale -> Exp.Experiments.table_4_1 ());
-    ("table-4.2", fun _scale -> Exp.Experiments.table_4_2 ());
-    ("table-6.1", fun _scale -> Exp.Experiments.table_6_1 ());
-    ("translate-example",
-     fun _scale -> Exp.Experiments.translation_example ());
-    ("fig-6.1", fun scale -> Exp.Experiments.fig_6_1 ~scale ());
-    ("fig-6.2", fun scale -> Exp.Experiments.fig_6_2 ~scale ());
-    ("fig-6.3", fun scale -> Exp.Experiments.fig_6_3 ~scale ());
-    ("ablation-partition",
-     fun _scale -> Exp.Experiments.ablation_partition ());
-    ("interp", fun scale -> Exp.Experiments.interp_experiment ~scale ());
-    ("dvfs", fun scale -> Exp.Experiments.dvfs_experiment ~scale ());
-    ("sync", fun scale -> Exp.Experiments.sync_sensitivity ~scale ());
-    ("model-sensitivity",
-     fun scale -> Exp.Experiments.model_sensitivity ~scale ());
-    ("many-to-one",
-     fun scale -> Exp.Experiments.many_to_one_scaling ~scale ()) ]
-
-let run_cmd which quick =
+let run_cmd which quick jobs =
   let scale =
     if quick then Exp.Experiments.Quick else Exp.Experiments.Full
   in
-  match which with
-  | "all" -> print_string (Exp.Experiments.run_all ~scale ())
-  | name -> begin
-      match List.assoc_opt name sections with
-      | Some f -> print_string (f scale)
-      | None ->
-          Printf.eprintf "experiments: unknown section %S (have: all, %s)\n"
-            name
-            (String.concat ", " (List.map fst sections));
-          exit 1
-    end
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> Exp.Pool.default_jobs ()
+  in
+  match Exp.Experiments.run_section ~scale ~jobs which with
+  | Ok out -> print_string out
+  | Error msg ->
+      Printf.eprintf "experiments: %s\n" msg;
+      exit 2
 
 let which_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"SECTION")
@@ -49,10 +30,18 @@ let quick_arg =
   Arg.(value & flag
        & info [ "quick" ] ~doc:"Small parameters (seconds, not minutes).")
 
+let jobs_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:
+             "Run sections on $(docv) domains (default: the recommended \
+              domain count).  The output is byte-identical for any N.")
+
 let main =
   Cmd.v
     (Cmd.info "experiments" ~version:"1.0.0"
        ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_cmd $ which_arg $ quick_arg)
+    Term.(const run_cmd $ which_arg $ quick_arg $ jobs_arg)
 
 let () = exit (Cmd.eval main)

@@ -13,9 +13,13 @@ open Cfront
      whole program from its own private globals, with RCCE collective
      allocation, put/get-backed barrier and the test-and-set locks.
 
-   Data lives in a store keyed by simulated address; compute cycles are
-   accumulated per task and flushed as one engine effect at every memory
-   or synchronization operation, so event counts stay proportional to
+   Programs are first run through [Resolve], which interns identifiers
+   to integer slots; the evaluator here works on that resolved form, so
+   the per-access cost is an array index (falling back to the original
+   name-walk only for genuinely dynamic references).  Data lives in a
+   store keyed by simulated address; compute cycles are accumulated per
+   task and flushed as one engine effect at every memory or
+   synchronization operation, so event counts stay proportional to
    memory traffic rather than to executed operators. *)
 
 exception Runtime_error of string
@@ -26,37 +30,70 @@ exception Thread_exit
 
 type lvalue = { addr : int; ty : Ctype.t }
 
+(* One region's backing store: values indexed directly by byte offset.
+   Offsets come from the memmap's bump allocators, so they are small and
+   dense; an empty cell reads as the type's zero (C-style zero-filled
+   memory).  Indexing an array beats hashing the full 63-bit address on
+   every load and store. *)
+type region_store = { mutable cells : Value.t option array }
+
+let region_store_create () = { cells = Array.make 1024 None }
+
+let region_store_get rs offset =
+  if offset < Array.length rs.cells then rs.cells.(offset) else None
+
+let region_store_set rs offset v =
+  let n = Array.length rs.cells in
+  if offset >= n then begin
+    let grown = Array.make (max (n * 2) (offset + 1)) None in
+    Array.blit rs.cells 0 grown 0 n;
+    rs.cells <- grown
+  end;
+  rs.cells.(offset) <- Some v
+
 (* State shared by every task of one simulated run. *)
 type shared = {
-  program : Ast.program;
+  resolved : Resolve.t;
   eng : Scc.Engine.t;
-  store : (int, Value.t) Hashtbl.t;
+  shared_store : region_store;
+  private_stores : region_store array;      (* per core *)
+  mpb_stores : region_store array;          (* per core *)
   strings : (string, int) Hashtbl.t;        (* literal -> address *)
   string_at : (int, string) Hashtbl.t;      (* address -> literal *)
   output : Buffer.t;
-  mutable mutexes : (string * int) list;    (* mutex name -> lock id *)
-  mutable barriers : (string * (int * int)) list;
+  mutexes : (string, int) Hashtbl.t;        (* mutex name -> lock id *)
+  barriers : (string, int * int) Hashtbl.t;
       (* pthread barrier name -> (engine barrier id, group count) *)
-  mutable rcce_flags : (string * int) list;   (* flag name -> flag index *)
-  mutable shm_log : int list;               (* collective RCCE_shmalloc *)
-  mutable mpb_alloc_log : int list;         (* collective RCCE_malloc *)
+  rcce_flags : (string, int) Hashtbl.t;     (* flag name -> flag index *)
+  shm_log : (int, int) Hashtbl.t;           (* collective RCCE_shmalloc *)
+  mpb_alloc_log : (int, int) Hashtbl.t;     (* collective RCCE_malloc *)
   ncores : int;                             (* RCCE ranks; 1 for pthread *)
   races : Lockset.t option;                 (* Eraser detector, if enabled *)
 }
 
-(* One process: an address space with its own globals. *)
+(* One process: an address space with its own globals.  [globals] is the
+   diagnostics/dynamic-walk view by name; [global_slots] the resolved
+   fast path by table index — both updated together. *)
 type process = {
   sh : shared;
   globals : (string, lvalue) Hashtbl.t;
+  global_slots : lvalue option array;
   core : int;
   rank : int;   (* RCCE rank; 0 for the pthread process *)
 }
+
+(* One call frame: a slot per distinct name declared by the function; an
+   empty slot means that declaration has not executed in this call. *)
+type frame = { f_fn : Resolve.rfunc; f_slots : lvalue option array }
+
+let make_frame (fn : Resolve.rfunc) =
+  { f_fn = fn; f_slots = Array.make fn.Resolve.rf_nslots None }
 
 (* One executing context (an RCCE process body or one Pthread). *)
 type task = {
   proc : process;
   api : Scc.Engine.api;
-  mutable frames : (string, lvalue) Hashtbl.t list;
+  mutable frames : frame list;
   mutable pending_cycles : int;
   mutable shm_count : int;     (* per-task collective call counters *)
   mutable mpb_count : int;
@@ -102,18 +139,24 @@ let observe task ~write addr =
    a small address can only come from NULL or NULL-adjacent pointer
    arithmetic. *)
 let check_addr addr =
-  match Scc.Memmap.region_of_addr addr with
-  | Scc.Memmap.Private _ | Scc.Memmap.Shared_dram ->
-      if Scc.Memmap.offset_of_addr addr < 32 then
-        runtime_error "null pointer dereference (address %#x)" addr
-  | Scc.Memmap.Mpb _ -> ()
+  (* offset < 32 on a private or shared page; MPB (kind 2) is unguarded *)
+  if addr land 0xffffffff < 32 && (addr lsr 40) land 0x3 <> 2 then
+    runtime_error "null pointer dereference (address %#x)" addr
+
+let store_of sh addr =
+  let kind = (addr lsr 40) land 0x3 in
+  if kind = 1 then sh.shared_store
+  else
+    let core = (addr lsr 32) land 0xff in
+    if kind = 0 then sh.private_stores.(core) else sh.mpb_stores.(core)
 
 let read_mem task { addr; ty } =
   check_addr addr;
   flush task;
   observe task ~write:false addr;
   task.api.Scc.Engine.load addr ~bytes:(value_bytes ty);
-  match Hashtbl.find_opt task.proc.sh.store addr with
+  match region_store_get (store_of task.proc.sh addr) (addr land 0xffffffff)
+  with
   | Some v -> v
   | None -> Value.zero_of ty
 
@@ -122,11 +165,14 @@ let write_mem task { addr; ty } v =
   flush task;
   observe task ~write:true addr;
   task.api.Scc.Engine.store addr ~bytes:(value_bytes ty);
-  Hashtbl.replace task.proc.sh.store addr (Value.convert ty v)
+  region_store_set (store_of task.proc.sh addr) (addr land 0xffffffff)
+    (Value.convert ty v)
 
 (* Untimed store initialization (global initializers run at load time). *)
 let poke task addr ty v =
-  Hashtbl.replace task.proc.sh.store addr (Value.convert ty v)
+  region_store_set
+    (store_of task.proc.sh addr)
+    (addr land 0xffffffff) (Value.convert ty v)
 
 let alloc_private task ~bytes =
   Scc.Memmap.alloc
@@ -135,32 +181,52 @@ let alloc_private task ~bytes =
 
 (* --- scoping -------------------------------------------------------------- *)
 
-let current_frame task =
-  match task.frames with
-  | frame :: _ -> frame
-  | [] -> runtime_error "no active stack frame"
+(* The original dynamic walk, by name: innermost frame outwards, then
+   the process globals.  Only the slow path — slot misses and [Dynamic]
+   references — comes through here. *)
+let find_in_frame frame name =
+  match Hashtbl.find_opt frame.f_fn.Resolve.rf_locals name with
+  | Some i -> frame.f_slots.(i)
+  | None -> None
 
-let lookup task name =
-  let rec in_frames = function
-    | [] -> Hashtbl.find_opt task.proc.globals name
-    | frame :: rest -> begin
-        match Hashtbl.find_opt frame name with
-        | Some lv -> Some lv
-        | None -> in_frames rest
-      end
-  in
-  in_frames task.frames
+let rec lookup_frames proc frames name =
+  match frames with
+  | [] -> Hashtbl.find_opt proc.globals name
+  | frame :: rest -> begin
+      match find_in_frame frame name with
+      | Some _ as r -> r
+      | None -> lookup_frames proc rest name
+    end
+
+let resolve_slot task (slot : Resolve.slot) name : lvalue option =
+  match slot with
+  | Resolve.Local i -> begin
+      match task.frames with
+      | frame :: rest -> begin
+          match frame.f_slots.(i) with
+          | Some _ as r -> r
+          | None ->
+              (* declaration not yet executed in this call: the name may
+                 still resolve dynamically in a caller's frame *)
+              lookup_frames task.proc rest name
+        end
+      | [] -> lookup_frames task.proc [] name
+    end
+  | Resolve.Global g -> task.proc.global_slots.(g)
+  | Resolve.Dynamic -> lookup_frames task.proc task.frames name
 
 let name_region task ?loc ~base ~bytes name =
   match task.proc.sh.races with
   | None -> ()
   | Some detector -> Lockset.name_region detector ?loc ~base ~bytes name
 
-let declare task ?loc name ty =
+let declare task ?loc ~slot name ty =
   let bytes = max (Ctype.sizeof ty) 4 in
   let lv = { addr = alloc_private task ~bytes; ty } in
   name_region task ?loc ~base:lv.addr ~bytes name;
-  Hashtbl.replace (current_frame task) name lv;
+  (match task.frames with
+  | frame :: _ -> frame.f_slots.(slot) <- Some lv
+  | [] -> runtime_error "no active stack frame");
   lv
 
 let string_value task s =
@@ -178,35 +244,33 @@ let string_value task s =
 
 (* --- expression evaluation ------------------------------------------------ *)
 
-let rec eval task (e : Ast.expr) : Value.t =
+let rec eval task (e : Resolve.rexpr) : Value.t =
   match e with
-  | Ast.Int_lit n -> Value.Vint n
-  | Ast.Float_lit f -> Value.Vfloat f
-  | Ast.Char_lit c -> Value.Vint (Char.code c)
-  | Ast.Str_lit s -> string_value task s
-  | Ast.Var "NULL" | Ast.Var "RCCE_FLAG_UNSET" -> Value.Vint 0
-  | Ast.Var "RCCE_FLAG_SET" -> Value.Vint 1
-  | Ast.Var name -> begin
-      match lookup task name with
-      | Some ({ ty = Ctype.Array (elt, _); addr } as _lv) ->
+  | Resolve.Rlit v -> v
+  | Resolve.Rstr s -> string_value task s
+  | Resolve.Rconst_var (v, _, _) -> v
+  | Resolve.Rvar (slot, name) -> begin
+      match resolve_slot task slot name with
+      | Some { ty = Ctype.Array (elt, _); addr } ->
           (* arrays decay to a pointer to their storage, no load *)
           Value.Vptr { addr; elt }
       | Some lv -> read_mem task lv
       | None -> runtime_error "unbound variable '%s'" name
     end
-  | Ast.Unary (Ast.Addr, inner) ->
+  | Resolve.Runary (Ast.Addr, inner) ->
       let lv = eval_lvalue task inner in
       let elt =
         match lv.ty with Ctype.Array (elt, _) -> elt | ty -> ty
       in
       Value.Vptr { addr = lv.addr; elt }
-  | Ast.Unary (Ast.Deref, inner) -> begin
+  | Resolve.Runary (Ast.Deref, inner) -> begin
       match eval task inner with
       | Value.Vptr { addr; elt } -> read_mem task { addr; ty = elt }
       | v -> runtime_error "dereference of non-pointer %s" (Value.to_string v)
     end
-  | Ast.Unary ((Ast.Preinc | Ast.Predec | Ast.Postinc | Ast.Postdec) as op,
-               inner) ->
+  | Resolve.Runary
+      (((Ast.Preinc | Ast.Predec | Ast.Postinc | Ast.Postdec) as op), inner)
+    ->
       let lv = eval_lvalue task inner in
       let old_v = read_mem task lv in
       let delta = if op = Ast.Preinc || op = Ast.Postinc then 1 else -1 in
@@ -214,30 +278,30 @@ let rec eval task (e : Ast.expr) : Value.t =
       charge task 1;
       write_mem task lv new_v;
       if op = Ast.Postinc || op = Ast.Postdec then old_v else new_v
-  | Ast.Unary (op, inner) ->
+  | Resolve.Runary (op, inner) ->
       charge task 1;
       Value.unop op (eval task inner)
-  | Ast.Binary (Ast.Land, a, b) ->
+  | Resolve.Rbinary (Ast.Land, a, b) ->
       (* short-circuit *)
       charge task 1;
       if Value.is_truthy (eval task a) then
         Value.Vint (if Value.is_truthy (eval task b) then 1 else 0)
       else Value.Vint 0
-  | Ast.Binary (Ast.Lor, a, b) ->
+  | Resolve.Rbinary (Ast.Lor, a, b) ->
       charge task 1;
       if Value.is_truthy (eval task a) then Value.Vint 1
       else Value.Vint (if Value.is_truthy (eval task b) then 1 else 0)
-  | Ast.Binary (op, a, b) ->
+  | Resolve.Rbinary (op, a, b) ->
       let va = eval task a in
       let vb = eval task b in
       charge task (Value.binop_cycles op va vb);
       Value.binop op va vb
-  | Ast.Assign (None, lhs, rhs) ->
+  | Resolve.Rassign (None, lhs, rhs) ->
       let v = eval task rhs in
       let lv = eval_lvalue task lhs in
       write_mem task lv v;
       v
-  | Ast.Assign (Some op, lhs, rhs) ->
+  | Resolve.Rassign (Some op, lhs, rhs) ->
       let vb = eval task rhs in
       let lv = eval_lvalue task lhs in
       let va = read_mem task lv in
@@ -245,11 +309,14 @@ let rec eval task (e : Ast.expr) : Value.t =
       let v = Value.binop op va vb in
       write_mem task lv v;
       v
-  | Ast.Cond (c, a, b) ->
+  | Resolve.Rcond (c, a, b) ->
       charge task 2;
       if Value.is_truthy (eval task c) then eval task a else eval task b
-  | Ast.Call (name, args) -> call task name args
-  | Ast.Index (arr, idx) -> begin
+  | Resolve.Rcall_user (idx, args) ->
+      call_user task task.proc.sh.resolved.Resolve.rp_funcs.(idx) args
+  | Resolve.Rcall_builtin (name, args, ast_args) ->
+      call_builtin task name args ast_args
+  | Resolve.Rindex (arr, idx) -> begin
       let base = eval task arr in
       let i = Value.as_int (eval task idx) in
       charge task 2;
@@ -258,39 +325,34 @@ let rec eval task (e : Ast.expr) : Value.t =
           read_mem task { addr = addr + (i * Ctype.sizeof elt); ty = elt }
       | v -> runtime_error "indexing non-pointer %s" (Value.to_string v)
     end
-  | Ast.Cast (ty, inner) -> Value.convert ty (eval task inner)
-  | Ast.Sizeof_type ty -> Value.Vint (Ctype.sizeof ty)
-  | Ast.Sizeof_expr inner ->
+  | Resolve.Rcast (ty, inner) -> Value.convert ty (eval task inner)
+  | Resolve.Rsizeof_var (slot, name) ->
       (* sizeof does not evaluate its operand in C; approximate with the
          syntactic type when the operand is a variable *)
       let ty =
-        match inner with
-        | Ast.Var name -> begin
-            match lookup task name with
-            | Some lv -> lv.ty
-            | None -> Ctype.Int
-          end
-        | _ -> Ctype.Int
+        match resolve_slot task slot name with
+        | Some lv -> lv.ty
+        | None -> Ctype.Int
       in
       Value.Vint (Ctype.sizeof ty)
-  | Ast.Comma (a, b) ->
+  | Resolve.Rcomma (a, b) ->
       ignore (eval task a);
       eval task b
 
-and eval_lvalue task (e : Ast.expr) : lvalue =
+and eval_lvalue task (e : Resolve.rexpr) : lvalue =
   match e with
-  | Ast.Var name -> begin
-      match lookup task name with
+  | Resolve.Rvar (slot, name) | Resolve.Rconst_var (_, slot, name) -> begin
+      match resolve_slot task slot name with
       | Some lv -> lv
       | None -> runtime_error "unbound variable '%s'" name
     end
-  | Ast.Unary (Ast.Deref, inner) -> begin
+  | Resolve.Runary (Ast.Deref, inner) -> begin
       match eval task inner with
       | Value.Vptr { addr; elt } -> { addr; ty = elt }
       | v ->
           runtime_error "dereference of non-pointer %s" (Value.to_string v)
     end
-  | Ast.Index (arr, idx) -> begin
+  | Resolve.Rindex (arr, idx) -> begin
       let base = eval task arr in
       let i = Value.as_int (eval task idx) in
       charge task 2;
@@ -299,29 +361,29 @@ and eval_lvalue task (e : Ast.expr) : lvalue =
           { addr = addr + (i * Ctype.sizeof elt); ty = elt }
       | v -> runtime_error "indexing non-pointer %s" (Value.to_string v)
     end
-  | Ast.Cast (_, inner) -> eval_lvalue task inner
-  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
-  | Ast.Unary _ | Ast.Binary _ | Ast.Assign _ | Ast.Cond _ | Ast.Call _
-  | Ast.Sizeof_type _ | Ast.Sizeof_expr _ | Ast.Comma _ ->
+  | Resolve.Rcast (_, inner) -> eval_lvalue task inner
+  | Resolve.Rlit _ | Resolve.Rstr _ | Resolve.Runary _ | Resolve.Rbinary _
+  | Resolve.Rassign _ | Resolve.Rcond _ | Resolve.Rcall_user _
+  | Resolve.Rcall_builtin _ | Resolve.Rsizeof_var _ | Resolve.Rcomma _ ->
       runtime_error "expression is not an l-value"
 
 (* --- statements ------------------------------------------------------------ *)
 
-and exec_stmt task (s : Ast.stmt) : outcome =
-  match s.Ast.s_desc with
-  | Ast.Sexpr e ->
+and exec_stmt task (s : Resolve.rstmt) : outcome =
+  match s with
+  | Resolve.Rsexpr e ->
       ignore (eval task e);
       Normal
-  | Ast.Sdecl ds ->
+  | Resolve.Rsdecl ds ->
       List.iter (exec_decl task) ds;
       Normal
-  | Ast.Sblock stmts -> exec_block task stmts
-  | Ast.Sif (c, a, b) -> begin
+  | Resolve.Rsblock stmts -> exec_block task stmts
+  | Resolve.Rsif (c, a, b) -> begin
       charge task 2;
       if Value.is_truthy (eval task c) then exec_stmt task a
       else match b with Some b -> exec_stmt task b | None -> Normal
     end
-  | Ast.Swhile (c, body) ->
+  | Resolve.Rswhile (c, body) ->
       let rec loop () =
         charge task 2;
         if Value.is_truthy (eval task c) then
@@ -332,7 +394,7 @@ and exec_stmt task (s : Ast.stmt) : outcome =
         else Normal
       in
       loop ()
-  | Ast.Sdo (body, c) ->
+  | Resolve.Rsdo (body, c) ->
       let rec loop () =
         match exec_stmt task body with
         | Normal | Continued ->
@@ -342,11 +404,11 @@ and exec_stmt task (s : Ast.stmt) : outcome =
         | Returned v -> Returned v
       in
       loop ()
-  | Ast.Sfor (init, cond, step, body) ->
+  | Resolve.Rsfor (init, cond, step, body) ->
       (match init with
-      | Ast.For_none -> ()
-      | Ast.For_expr e -> ignore (eval task e)
-      | Ast.For_decl ds -> List.iter (exec_decl task) ds);
+      | Resolve.Rfor_none -> ()
+      | Resolve.Rfor_expr e -> ignore (eval task e)
+      | Resolve.Rfor_decl ds -> List.iter (exec_decl task) ds);
       let rec loop () =
         charge task 2;
         let continue_loop =
@@ -364,11 +426,11 @@ and exec_stmt task (s : Ast.stmt) : outcome =
           | Returned v -> Returned v
       in
       loop ()
-  | Ast.Sreturn None -> Returned Value.Vvoid
-  | Ast.Sreturn (Some e) -> Returned (eval task e)
-  | Ast.Sbreak -> Broke
-  | Ast.Scontinue -> Continued
-  | Ast.Snull -> Normal
+  | Resolve.Rsreturn None -> Returned Value.Vvoid
+  | Resolve.Rsreturn (Some e) -> Returned (eval task e)
+  | Resolve.Rsbreak -> Broke
+  | Resolve.Rscontinue -> Continued
+  | Resolve.Rsnull -> Normal
 
 and exec_block task stmts =
   let rec go = function
@@ -381,16 +443,19 @@ and exec_block task stmts =
   in
   go stmts
 
-and exec_decl task (d : Ast.decl) =
-  let lv = declare task ~loc:d.Ast.d_loc d.Ast.d_name d.Ast.d_type in
-  match d.Ast.d_init with
+and exec_decl task (d : Resolve.rdecl) =
+  let lv =
+    declare task ~loc:d.Resolve.rd_loc ~slot:d.Resolve.rd_slot
+      d.Resolve.rd_name d.Resolve.rd_type
+  in
+  match d.Resolve.rd_init with
   | None -> ()
-  | Some (Ast.Init_expr e) ->
+  | Some (Resolve.Rinit_expr e) ->
       let v = eval task e in
       write_mem task lv v
-  | Some (Ast.Init_list es) ->
+  | Some (Resolve.Rinit_list es) ->
       let elt =
-        match d.Ast.d_type with
+        match d.Resolve.rd_type with
         | Ctype.Array (elt, _) -> elt
         | ty -> ty
       in
@@ -404,26 +469,20 @@ and exec_decl task (d : Ast.decl) =
 
 (* --- calls ------------------------------------------------------------------ *)
 
-and call task name args =
-  match Ast.find_function task.proc.sh.program name with
-  | Some fn -> call_user task fn args
-  | None -> call_builtin task name args
-
-and call_user task (fn : Ast.func) args =
-  if List.length args <> List.length fn.Ast.f_params then
-    runtime_error "%s expects %d arguments, got %d" fn.Ast.f_name
-      (List.length fn.Ast.f_params) (List.length args);
+and call_user task (fn : Resolve.rfunc) args =
+  if List.length args <> fn.Resolve.rf_nparams then
+    runtime_error "%s expects %d arguments, got %d" fn.Resolve.rf_name
+      fn.Resolve.rf_nparams (List.length args);
   let values = List.map (eval task) args in
   charge task 10;   (* call/return overhead *)
-  let frame = Hashtbl.create 8 in
-  task.frames <- frame :: task.frames;
+  task.frames <- make_frame fn :: task.frames;
   List.iter2
-    (fun (pname, pty) v ->
-      let lv = declare task pname pty in
+    (fun (slot, pname, pty) v ->
+      let lv = declare task ~slot pname pty in
       write_mem task lv v)
-    fn.Ast.f_params values;
+    fn.Resolve.rf_params values;
   let result =
-    match exec_block task fn.Ast.f_body with
+    match exec_block task fn.Resolve.rf_body with
     | Returned v -> v
     | Normal | Broke | Continued -> Value.Vvoid
   in
@@ -492,15 +551,15 @@ and collective_shmalloc task bytes =
   let sh = task.proc.sh in
   let k = task.shm_count in
   task.shm_count <- k + 1;
-  if k < List.length sh.shm_log then List.nth sh.shm_log k
-  else begin
-    let addr =
-      Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) Scc.Memmap.Shared_dram
-        ~bytes
-    in
-    sh.shm_log <- sh.shm_log @ [ addr ];
-    addr
-  end
+  match Hashtbl.find_opt sh.shm_log k with
+  | Some addr -> addr
+  | None ->
+      let addr =
+        Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) Scc.Memmap.Shared_dram
+          ~bytes
+      in
+      Hashtbl.add sh.shm_log k addr;
+      addr
 
 (* Collective on-chip allocation: the k-th call returns the same address
    in every rank; block k lives contiguously in the MPB slice of core
@@ -510,35 +569,38 @@ and collective_mpb_malloc task bytes =
   let sh = task.proc.sh in
   let k = task.mpb_count in
   task.mpb_count <- k + 1;
-  if k < List.length sh.mpb_alloc_log then List.nth sh.mpb_alloc_log k
-  else begin
-    let owner = k mod sh.ncores in
-    let addr =
-      Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) (Scc.Memmap.Mpb owner)
-        ~bytes
-    in
-    sh.mpb_alloc_log <- sh.mpb_alloc_log @ [ addr ];
-    addr
-  end
+  match Hashtbl.find_opt sh.mpb_alloc_log k with
+  | Some addr -> addr
+  | None ->
+      let owner = k mod sh.ncores in
+      let addr =
+        Scc.Memmap.alloc (Scc.Engine.memmap sh.eng) (Scc.Memmap.Mpb owner)
+          ~bytes
+      in
+      Hashtbl.add sh.mpb_alloc_log k addr;
+      addr
 
+(* Sync objects are keyed by source name; ids are assigned in order of
+   first dynamic use (the table size before insertion), exactly as the
+   original association lists did. *)
 and barrier_entry task name ~count =
   let sh = task.proc.sh in
-  match List.assoc_opt name sh.barriers with
+  match Hashtbl.find_opt sh.barriers name with
   | Some entry -> entry
   | None ->
-      let entry = (List.length sh.barriers, count) in
-      sh.barriers <- sh.barriers @ [ (name, entry) ];
+      let entry = (Hashtbl.length sh.barriers, count) in
+      Hashtbl.add sh.barriers name entry;
       entry
 
 (* RCCE flags live one copy per UE; the engine flag id combines the
    flag's index with the owning rank. *)
 and rcce_flag_index task name =
   let sh = task.proc.sh in
-  match List.assoc_opt name sh.rcce_flags with
+  match Hashtbl.find_opt sh.rcce_flags name with
   | Some idx -> idx
   | None ->
-      let idx = List.length sh.rcce_flags in
-      sh.rcce_flags <- sh.rcce_flags @ [ (name, idx) ];
+      let idx = Hashtbl.length sh.rcce_flags in
+      Hashtbl.add sh.rcce_flags name idx;
       idx
 
 and rcce_flag_id task ~name ~rank =
@@ -546,11 +608,11 @@ and rcce_flag_id task ~name ~rank =
 
 and mutex_lock_id task name =
   let sh = task.proc.sh in
-  match List.assoc_opt name sh.mutexes with
+  match Hashtbl.find_opt sh.mutexes name with
   | Some id -> id
   | None ->
-      let id = List.length sh.mutexes in
-      sh.mutexes <- sh.mutexes @ [ (name, id) ];
+      let id = Hashtbl.length sh.mutexes in
+      Hashtbl.add sh.mutexes name id;
       id
 
 and mutex_name_of_expr = function
@@ -559,7 +621,11 @@ and mutex_name_of_expr = function
   | Ast.Unary (Ast.Addr, Ast.Index (Ast.Var name, _)) -> name
   | _ -> "<anonymous-mutex>"
 
-and call_builtin task name args =
+(* Builtins that name a sync object or a thread entry point inspect the
+   syntactic argument, which rides along on [Rcall_builtin]. *)
+and ast_arg ast_args i = List.nth ast_args i
+
+and call_builtin task name args ast_args =
   let api = task.api in
   match name, args with
   | "printf", fmt_expr :: rest -> begin
@@ -581,13 +647,18 @@ and call_builtin task name args =
       raise Thread_exit
     end
   (* --- pthreads --------------------------------------------------------- *)
-  | "pthread_create", [ tid; _attr; func_ref; arg ] -> begin
-      match Analysis.Thread_analysis.func_name_of_arg func_ref with
+  | "pthread_create", [ tid; _attr; _func; arg ] -> begin
+      match
+        Analysis.Thread_analysis.func_name_of_arg (ast_arg ast_args 2)
+      with
       | None -> runtime_error "pthread_create: cannot resolve thread function"
       | Some fname -> begin
-          match Ast.find_function task.proc.sh.program fname with
+          match
+            Hashtbl.find_opt task.proc.sh.resolved.Resolve.rp_fn_index fname
+          with
           | None -> runtime_error "pthread_create: unknown function %s" fname
-          | Some fn ->
+          | Some fidx ->
+              let fn = task.proc.sh.resolved.Resolve.rp_funcs.(fidx) in
               let argv = eval task arg in
               flush task;
               let child_id =
@@ -595,23 +666,23 @@ and call_builtin task name args =
                   (fun child_api ->
                     let child =
                       { proc = task.proc; api = child_api;
-                        frames = [ Hashtbl.create 8 ];
+                        frames = [ make_frame fn ];
                         pending_cycles = 0; shm_count = 0; mpb_count = 0;
                         held_locks = Lockset.Int_set.empty }
                     in
                     (try
-                       let frame = Hashtbl.create 8 in
-                       child.frames <- [ frame ];
                        List.iter
-                         (fun (pname, pty) ->
-                           let lv = declare child pname pty in
+                         (fun (slot, pname, pty) ->
+                           let lv = declare child ~slot pname pty in
                            write_mem child lv argv)
-                         fn.Ast.f_params;
-                       ignore (exec_block child fn.Ast.f_body)
+                         fn.Resolve.rf_params;
+                       ignore (exec_block child fn.Resolve.rf_body)
                      with Thread_exit -> ());
                     flush child)
               in
-              let tid_lv = eval_lvalue task (Ast.Unary (Ast.Deref, tid)) in
+              let tid_lv =
+                eval_lvalue task (Resolve.Runary (Ast.Deref, tid))
+              in
               write_mem task tid_lv (Value.Vint child_id);
               Value.Vint 0
         end
@@ -624,29 +695,33 @@ and call_builtin task name args =
       Value.Vint 0
   | "pthread_exit", [ _ ] -> raise Thread_exit
   | "pthread_self", [] -> Value.Vint api.Scc.Engine.self
-  | "pthread_barrier_init", [ b; _attr; count ] ->
+  | "pthread_barrier_init", [ _b; _attr; count ] ->
       let n = Value.as_int (eval task count) in
-      ignore (barrier_entry task (mutex_name_of_expr b) ~count:n);
+      ignore
+        (barrier_entry task (mutex_name_of_expr (ast_arg ast_args 0))
+           ~count:n);
       Value.Vint 0
   | "pthread_barrier_destroy", [ _ ] -> Value.Vint 0
-  | "pthread_barrier_wait", [ b ] ->
-      let id, count = barrier_entry task (mutex_name_of_expr b) ~count:1 in
+  | "pthread_barrier_wait", [ _b ] ->
+      let id, count =
+        barrier_entry task (mutex_name_of_expr (ast_arg ast_args 0)) ~count:1
+      in
       flush task;
       api.Scc.Engine.barrier_n ~id ~count;
       sync_races task;
       Value.Vint 0
-  | "pthread_mutex_init", (m :: _) ->
-      ignore (mutex_lock_id task (mutex_name_of_expr m));
+  | "pthread_mutex_init", (_m :: _) ->
+      ignore (mutex_lock_id task (mutex_name_of_expr (ast_arg ast_args 0)));
       Value.Vint 0
   | "pthread_mutex_destroy", [ _ ] -> Value.Vint 0
-  | "pthread_mutex_lock", [ m ] ->
-      let id = mutex_lock_id task (mutex_name_of_expr m) in
+  | "pthread_mutex_lock", [ _m ] ->
+      let id = mutex_lock_id task (mutex_name_of_expr (ast_arg ast_args 0)) in
       flush task;
       api.Scc.Engine.acquire (rank_to_core task id);
       task.held_locks <- Lockset.Int_set.add id task.held_locks;
       Value.Vint 0
-  | "pthread_mutex_unlock", [ m ] ->
-      let id = mutex_lock_id task (mutex_name_of_expr m) in
+  | "pthread_mutex_unlock", [ _m ] ->
+      let id = mutex_lock_id task (mutex_name_of_expr (ast_arg ast_args 0)) in
       flush task;
       api.Scc.Engine.release (rank_to_core task id);
       task.held_locks <- Lockset.Int_set.remove id task.held_locks;
@@ -669,23 +744,26 @@ and call_builtin task name args =
       Value.Vptr
         { addr = collective_mpb_malloc task bytes; elt = Ctype.Void }
   | "RCCE_shfree", [ _ ] | "RCCE_free", [ _ ] -> Value.Vvoid
-  | "RCCE_flag_alloc", [ f ] ->
-      ignore (rcce_flag_index task (mutex_name_of_expr f));
+  | "RCCE_flag_alloc", [ _f ] ->
+      ignore (rcce_flag_index task (mutex_name_of_expr (ast_arg ast_args 0)));
       Value.Vint 0
   | "RCCE_flag_free", [ _ ] -> Value.Vint 0
-  | "RCCE_flag_write", [ f; v; ue_expr ] ->
+  | "RCCE_flag_write", [ _f; v; ue_expr ] ->
       let value = Value.is_truthy (eval task v) in
       let rank = Value.as_int (eval task ue_expr) in
-      let id = rcce_flag_id task ~name:(mutex_name_of_expr f) ~rank in
+      let id =
+        rcce_flag_id task ~name:(mutex_name_of_expr (ast_arg ast_args 0))
+          ~rank
+      in
       flush task;
       api.Scc.Engine.flag_set ~id value;
       Value.Vint 0
-  | "RCCE_wait_until", [ f; v ] ->
+  | "RCCE_wait_until", [ _f; v ] ->
       if not (Value.is_truthy (eval task v)) then
         runtime_error "RCCE_wait_until: only RCCE_FLAG_SET is supported"
       else begin
         let id =
-          rcce_flag_id task ~name:(mutex_name_of_expr f)
+          rcce_flag_id task ~name:(mutex_name_of_expr (ast_arg ast_args 0))
             ~rank:task.proc.rank
         in
         flush task;
@@ -725,41 +803,65 @@ and call_builtin task name args =
 
 (* --- program setup ------------------------------------------------------- *)
 
-(* Allocate and initialize one process's globals (load-time, untimed). *)
+(* Allocate and initialize one process's globals (load-time, untimed).
+   Runs with an empty frame stack, so initializer expressions resolve
+   against the globals created so far — including duplicate names, where
+   each declaration re-points the canonical table slot just as
+   [Hashtbl.replace] re-pointed the name. *)
 let setup_globals task =
-  List.iter
-    (fun (d : Ast.decl) ->
-      let ty = d.Ast.d_type in
+  let rp = task.proc.sh.resolved in
+  Array.iter
+    (fun (g : Resolve.rglobal) ->
+      let ty = g.Resolve.rg_type in
       let bytes = max (Ctype.sizeof ty) 4 in
       let lv = { addr = alloc_private task ~bytes; ty } in
-      name_region task ~loc:d.Ast.d_loc ~base:lv.addr ~bytes d.Ast.d_name;
-      Hashtbl.replace task.proc.globals d.Ast.d_name lv;
-      match d.Ast.d_init with
+      name_region task ~loc:g.Resolve.rg_loc ~base:lv.addr ~bytes
+        g.Resolve.rg_name;
+      Hashtbl.replace task.proc.globals g.Resolve.rg_name lv;
+      let canonical =
+        Hashtbl.find rp.Resolve.rp_global_index g.Resolve.rg_name
+      in
+      task.proc.global_slots.(canonical) <- Some lv;
+      match g.Resolve.rg_init with
       | None -> poke task lv.addr ty (Value.zero_of ty)
-      | Some (Ast.Init_expr e) -> poke task lv.addr ty (eval task e)
-      | Some (Ast.Init_list es) ->
+      | Some (Resolve.Rinit_expr e) -> poke task lv.addr ty (eval task e)
+      | Some (Resolve.Rinit_list es) ->
           let elt = match ty with Ctype.Array (e, _) -> e | ty -> ty in
           List.iteri
             (fun i e ->
               poke task (lv.addr + (i * Ctype.sizeof elt)) elt (eval task e))
             es)
-    (Ast.global_decls task.proc.sh.program)
+    rp.Resolve.rp_globals
 
 let make_shared ?cfg ~detect_races ~ncores program =
+  let eng = Scc.Engine.create ?cfg () in
+  let n = Scc.Config.n_cores (Scc.Engine.cfg eng) in
   {
-    program;
-    eng = Scc.Engine.create ?cfg ();
-    store = Hashtbl.create 4096;
+    resolved = Resolve.resolve program;
+    eng;
+    shared_store = region_store_create ();
+    private_stores = Array.init n (fun _ -> region_store_create ());
+    mpb_stores = Array.init n (fun _ -> region_store_create ());
     strings = Hashtbl.create 16;
     string_at = Hashtbl.create 16;
     output = Buffer.create 256;
-    mutexes = [];
-    barriers = [];
-    rcce_flags = [];
-    shm_log = [];
-    mpb_alloc_log = [];
+    mutexes = Hashtbl.create 16;
+    barriers = Hashtbl.create 16;
+    rcce_flags = Hashtbl.create 16;
+    shm_log = Hashtbl.create 16;
+    mpb_alloc_log = Hashtbl.create 16;
     ncores;
     races = (if detect_races then Some (Lockset.create ()) else None);
+  }
+
+let make_process sh ~core ~rank =
+  {
+    sh;
+    globals = Hashtbl.create 64;
+    global_slots =
+      Array.make (Array.length sh.resolved.Resolve.rp_globals) None;
+    core;
+    rank;
   }
 
 type result = {
@@ -770,11 +872,17 @@ type result = {
   races : Lockset.report list;  (* empty unless detection was enabled *)
 }
 
-let entry_function program =
-  match Ast.find_function program "RCCE_APP" with
+let entry_function sh =
+  let rp = sh.resolved in
+  let find name =
+    Option.map
+      (fun i -> rp.Resolve.rp_funcs.(i))
+      (Hashtbl.find_opt rp.Resolve.rp_fn_index name)
+  in
+  match find "RCCE_APP" with
   | Some fn -> fn
   | None -> begin
-      match Ast.find_function program "main" with
+      match find "main" with
       | Some fn -> fn
       | None -> runtime_error "program has neither RCCE_APP nor main"
     end
@@ -782,23 +890,22 @@ let entry_function program =
 (* Run the entry function in a fresh task for one process. *)
 let run_entry sh proc api =
   let task =
-    { proc; api; frames = [ Hashtbl.create 8 ]; pending_cycles = 0;
+    { proc; api; frames = []; pending_cycles = 0;
       shm_count = 0; mpb_count = 0; held_locks = Lockset.Int_set.empty }
   in
   setup_globals task;
-  let fn = entry_function sh.program in
-  let frame = Hashtbl.create 8 in
-  task.frames <- [ frame ];
+  let fn = entry_function sh in
+  task.frames <- [ make_frame fn ];
   List.iter
-    (fun (pname, pty) ->
-      let lv = declare task pname pty in
+    (fun (slot, pname, pty) ->
+      let lv = declare task ~slot pname pty in
       match pty with
       | Ctype.Int -> write_mem task lv (Value.Vint 1)   (* argc *)
       | _ -> write_mem task lv (Value.Vint 0))
-    fn.Ast.f_params;
+    fn.Resolve.rf_params;
   let v =
     try
-      match exec_block task fn.Ast.f_body with
+      match exec_block task fn.Resolve.rf_body with
       | Returned v -> v
       | Normal | Broke | Continued -> Value.Vint 0
     with Thread_exit -> Value.Vint 0
@@ -811,7 +918,7 @@ let race_reports (sh : shared) =
 
 let run_pthread ?cfg ?(detect_races = false) (program : Ast.program) =
   let sh = make_shared ?cfg ~detect_races ~ncores:1 program in
-  let proc = { sh; globals = Hashtbl.create 64; core = 0; rank = 0 } in
+  let proc = make_process sh ~core:0 ~rank:0 in
   let exit_value = ref Value.Vvoid in
   ignore
     (Scc.Engine.spawn sh.eng ~core:0 (fun api ->
@@ -830,7 +937,7 @@ let run_rcce ?cfg ?(detect_races = false) ~ncores (program : Ast.program) =
   let sh = make_shared ?cfg ~detect_races ~ncores program in
   let exit_values = Array.make ncores Value.Vvoid in
   for rank = 0 to ncores - 1 do
-    let proc = { sh; globals = Hashtbl.create 64; core = rank; rank } in
+    let proc = make_process sh ~core:rank ~rank in
     ignore
       (Scc.Engine.spawn sh.eng ~core:rank (fun api ->
            exit_values.(rank) <- run_entry sh proc api))

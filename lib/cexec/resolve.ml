@@ -1,0 +1,261 @@
+open Cfront
+
+(* Pre-execution identifier resolution (see resolve.mli).
+
+   The interpreter's scoping rule is dynamic: a name resolves in the
+   innermost frame that binds it, walking out through the callers'
+   frames and landing on the process globals.  Frames are flat per
+   function call — block scoping does not introduce new frames, and a
+   re-declaration overwrites — so "bound in the current frame" is
+   exactly "the declaration statement has executed in this call".
+   Resolution therefore assigns one slot per distinct name per
+   function; a use whose slot is still empty at run time (use before
+   the declaration executes) falls back to the dynamic walk, which
+   keeps the pass semantics-preserving without proving anything about
+   execution order. *)
+
+type slot =
+  | Local of int
+  | Global of int
+  | Dynamic
+
+type rexpr =
+  | Rlit of Value.t
+  | Rstr of string
+  | Rvar of slot * string
+  | Rconst_var of Value.t * slot * string
+  | Runary of Ast.unop * rexpr
+  | Rbinary of Ast.binop * rexpr * rexpr
+  | Rassign of Ast.binop option * rexpr * rexpr
+  | Rcond of rexpr * rexpr * rexpr
+  | Rcall_user of int * rexpr list
+  | Rcall_builtin of string * rexpr list * Ast.expr list
+  | Rindex of rexpr * rexpr
+  | Rcast of Ctype.t * rexpr
+  | Rsizeof_var of slot * string
+  | Rcomma of rexpr * rexpr
+
+type rdecl = {
+  rd_slot : int;
+  rd_name : string;
+  rd_type : Ctype.t;
+  rd_loc : Srcloc.t;
+  rd_init : rinit option;
+}
+
+and rinit = Rinit_expr of rexpr | Rinit_list of rexpr list
+
+type rstmt =
+  | Rsexpr of rexpr
+  | Rsdecl of rdecl list
+  | Rsblock of rstmt list
+  | Rsif of rexpr * rstmt * rstmt option
+  | Rswhile of rexpr * rstmt
+  | Rsdo of rstmt * rexpr
+  | Rsfor of rfor_init * rexpr option * rexpr option * rstmt
+  | Rsreturn of rexpr option
+  | Rsbreak
+  | Rscontinue
+  | Rsnull
+
+and rfor_init = Rfor_none | Rfor_expr of rexpr | Rfor_decl of rdecl list
+
+type rfunc = {
+  rf_name : string;
+  rf_params : (int * string * Ctype.t) list;
+  rf_nparams : int;
+  rf_nslots : int;
+  rf_body : rstmt list;
+  rf_locals : (string, int) Hashtbl.t;
+}
+
+type rglobal = {
+  rg_name : string;
+  rg_type : Ctype.t;
+  rg_loc : Srcloc.t;
+  rg_init : rinit option;
+}
+
+type t = {
+  rp_funcs : rfunc array;
+  rp_fn_index : (string, int) Hashtbl.t;
+  rp_globals : rglobal array;
+  rp_global_index : (string, int) Hashtbl.t;
+}
+
+(* One slot per distinct name: parameters first, then declarations in
+   syntactic order. *)
+let collect_locals (fn : Ast.func) =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  let add name =
+    if not (Hashtbl.mem tbl name) then begin
+      Hashtbl.add tbl name !next;
+      incr next
+    end
+  in
+  List.iter (fun (p, _) -> add p) fn.Ast.f_params;
+  let rec stmt s =
+    match s.Ast.s_desc with
+    | Ast.Sdecl ds -> List.iter (fun (d : Ast.decl) -> add d.Ast.d_name) ds
+    | Ast.Sblock ss -> List.iter stmt ss
+    | Ast.Sif (_, a, b) ->
+        stmt a;
+        Option.iter stmt b
+    | Ast.Swhile (_, b) -> stmt b
+    | Ast.Sdo (b, _) -> stmt b
+    | Ast.Sfor (init, _, _, b) ->
+        (match init with
+        | Ast.For_decl ds ->
+            List.iter (fun (d : Ast.decl) -> add d.Ast.d_name) ds
+        | Ast.For_none | Ast.For_expr _ -> ());
+        stmt b
+    | Ast.Sexpr _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull
+      ->
+        ()
+  in
+  List.iter stmt fn.Ast.f_body;
+  tbl
+
+let resolve (program : Ast.program) : t =
+  let globals = Ast.global_decls program in
+  let funcs = Ast.functions program in
+  let global_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (d : Ast.decl) -> Hashtbl.replace global_index d.Ast.d_name i)
+    globals;
+  let fn_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ast.func) ->
+      if not (Hashtbl.mem fn_index f.Ast.f_name) then
+        Hashtbl.add fn_index f.Ast.f_name i)
+    funcs;
+  let locals_of = List.map collect_locals funcs in
+  (* Names some function binds: a use of such a name outside a function
+     that declares it might resolve to a caller's local at run time, so
+     it cannot be pinned to the global table statically. *)
+  let frame_bound = Hashtbl.create 64 in
+  List.iter
+    (fun tbl -> Hashtbl.iter (fun n _ -> Hashtbl.replace frame_bound n ()) tbl)
+    locals_of;
+  (* [locals = None] is the global-initializer context: initializers
+     evaluate under an empty frame stack, so a global name can always be
+     pinned there. *)
+  let slot_of ~locals name =
+    match locals with
+    | Some tbl when Hashtbl.mem tbl name -> Local (Hashtbl.find tbl name)
+    | _ ->
+        let shadowable =
+          match locals with
+          | Some _ -> Hashtbl.mem frame_bound name
+          | None -> false
+        in
+        if (not shadowable) && Hashtbl.mem global_index name then
+          Global (Hashtbl.find global_index name)
+        else Dynamic
+  in
+  let rec rexpr ~locals (e : Ast.expr) : rexpr =
+    let sub = rexpr ~locals in
+    match e with
+    | Ast.Int_lit n -> Rlit (Value.Vint n)
+    | Ast.Float_lit f -> Rlit (Value.Vfloat f)
+    | Ast.Char_lit c -> Rlit (Value.Vint (Char.code c))
+    | Ast.Str_lit s -> Rstr s
+    | Ast.Var (("NULL" | "RCCE_FLAG_UNSET") as name) ->
+        Rconst_var (Value.Vint 0, slot_of ~locals name, name)
+    | Ast.Var ("RCCE_FLAG_SET" as name) ->
+        Rconst_var (Value.Vint 1, slot_of ~locals name, name)
+    | Ast.Var name -> Rvar (slot_of ~locals name, name)
+    | Ast.Unary (op, inner) -> Runary (op, sub inner)
+    | Ast.Binary (op, a, b) -> Rbinary (op, sub a, sub b)
+    | Ast.Assign (op, lhs, rhs) -> Rassign (op, sub lhs, sub rhs)
+    | Ast.Cond (c, a, b) -> Rcond (sub c, sub a, sub b)
+    | Ast.Call (name, args) -> begin
+        let rargs = List.map sub args in
+        match Hashtbl.find_opt fn_index name with
+        | Some idx -> Rcall_user (idx, rargs)
+        | None -> Rcall_builtin (name, rargs, args)
+      end
+    | Ast.Index (arr, idx) -> Rindex (sub arr, sub idx)
+    | Ast.Cast (ty, inner) -> Rcast (ty, sub inner)
+    | Ast.Sizeof_type ty -> Rlit (Value.Vint (Ctype.sizeof ty))
+    | Ast.Sizeof_expr (Ast.Var name) ->
+        Rsizeof_var (slot_of ~locals name, name)
+    | Ast.Sizeof_expr _ -> Rlit (Value.Vint (Ctype.sizeof Ctype.Int))
+    | Ast.Comma (a, b) -> Rcomma (sub a, sub b)
+  in
+  let rinit ~locals = function
+    | Ast.Init_expr e -> Rinit_expr (rexpr ~locals e)
+    | Ast.Init_list es -> Rinit_list (List.map (rexpr ~locals) es)
+  in
+  let rdecl ~locals ~tbl (d : Ast.decl) =
+    {
+      rd_slot = Hashtbl.find tbl d.Ast.d_name;
+      rd_name = d.Ast.d_name;
+      rd_type = d.Ast.d_type;
+      rd_loc = d.Ast.d_loc;
+      rd_init = Option.map (rinit ~locals) d.Ast.d_init;
+    }
+  in
+  let rec rstmt ~locals ~tbl (s : Ast.stmt) : rstmt =
+    match s.Ast.s_desc with
+    | Ast.Sexpr e -> Rsexpr (rexpr ~locals e)
+    | Ast.Sdecl ds -> Rsdecl (List.map (rdecl ~locals ~tbl) ds)
+    | Ast.Sblock ss -> Rsblock (List.map (rstmt ~locals ~tbl) ss)
+    | Ast.Sif (c, a, b) ->
+        Rsif
+          ( rexpr ~locals c,
+            rstmt ~locals ~tbl a,
+            Option.map (rstmt ~locals ~tbl) b )
+    | Ast.Swhile (c, b) -> Rswhile (rexpr ~locals c, rstmt ~locals ~tbl b)
+    | Ast.Sdo (b, c) -> Rsdo (rstmt ~locals ~tbl b, rexpr ~locals c)
+    | Ast.Sfor (init, cond, step, body) ->
+        let rinit_ =
+          match init with
+          | Ast.For_none -> Rfor_none
+          | Ast.For_expr e -> Rfor_expr (rexpr ~locals e)
+          | Ast.For_decl ds -> Rfor_decl (List.map (rdecl ~locals ~tbl) ds)
+        in
+        Rsfor
+          ( rinit_,
+            Option.map (rexpr ~locals) cond,
+            Option.map (rexpr ~locals) step,
+            rstmt ~locals ~tbl body )
+    | Ast.Sreturn e -> Rsreturn (Option.map (rexpr ~locals) e)
+    | Ast.Sbreak -> Rsbreak
+    | Ast.Scontinue -> Rscontinue
+    | Ast.Snull -> Rsnull
+  in
+  let rfunc (fn : Ast.func) tbl =
+    let locals = Some tbl in
+    {
+      rf_name = fn.Ast.f_name;
+      rf_params =
+        List.map
+          (fun (p, ty) -> (Hashtbl.find tbl p, p, ty))
+          fn.Ast.f_params;
+      rf_nparams = List.length fn.Ast.f_params;
+      rf_nslots = Hashtbl.length tbl;
+      rf_body = List.map (rstmt ~locals ~tbl) fn.Ast.f_body;
+      rf_locals = tbl;
+    }
+  in
+  let rp_funcs = Array.of_list (List.map2 rfunc funcs locals_of) in
+  let rp_globals =
+    Array.of_list
+      (List.map
+         (fun (d : Ast.decl) ->
+           {
+             rg_name = d.Ast.d_name;
+             rg_type = d.Ast.d_type;
+             rg_loc = d.Ast.d_loc;
+             rg_init = Option.map (rinit ~locals:None) d.Ast.d_init;
+           })
+         globals)
+  in
+  {
+    rp_funcs;
+    rp_fn_index = fn_index;
+    rp_globals;
+    rp_global_index = global_index;
+  }

@@ -1,0 +1,101 @@
+open Cfront
+
+(** Pre-execution identifier resolution.
+
+    A one-shot pass over the AST that interns every identifier to an
+    integer slot, so the interpreter's hot path is array indexing
+    instead of hashing strings on every access:
+
+    - names declared in the enclosing function (parameters and block
+      locals) become frame offsets ([Local]);
+    - names that can only ever denote a global — no function in the
+      program declares them — become indices into the per-process
+      global table ([Global]);
+    - everything else stays [Dynamic] and is resolved at use time by
+      the interpreter's original caller-frame walk, preserving the
+      observable dynamic-scoping semantics exactly (a callee that uses
+      a name before declaring it sees the caller's binding).
+
+    Literals, [sizeof], and the RCCE flag constants are folded to
+    values; call targets are split into user-function indices and
+    builtin names.  The original name strings ride along on every
+    variable reference purely for diagnostics. *)
+
+type slot =
+  | Local of int   (** offset into the current function's frame *)
+  | Global of int  (** index into the per-process global table *)
+  | Dynamic        (** resolved at use time: frame walk, then globals *)
+
+type rexpr =
+  | Rlit of Value.t
+  | Rstr of string
+  | Rvar of slot * string
+  | Rconst_var of Value.t * slot * string
+      (** [NULL] / [RCCE_FLAG_SET] / [RCCE_FLAG_UNSET]: a literal as an
+          rvalue, an ordinary variable reference in lvalue position *)
+  | Runary of Ast.unop * rexpr
+  | Rbinary of Ast.binop * rexpr * rexpr
+  | Rassign of Ast.binop option * rexpr * rexpr
+  | Rcond of rexpr * rexpr * rexpr
+  | Rcall_user of int * rexpr list  (** index into [rp_funcs] *)
+  | Rcall_builtin of string * rexpr list * Ast.expr list
+      (** builtin args both resolved (for evaluation) and syntactic
+          (for [pthread_create] target and sync-object naming) *)
+  | Rindex of rexpr * rexpr
+  | Rcast of Ctype.t * rexpr
+  | Rsizeof_var of slot * string
+  | Rcomma of rexpr * rexpr
+
+type rdecl = {
+  rd_slot : int;
+  rd_name : string;
+  rd_type : Ctype.t;
+  rd_loc : Srcloc.t;
+  rd_init : rinit option;
+}
+
+and rinit = Rinit_expr of rexpr | Rinit_list of rexpr list
+
+type rstmt =
+  | Rsexpr of rexpr
+  | Rsdecl of rdecl list
+  | Rsblock of rstmt list
+  | Rsif of rexpr * rstmt * rstmt option
+  | Rswhile of rexpr * rstmt
+  | Rsdo of rstmt * rexpr
+  | Rsfor of rfor_init * rexpr option * rexpr option * rstmt
+  | Rsreturn of rexpr option
+  | Rsbreak
+  | Rscontinue
+  | Rsnull
+
+and rfor_init = Rfor_none | Rfor_expr of rexpr | Rfor_decl of rdecl list
+
+type rfunc = {
+  rf_name : string;
+  rf_params : (int * string * Ctype.t) list;  (** slot, name, type *)
+  rf_nparams : int;
+  rf_nslots : int;  (** frame size: one slot per distinct local name *)
+  rf_body : rstmt list;
+  rf_locals : (string, int) Hashtbl.t;
+      (** name -> slot; consulted by the dynamic caller-frame walk *)
+}
+
+type rglobal = {
+  rg_name : string;
+  rg_type : Ctype.t;
+  rg_loc : Srcloc.t;
+  rg_init : rinit option;
+}
+
+type t = {
+  rp_funcs : rfunc array;
+  rp_fn_index : (string, int) Hashtbl.t;
+      (** first definition wins, like [Ast.find_function] *)
+  rp_globals : rglobal array;  (** in declaration order *)
+  rp_global_index : (string, int) Hashtbl.t;
+      (** canonical table slot per name; on duplicate declarations the
+          last one wins, like the interpreter's [Hashtbl.replace] *)
+}
+
+val resolve : Ast.program -> t

@@ -546,14 +546,44 @@ let many_to_one_scaling ?(scale = Full) () =
 
 (* --- everything ------------------------------------------------------------- *)
 
-let run_all ?(scale = Full) () =
-  let sections =
-    [ table_4_1 (); table_4_2 (); table_6_1 (); translation_example ();
-      fig_6_1 ~scale (); fig_6_2 ~scale (); fig_6_3 ~scale ();
-      ablation_partition (); interp_experiment ~scale ();
-      dvfs_experiment ~scale (); sync_sensitivity ~scale ();
-      model_sensitivity ~scale (); many_to_one_scaling ~scale () ]
+let sections =
+  [ ("table-4.1", fun _scale -> table_4_1 ());
+    ("table-4.2", fun _scale -> table_4_2 ());
+    ("table-6.1", fun _scale -> table_6_1 ());
+    ("translate-example", fun _scale -> translation_example ());
+    ("fig-6.1", fun scale -> fig_6_1 ~scale ());
+    ("fig-6.2", fun scale -> fig_6_2 ~scale ());
+    ("fig-6.3", fun scale -> fig_6_3 ~scale ());
+    ("ablation-partition", fun _scale -> ablation_partition ());
+    ("interp", fun scale -> interp_experiment ~scale ());
+    ("dvfs", fun scale -> dvfs_experiment ~scale ());
+    ("sync", fun scale -> sync_sensitivity ~scale ());
+    ("model-sensitivity", fun scale -> model_sensitivity ~scale ());
+    ("many-to-one", fun scale -> many_to_one_scaling ~scale ()) ]
+
+let section_names = List.map fst sections
+
+let run_all ?(scale = Full) ?(jobs = 1) () =
+  (* Force the shared example session (and its memoized pipeline facts)
+     in this domain before any worker can race to do it: from here on
+     the session is only read. *)
+  ignore (analysis_of_example ());
+  let bodies =
+    Pool.map_fixed ~jobs
+      (List.map (fun (_, f) () -> f scale) sections)
   in
   let rule = String.make 72 '=' in
   Printf.sprintf "Scale: %s\n%s\n" (scale_to_string scale) rule
-  ^ String.concat (Printf.sprintf "\n%s\n" rule) sections
+  ^ String.concat (Printf.sprintf "\n%s\n" rule) bodies
+
+let run_section ?(scale = Full) ?(jobs = 1) name =
+  match name with
+  | "all" -> Ok (run_all ~scale ~jobs ())
+  | name -> begin
+      match List.assoc_opt name sections with
+      | Some f -> Ok (f scale)
+      | None ->
+          Error
+            (Printf.sprintf "unknown section %S (have: all, %s)" name
+               (String.concat ", " section_names))
+    end

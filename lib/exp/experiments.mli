@@ -120,5 +120,20 @@ val many_to_one_scaling : ?scale:scale -> unit -> string
     the many-to-one task mapping and interpreted at several core
     counts. *)
 
-val run_all : ?scale:scale -> unit -> string
-(** Every section, concatenated — what [bin/experiments] prints. *)
+val sections : (string * (scale -> string)) list
+(** Every named section, in presentation order — the dispatch table
+    behind [bin/experiments]. *)
+
+val section_names : string list
+
+val run_all : ?scale:scale -> ?jobs:int -> unit -> string
+(** Every section, concatenated — what [bin/experiments] prints.  With
+    [jobs > 1] the sections run across an OCaml 5 domain pool
+    ({!Pool.map_fixed}); the gather is fixed-order, so the output is
+    byte-identical for any [jobs]. *)
+
+val run_section :
+  ?scale:scale -> ?jobs:int -> string -> (string, string) result
+(** Dispatch one section by name ("all" for {!run_all}).  [Error]
+    carries the unknown-section message; the CLI maps it to exit
+    status 2. *)

@@ -7,6 +7,11 @@
 
 type result = { hit : bool; evicted_dirty : bool }
 
+(* [access_code] results *)
+let hit = 0
+let miss = 1
+let miss_evict_dirty = 2
+
 type line = { mutable tag : int; mutable dirty : bool; mutable last_use : int }
 
 type t = {
@@ -39,30 +44,44 @@ let create ~size_bytes ~line_bytes ~assoc =
 
 let line_addr t addr = addr / t.line_bytes
 
-let access t ~write addr =
+(* Allocation-free access used on the simulator's per-event hot path. *)
+let access_code t ~write addr =
   t.tick <- t.tick + 1;
   let la = line_addr t addr in
   let set = t.sets.(la mod t.set_count) in
   let tag = la / t.set_count in
-  let found = ref None in
-  Array.iter (fun l -> if l.tag = tag then found := Some l) set;
-  match !found with
-  | Some l ->
-      l.last_use <- t.tick;
-      if write then l.dirty <- true;
-      t.hits <- t.hits + 1;
-      { hit = true; evicted_dirty = false }
-  | None ->
-      t.misses <- t.misses + 1;
-      (* evict the least recently used way *)
-      let victim = ref set.(0) in
-      Array.iter (fun l -> if l.last_use < !victim.last_use then victim := l)
-        set;
-      let evicted_dirty = !victim.tag >= 0 && !victim.dirty in
-      !victim.tag <- tag;
-      !victim.dirty <- write;
-      !victim.last_use <- t.tick;
-      { hit = false; evicted_dirty }
+  let ways = Array.length set in
+  let found = ref (-1) in
+  for w = 0 to ways - 1 do
+    if set.(w).tag = tag then found := w
+  done;
+  if !found >= 0 then begin
+    let l = set.(!found) in
+    l.last_use <- t.tick;
+    if write then l.dirty <- true;
+    t.hits <- t.hits + 1;
+    hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict the least recently used way *)
+    let victim = ref 0 in
+    for w = 1 to ways - 1 do
+      if set.(w).last_use < set.(!victim).last_use then victim := w
+    done;
+    let v = set.(!victim) in
+    let evicted_dirty = v.tag >= 0 && v.dirty in
+    v.tag <- tag;
+    v.dirty <- write;
+    v.last_use <- t.tick;
+    if evicted_dirty then miss_evict_dirty else miss
+  end
+
+let access t ~write addr =
+  match access_code t ~write addr with
+  | c when c = hit -> { hit = true; evicted_dirty = false }
+  | c when c = miss -> { hit = false; evicted_dirty = false }
+  | _ -> { hit = false; evicted_dirty = true }
 
 let flush t =
   Array.iter

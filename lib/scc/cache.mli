@@ -14,6 +14,14 @@ val access : t -> write:bool -> int -> result
 (** Touch the line containing the byte address; fills on miss and reports
     whether a dirty victim was evicted. *)
 
+val hit : int
+val miss : int
+val miss_evict_dirty : int
+
+val access_code : t -> write:bool -> int -> int
+(** Allocation-free [access] for the simulator's hot path: returns
+    {!hit}, {!miss}, or {!miss_evict_dirty}. *)
+
 val flush : t -> unit
 (** Invalidate everything (e.g. at process start). *)
 

@@ -41,6 +41,9 @@ val default : t
 val n_tiles : t -> int
 val n_cores : t -> int
 
+val ps_per_cycle : int -> int
+(** Picoseconds per cycle at a frequency in MHz. *)
+
 val core_cycles_ps : t -> int -> int
 val mesh_cycles_ps : t -> int -> int
 val dram_cycles_ps : t -> int -> int

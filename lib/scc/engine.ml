@@ -80,6 +80,8 @@ type ctx = {
   mutable now : int;
   mutable status : ctx_status;
   mutable pending : pending option;
+  mutable joiners : (ctx * (unit, unit) Effect.Deep.continuation) list;
+      (* contexts blocked in [join] on this one *)
 }
 
 type proc = {
@@ -105,11 +107,19 @@ type flag = {
 
 exception Deadlock of string
 
+(* A counted barrier's per-group bookkeeping: arrivals are counted, not
+   re-measured with [List.length] on every entry. *)
+type counted_barrier = {
+  mutable cb_arrived : int;
+  mutable cb_waiters : (ctx * (unit, unit) Effect.Deep.continuation) list;
+}
+
 type t = {
   cfg : Config.t;
   mesh : Mesh.t;
   memmap : Memmap.t;
-  mutable ctx_arr : ctx array;
+  mutable ctx_arr : ctx array;   (* growable; slots >= [n_ctx] are filler *)
+  mutable n_ctx : int;
   procs : proc array;
   l1 : Cache.t array;
   l2 : Cache.t array;
@@ -118,17 +128,37 @@ type t = {
   mc_requests : int array;
   mpb_free_at : int array;
   mutable barrier_waiting : (ctx * (unit, unit) Effect.Deep.continuation) list;
-  counted_barriers :
-    (int, (ctx * (unit, unit) Effect.Deep.continuation) list ref) Hashtbl.t;
+  mutable n_barrier_waiting : int;
+  mutable n_barrier_members : int;  (* statically spawned contexts *)
+  counted_barriers : (int, counted_barrier) Hashtbl.t;
   flags : (int, flag) Hashtbl.t;
-  mutable join_waiting :
-    (int * ctx * (unit, unit) Effect.Deep.continuation) list;
-      (* joined ctx id, waiter, continuation *)
+  mutable n_join_waiting : int;     (* across every context's [joiners] *)
   locks : lock array;
   mutable n_finished : int;
   mutable started : bool;
+  mutable n_events : int;           (* contexts resumed *)
   trace : Trace.t option;
   core_freq_mhz : int array;   (* per-core DVFS state, tile-granular *)
+  (* Per-event timing constants, precomputed so the hot path never
+     divides or searches: picoseconds per core cycle (tracks DVFS),
+     each core's nearest memory controller and one-way mesh times. *)
+  ps_core : int array;              (* ps per core cycle, per core *)
+  mc_of : int array;                (* nearest MC index, per core *)
+  mc_out_ps : int array;            (* one-way mesh ps to that MC *)
+  shared_out_ps : int array array;  (* [core].(mc) one-way mesh ps *)
+  core_out_ps : int array array;    (* [core].(core) one-way mesh ps *)
+  mc_service_ps : int;
+  dram_access_ps : int;
+  mesh_transfer_ps : int;
+  (* Ready-queue: a binary min-heap of (local time, ctx id) snapshots with
+     lazy deletion — an entry is live only while its context is still
+     Ready at exactly the recorded time.  Keyed so that heap order equals
+     the old linear scan's tie-break: smaller time first, then smaller
+     context id. *)
+  mutable heap_now : int array;
+  mutable heap_id : int array;
+  mutable heap_len : int;
+  mutable shared_cores : int list;  (* cores with more than one context *)
 }
 
 let create ?(cfg = Config.default) ?trace () =
@@ -139,6 +169,7 @@ let create ?(cfg = Config.default) ?trace () =
     mesh;
     memmap = Memmap.create cfg;
     ctx_arr = [||];
+    n_ctx = 0;
     procs =
       Array.init n (fun _ ->
           { free_at = 0; last_ctx = -1; ctx_count = 0; slice_end = 0 });
@@ -155,16 +186,43 @@ let create ?(cfg = Config.default) ?trace () =
     mc_requests = Array.make cfg.Config.n_mcs 0;
     mpb_free_at = Array.make n 0;
     barrier_waiting = [];
+    n_barrier_waiting = 0;
+    n_barrier_members = 0;
     counted_barriers = Hashtbl.create 8;
     flags = Hashtbl.create 16;
-    join_waiting = [];
+    n_join_waiting = 0;
     locks =
       Array.init n (fun _ ->
           { held_by = None; free_time = 0; waiters = Queue.create () });
     n_finished = 0;
     started = false;
+    n_events = 0;
     trace;
     core_freq_mhz = Array.make n cfg.Config.core_freq_mhz;
+    ps_core = Array.make n (Config.ps_per_cycle cfg.Config.core_freq_mhz);
+    mc_of = Array.init n (fun core -> Mesh.mc_of_core mesh core);
+    mc_out_ps =
+      Array.init n (fun core ->
+          let mc = Mesh.mc_of_core mesh core in
+          Mesh.traverse_ps mesh ~hops:(Mesh.hops_core_to_mc mesh ~core ~mc));
+    shared_out_ps =
+      Array.init n (fun core ->
+          Array.init cfg.Config.n_mcs (fun mc ->
+              Mesh.traverse_ps mesh
+                ~hops:(Mesh.hops_core_to_mc mesh ~core ~mc)));
+    core_out_ps =
+      Array.init n (fun from_core ->
+          Array.init n (fun to_core ->
+              Mesh.traverse_ps mesh
+                ~hops:(Mesh.hops_core_to_core mesh ~from_core ~to_core)));
+    mc_service_ps = Config.dram_cycles_ps cfg cfg.Config.mc_service_cycles;
+    dram_access_ps = Config.dram_cycles_ps cfg cfg.Config.dram_access_cycles;
+    mesh_transfer_ps =
+      Config.mesh_cycles_ps cfg cfg.Config.mesh_cycles_per_hop;
+    heap_now = Array.make 64 0;
+    heap_id = Array.make 64 0;
+    heap_len = 0;
+    shared_cores = [];
   }
 
 let cfg t = t.cfg
@@ -179,17 +237,98 @@ let record_trace t ctx ~start_ps ~end_ps kind =
 let memmap t = t.memmap
 let mesh t = t.mesh
 
-let n_ctxs t = Array.length t.ctx_arr
+let n_ctxs t = t.n_ctx
+
+let events t = t.n_events
+
+(* --- the ready heap ------------------------------------------------------ *)
+
+(* Strict total order on (time, ctx id): with distinct context ids no two
+   live keys compare equal, so the heap's minimum is unique and pop order
+   is independent of insertion order — the property that keeps scheduling
+   bit-identical to the old fold over the context array. *)
+let heap_less t i j =
+  t.heap_now.(i) < t.heap_now.(j)
+  || (t.heap_now.(i) = t.heap_now.(j) && t.heap_id.(i) < t.heap_id.(j))
+
+let heap_swap t i j =
+  let n = t.heap_now.(i) and d = t.heap_id.(i) in
+  t.heap_now.(i) <- t.heap_now.(j);
+  t.heap_id.(i) <- t.heap_id.(j);
+  t.heap_now.(j) <- n;
+  t.heap_id.(j) <- d
+
+let heap_push t ~now ~id =
+  let cap = Array.length t.heap_now in
+  if t.heap_len = cap then begin
+    let bigger_now = Array.make (2 * cap) 0 in
+    let bigger_id = Array.make (2 * cap) 0 in
+    Array.blit t.heap_now 0 bigger_now 0 cap;
+    Array.blit t.heap_id 0 bigger_id 0 cap;
+    t.heap_now <- bigger_now;
+    t.heap_id <- bigger_id
+  end;
+  let i = t.heap_len in
+  t.heap_now.(i) <- now;
+  t.heap_id.(i) <- id;
+  t.heap_len <- t.heap_len + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if heap_less t i parent then begin
+        heap_swap t i parent;
+        up parent
+      end
+    end
+  in
+  up i
+
+(* Remove and return the root; caller checks liveness. *)
+let heap_pop_root t =
+  let now = t.heap_now.(0) and id = t.heap_id.(0) in
+  t.heap_len <- t.heap_len - 1;
+  if t.heap_len > 0 then begin
+    t.heap_now.(0) <- t.heap_now.(t.heap_len);
+    t.heap_id.(0) <- t.heap_id.(t.heap_len);
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < t.heap_len && heap_less t l !smallest then smallest := l;
+      if r < t.heap_len && heap_less t r !smallest then smallest := r;
+      if !smallest <> i then begin
+        heap_swap t i !smallest;
+        down !smallest
+      end
+    in
+    down 0
+  end;
+  (now, id)
+
+(* Record that [ctx] is runnable at its current local time. *)
+let ready_enqueue t ctx = heap_push t ~now:ctx.now ~id:ctx.id
 
 let add_ctx t ~core ~barrier_member ~now =
   if core < 0 || core >= Config.n_cores t.cfg then
     invalid_arg "Engine: core out of range";
   let ctx =
-    { id = n_ctxs t; core; barrier_member; stats = Stats.create_ctx ();
-      now; status = Ready; pending = None }
+    { id = t.n_ctx; core; barrier_member; stats = Stats.create_ctx ();
+      now; status = Ready; pending = None; joiners = [] }
   in
-  t.ctx_arr <- Array.append t.ctx_arr [| ctx |];
-  t.procs.(core).ctx_count <- t.procs.(core).ctx_count + 1;
+  let cap = Array.length t.ctx_arr in
+  if t.n_ctx = cap then begin
+    (* amortized-O(1) growth; the fresh context doubles as filler for the
+       slots beyond [n_ctx], which are never read *)
+    let bigger = Array.make (max 8 (2 * cap)) ctx in
+    Array.blit t.ctx_arr 0 bigger 0 t.n_ctx;
+    t.ctx_arr <- bigger
+  end;
+  t.ctx_arr.(t.n_ctx) <- ctx;
+  t.n_ctx <- t.n_ctx + 1;
+  if barrier_member then t.n_barrier_members <- t.n_barrier_members + 1;
+  let proc = t.procs.(core) in
+  proc.ctx_count <- proc.ctx_count + 1;
+  if proc.ctx_count = 2 then t.shared_cores <- core :: t.shared_cores;
+  ready_enqueue t ctx;
   ctx
 
 (* --- timing helpers ----------------------------------------------------- *)
@@ -198,7 +337,7 @@ let cc t n = Config.core_cycles_ps t.cfg n
 
 (* Core cycles at the context's core's *current* frequency — the SCC's
    DVFS changes per-domain clocks at run time (section 5.1). *)
-let ccx t ctx n = n * (1_000_000 / t.core_freq_mhz.(ctx.core))
+let ccx t ctx n = n * t.ps_core.(ctx.core)
 
 (* Acquire the context's core pipeline: returns the issue time of the
    next operation, honouring the serial core resource and the
@@ -253,44 +392,41 @@ let charge_compute t ctx dur =
 (* Round trip to a memory controller for one line, with FIFO queuing.
    Returns the completion time of the data return. *)
 let mc_round_trip t ~mc ~arrive =
-  let service = Config.dram_cycles_ps t.cfg t.cfg.Config.mc_service_cycles in
-  let dram = Config.dram_cycles_ps t.cfg t.cfg.Config.dram_access_cycles in
+  let service = t.mc_service_ps in
   let start = max arrive t.mc_free_at.(mc) in
   t.mc_free_at.(mc) <- start + service;
   t.mc_busy_ps.(mc) <- t.mc_busy_ps.(mc) + service;
   t.mc_requests.(mc) <- t.mc_requests.(mc) + 1;
-  start + service + dram
+  start + service + t.dram_access_ps
 
 (* A cacheable private-DRAM access of one line. *)
 let private_line t ctx ~write addr =
   let cs = ctx.stats in
-  let r1 = Cache.access t.l1.(ctx.core) ~write addr in
-  if r1.Cache.hit then begin
+  let r1 = Cache.access_code t.l1.(ctx.core) ~write addr in
+  if r1 = Cache.hit then begin
     cs.Stats.l1_hits <- cs.Stats.l1_hits + 1;
     ccx t ctx t.cfg.Config.l1_hit_cycles
   end
   else begin
     cs.Stats.l1_misses <- cs.Stats.l1_misses + 1;
-    let r2 = Cache.access t.l2.(ctx.core) ~write:false addr in
-    if r2.Cache.hit then begin
+    let r2 = Cache.access_code t.l2.(ctx.core) ~write:false addr in
+    if r2 = Cache.hit then begin
       cs.Stats.l2_hits <- cs.Stats.l2_hits + 1;
       ccx t ctx (t.cfg.Config.l1_hit_cycles + t.cfg.Config.l2_hit_cycles)
     end
     else begin
       cs.Stats.l2_misses <- cs.Stats.l2_misses + 1;
       cs.Stats.private_dram_lines <- cs.Stats.private_dram_lines + 1;
-      let mc = Mesh.mc_of_core t.mesh ctx.core in
-      let hops = Mesh.hops_core_to_mc t.mesh ~core:ctx.core ~mc in
-      let out = Mesh.traverse_ps t.mesh ~hops in
+      let mc = t.mc_of.(ctx.core) in
+      let out = t.mc_out_ps.(ctx.core) in
       let base = ccx t ctx t.cfg.Config.dram_base_cycles in
       let arrive = ctx.now + base + out in
       let back = mc_round_trip t ~mc ~arrive in
       (* dirty victim writeback occupies the controller but does not
          block the core *)
-      if r1.Cache.evicted_dirty || r2.Cache.evicted_dirty then begin
-        let service =
-          Config.dram_cycles_ps t.cfg t.cfg.Config.mc_service_cycles
-        in
+      if r1 = Cache.miss_evict_dirty || r2 = Cache.miss_evict_dirty
+      then begin
+        let service = t.mc_service_ps in
         t.mc_free_at.(mc) <- t.mc_free_at.(mc) + service;
         t.mc_busy_ps.(mc) <- t.mc_busy_ps.(mc) + service
       end;
@@ -308,8 +444,7 @@ let shared_line t ctx ~write addr =
   ctx.stats.Stats.shared_dram_lines <- ctx.stats.Stats.shared_dram_lines + 1;
   let line = Memmap.offset_of_addr addr / t.cfg.Config.line_bytes in
   let mc = line mod t.cfg.Config.n_mcs in
-  let hops = Mesh.hops_core_to_mc t.mesh ~core:ctx.core ~mc in
-  let out = Mesh.traverse_ps t.mesh ~hops in
+  let out = t.shared_out_ps.(ctx.core).(mc) in
   let base = ccx t ctx t.cfg.Config.dram_base_cycles in
   let arrive = ctx.now + base + out in
   let back = mc_round_trip t ~mc ~arrive in
@@ -320,14 +455,9 @@ let shared_line t ctx ~write addr =
    tile, one transfer slot at the owning slice's port. *)
 let mpb_line t ctx ~write:_ ~owner _addr =
   ctx.stats.Stats.mpb_lines <- ctx.stats.Stats.mpb_lines + 1;
-  let hops =
-    Mesh.hops_core_to_core t.mesh ~from_core:ctx.core ~to_core:owner
-  in
-  let out = Mesh.traverse_ps t.mesh ~hops in
+  let out = t.core_out_ps.(ctx.core).(owner) in
   let base = ccx t ctx t.cfg.Config.mpb_base_cycles in
-  let transfer =
-    Config.mesh_cycles_ps t.cfg t.cfg.Config.mesh_cycles_per_hop
-  in
+  let transfer = t.mesh_transfer_ps in
   let arrive = ctx.now + base + out in
   let start = max arrive t.mpb_free_at.(owner) in
   t.mpb_free_at.(owner) <- start + transfer;
@@ -342,56 +472,64 @@ let charge_access t ctx ~write addr =
   else cs.Stats.loads <- cs.Stats.loads + 1;
   let before = ctx.now in
   let start = acquire_processor t ctx in
-  let region = Memmap.region_of_addr addr in
+  (* decode the region inline — the [Memmap.region] variant would box
+     the owning core on every access *)
+  let kind = (addr lsr 40) land 0x3 in
   let dur =
-    match region with
-    | Memmap.Private _ -> private_line t ctx ~write addr
-    | Memmap.Shared_dram -> shared_line t ctx ~write addr
-    | Memmap.Mpb owner -> mpb_line t ctx ~write ~owner addr
+    match kind with
+    | 0 -> private_line t ctx ~write addr
+    | 1 -> shared_line t ctx ~write addr
+    | 2 -> mpb_line t ctx ~write ~owner:((addr lsr 32) land 0xff) addr
+    | _ -> invalid_arg "Engine.charge_access: bad address"
   in
   occupy_processor t ctx ~until:(start + dur);
   record_trace t ctx ~start_ps:start ~end_ps:(start + dur)
-    (match region with
-    | Memmap.Private _ -> Trace.Mem_private
-    | Memmap.Shared_dram -> Trace.Mem_shared
-    | Memmap.Mpb _ -> Trace.Mem_mpb);
+    (match kind with
+    | 0 -> Trace.Mem_private
+    | 1 -> Trace.Mem_shared
+    | _ -> Trace.Mem_mpb);
   cs.Stats.mem_stall_ps <- cs.Stats.mem_stall_ps + (ctx.now - before)
 
 (* --- synchronization ---------------------------------------------------- *)
 
-let barrier_group_size t =
-  Array.fold_left
-    (fun acc c -> if c.barrier_member then acc + 1 else acc)
-    0 t.ctx_arr
+let barrier_group_size t = t.n_barrier_members
 
 let barrier_cost t = cc t t.cfg.Config.mpb_base_cycles
 
+(* Release every waiter of a full barrier at the propagation time. *)
+let release_barrier_waiters t waiters =
+  let release =
+    List.fold_left (fun acc (c, _) -> max acc c.now) 0 waiters
+    + barrier_cost t
+  in
+  List.iter
+    (fun (c, k) ->
+      c.stats.Stats.barrier_wait_ps <-
+        c.stats.Stats.barrier_wait_ps + (release - c.now);
+      record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
+      c.now <- release;
+      c.status <- Ready;
+      c.pending <- Some (Cont k);
+      ready_enqueue t c)
+    waiters
+
 let arrive_barrier t ctx k =
   t.barrier_waiting <- (ctx, k) :: t.barrier_waiting;
-  if List.length t.barrier_waiting = barrier_group_size t then begin
-    let release =
-      List.fold_left (fun acc (c, _) -> max acc c.now) 0 t.barrier_waiting
-      + barrier_cost t
-    in
-    List.iter
-      (fun (c, k) ->
-        c.stats.Stats.barrier_wait_ps <-
-          c.stats.Stats.barrier_wait_ps + (release - c.now);
-        record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
-        c.now <- release;
-        c.status <- Ready;
-        c.pending <- Some (Cont k))
-      t.barrier_waiting;
-    t.barrier_waiting <- []
+  t.n_barrier_waiting <- t.n_barrier_waiting + 1;
+  if t.n_barrier_waiting = barrier_group_size t then begin
+    release_barrier_waiters t t.barrier_waiting;
+    t.barrier_waiting <- [];
+    t.n_barrier_waiting <- 0
   end
   else begin
     ctx.status <- Parked;
     ctx.pending <- Some (Cont k)
   end
 
-let park_ready ctx k =
+let park_ready t ctx k =
   ctx.status <- Ready;
-  ctx.pending <- Some (Cont k)
+  ctx.pending <- Some (Cont k);
+  ready_enqueue t ctx
 
 (* A counted barrier: like the global barrier but over an explicit group
    size, keyed by barrier id (pthread_barrier_t instances, sub-groups). *)
@@ -401,26 +539,16 @@ let arrive_barrier_n t ctx ~id ~count k =
     match Hashtbl.find_opt t.counted_barriers id with
     | Some cell -> cell
     | None ->
-        let cell = ref [] in
+        let cell = { cb_arrived = 0; cb_waiters = [] } in
         Hashtbl.replace t.counted_barriers id cell;
         cell
   in
-  cell := (ctx, k) :: !cell;
-  if List.length !cell >= count then begin
-    let release =
-      List.fold_left (fun acc (c, _) -> max acc c.now) 0 !cell
-      + barrier_cost t
-    in
-    List.iter
-      (fun (c, k) ->
-        c.stats.Stats.barrier_wait_ps <-
-          c.stats.Stats.barrier_wait_ps + (release - c.now);
-        record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
-        c.now <- release;
-        c.status <- Ready;
-        c.pending <- Some (Cont k))
-      !cell;
-    cell := []
+  cell.cb_waiters <- (ctx, k) :: cell.cb_waiters;
+  cell.cb_arrived <- cell.cb_arrived + 1;
+  if cell.cb_arrived >= count then begin
+    release_barrier_waiters t cell.cb_waiters;
+    cell.cb_waiters <- [];
+    cell.cb_arrived <- 0
   end
   else begin
     ctx.status <- Parked;
@@ -447,18 +575,19 @@ let do_flag_set t ctx id value k =
       (fun (w, wk) ->
         w.now <- max w.now ctx.now + ccx t w t.cfg.Config.mpb_base_cycles;
         w.status <- Ready;
-        w.pending <- Some (Cont wk))
+        w.pending <- Some (Cont wk);
+        ready_enqueue t w)
       f.flag_waiters;
     f.flag_waiters <- []
   end;
-  park_ready ctx k
+  park_ready t ctx k
 
 let do_flag_wait t ctx id k =
   let f = get_flag t id in
   if f.value then begin
     ctx.now <-
       max ctx.now f.set_time + ccx t ctx t.cfg.Config.mpb_base_cycles;
-    park_ready ctx k
+    park_ready t ctx k
   end
   else begin
     ctx.status <- Parked;
@@ -482,7 +611,8 @@ let do_acquire t ctx lock_id k =
       lock.held_by <- Some ctx.id;
       ctx.now <- max ctx.now lock.free_time + lock_cost t ctx lock_id;
       ctx.status <- Ready;
-      ctx.pending <- Some (Cont k)
+      ctx.pending <- Some (Cont k);
+      ready_enqueue t ctx
   | Some _ ->
       ctx.status <- Parked;
       ctx.pending <- Some (Cont k);
@@ -512,25 +642,26 @@ let do_release t ctx lock_id k =
         Trace.Lock_wait;
       waiter.now <- wake;
       waiter.status <- Ready;
-      waiter.pending <- Some (Cont wk));
+      waiter.pending <- Some (Cont wk);
+      ready_enqueue t waiter);
   ctx.status <- Ready;
-  ctx.pending <- Some (Cont k)
+  ctx.pending <- Some (Cont k);
+  ready_enqueue t ctx
 
 let finish_ctx t ctx =
   ctx.status <- Finished;
   ctx.stats.Stats.finish_ps <- ctx.now;
   t.n_finished <- t.n_finished + 1;
-  (* wake joiners *)
-  let woken, rest =
-    List.partition (fun (target, _, _) -> target = ctx.id) t.join_waiting
-  in
-  t.join_waiting <- rest;
+  (* wake joiners, recorded on the finished context itself *)
   List.iter
-    (fun (_, waiter, k) ->
+    (fun (waiter, k) ->
+      t.n_join_waiting <- t.n_join_waiting - 1;
       waiter.now <- max waiter.now ctx.now;
       waiter.status <- Ready;
-      waiter.pending <- Some (Cont k))
-    woken
+      waiter.pending <- Some (Cont k);
+      ready_enqueue t waiter)
+    ctx.joiners;
+  ctx.joiners <- []
 
 (* --- the scheduler ------------------------------------------------------ *)
 
@@ -551,12 +682,12 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
                 ctx.stats.Stats.compute_ps <-
                   ctx.stats.Stats.compute_ps + dur;
                 charge_compute t ctx dur;
-                park_ready ctx k)
+                park_ready t ctx k)
         | E_access (write, addr) ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 charge_access t ctx ~write addr;
-                park_ready ctx k)
+                park_ready t ctx k)
         | E_barrier ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -599,11 +730,12 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
                   in
                   for c = tile_base
                       to tile_base + t.cfg.Config.cores_per_tile - 1 do
-                    t.core_freq_mhz.(c) <- mhz
+                    t.core_freq_mhz.(c) <- mhz;
+                    t.ps_core.(c) <- Config.ps_per_cycle mhz
                   done;
                   (* the PLL relock stalls the caller briefly *)
                   charge_compute t ctx (ccx t ctx 1_000);
-                  park_ready ctx k
+                  park_ready t ctx k
                 end)
         | E_barrier_n (id, count) ->
             Some
@@ -626,12 +758,13 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
                   let child = t.ctx_arr.(target) in
                   if child.status = Finished then begin
                     ctx.now <- max ctx.now child.now;
-                    park_ready ctx k
+                    park_ready t ctx k
                   end
                   else begin
                     ctx.status <- Parked;
                     ctx.pending <- Some (Cont k);
-                    t.join_waiting <- (target, ctx, k) :: t.join_waiting
+                    child.joiners <- (ctx, k) :: child.joiners;
+                    t.n_join_waiting <- t.n_join_waiting + 1
                   end
                 end)
         | _ -> None);
@@ -683,25 +816,46 @@ let spawn t ~core program =
    until its time slice expires, so a context that still owns its core's
    slice is preferred over switching. *)
 let pick_ready t =
-  let min_by pred =
-    Array.fold_left
-      (fun best ctx ->
-        match ctx.status, best with
-        | Ready, _ when not (pred ctx) -> best
-        | Ready, None -> Some ctx
-        | Ready, Some b -> if ctx.now < b.now then Some ctx else best
-        | (Running | Parked | Finished), _ -> best)
-      None t.ctx_arr
-  in
-  let owns_slice ctx =
-    let proc = t.procs.(ctx.core) in
-    proc.ctx_count > 1 && proc.last_ctx = ctx.id && ctx.now <= proc.slice_end
-  in
-  match min_by owns_slice with
-  | Some ctx -> Some ctx
-  | None -> min_by (fun _ -> true)
+  (* Slice preference: on a shared core the OS keeps the current thread
+     running until its time slice expires.  At most one context per core
+     can own the slice (it must be the core's [last_ctx]), so scanning
+     the shared cores is O(#shared cores), not O(n).  Ties between slice
+     owners on distinct cores break on the smaller local time, then the
+     smaller ctx id — exactly the order the old left-to-right fold
+     produced, since contexts are stored in id order. *)
+  let best = ref None in
+  List.iter
+    (fun core ->
+      let proc = t.procs.(core) in
+      if proc.last_ctx >= 0 then begin
+        let c = t.ctx_arr.(proc.last_ctx) in
+        if c.status = Ready && c.now <= proc.slice_end then
+          match !best with
+          | Some b when b.now < c.now || (b.now = c.now && b.id < c.id) ->
+              ()
+          | _ -> best := Some c
+      end)
+    t.shared_cores;
+  match !best with
+  | Some _ as r -> r
+  | None ->
+      (* Lazy deletion: heap entries are (now, id) snapshots taken when a
+         context became Ready; an entry is live only if the context is
+         still Ready at that same local time.  Strict (now, id) order
+         means the live minimum is unique, so pop order is independent of
+         push order — bit-identical to the old linear scan. *)
+      let rec pop () =
+        if t.heap_len = 0 then None
+        else begin
+          let now, id = heap_pop_root t in
+          let c = t.ctx_arr.(id) in
+          if c.status = Ready && c.now = now then Some c else pop ()
+        end
+      in
+      pop ()
 
 let resume t ctx =
+  t.n_events <- t.n_events + 1;
   ctx.status <- Running;
   match ctx.pending with
   | Some (Start main) ->
@@ -729,19 +883,22 @@ let run t =
                    (barrier waiting: %d, join waiting: %d)"
                   (n_ctxs t - t.n_finished)
                   (n_ctxs t)
-                  (List.length t.barrier_waiting)
-                  (List.length t.join_waiting)))
+                  t.n_barrier_waiting t.n_join_waiting))
   in
   if n_ctxs t > 0 then loop ()
 
 let stats t =
   {
-    Stats.ctxs = Array.map (fun c -> c.stats) t.ctx_arr;
+    Stats.ctxs = Array.init t.n_ctx (fun i -> t.ctx_arr.(i).stats);
     mc_busy_ps = t.mc_busy_ps;
     mc_requests = t.mc_requests;
   }
 
 let elapsed_ps t =
-  Array.fold_left (fun acc c -> max acc c.stats.Stats.finish_ps) 0 t.ctx_arr
+  let acc = ref 0 in
+  for i = 0 to t.n_ctx - 1 do
+    acc := max !acc t.ctx_arr.(i).stats.Stats.finish_ps
+  done;
+  !acc
 
 let elapsed_ms t = float_of_int (elapsed_ps t) /. 1e9

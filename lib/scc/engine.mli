@@ -65,3 +65,8 @@ val elapsed_ps : t -> int
 (** Completion time of the slowest context. *)
 
 val elapsed_ms : t -> float
+
+val events : t -> int
+(** Number of scheduler events processed so far: each count is one
+    context resume (a compute burst, memory access, or synchronization
+    step between two scheduling decisions). *)

@@ -190,6 +190,46 @@ let test_pthread_mutex_counter () =
   Alcotest.(check string) "all increments counted" "counter = 100\n"
     r.Cexec.Interp.output
 
+(* Regression for the hashed sync-object tables: with dozens of distinct
+   mutexes the old association-list lookup went quadratic; this pins the
+   behaviour (every lock distinct, all increments counted, repeat runs
+   cycle-identical). *)
+let test_many_mutexes () =
+  let n = 64 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "#include <pthread.h>\nint counter;\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "pthread_mutex_t m%d;\n" i)
+  done;
+  Buffer.add_string buf "void *worker(void *arg) {\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  pthread_mutex_lock(&m%d);\n\
+         \  counter = counter + 1;\n\
+         \  pthread_mutex_unlock(&m%d);\n"
+         i i)
+  done;
+  Buffer.add_string buf "  return NULL;\n}\n";
+  Buffer.add_string buf
+    {|int main() {
+        pthread_t t[4];
+        int i;
+        for (i = 0; i < 4; i++) pthread_create(&t[i], NULL, worker, NULL);
+        for (i = 0; i < 4; i++) pthread_join(t[i], NULL);
+        printf("%d\n", counter);
+        return 0;
+      }|};
+  let src = Buffer.contents buf in
+  let a = run_main src in
+  let b = run_main src in
+  Alcotest.(check string) "all increments counted" "256\n"
+    a.Cexec.Interp.output;
+  Alcotest.(check string) "output deterministic" a.Cexec.Interp.output
+    b.Cexec.Interp.output;
+  Alcotest.(check int) "cycle-identical" a.Cexec.Interp.elapsed_ps
+    b.Cexec.Interp.elapsed_ps
+
 let test_pthread_threads_share_globals () =
   check_output "threads see each other's writes"
     {|#include <pthread.h>
@@ -399,6 +439,7 @@ let suite =
       test_pthread_mutex_counter;
     Alcotest.test_case "threads share globals" `Quick
       test_pthread_threads_share_globals;
+    Alcotest.test_case "many mutexes" `Quick test_many_mutexes;
     Alcotest.test_case "rcce ue and shared" `Quick test_rcce_ue_and_shared;
     Alcotest.test_case "rcce private globals" `Quick
       test_rcce_globals_are_private;

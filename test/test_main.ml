@@ -25,5 +25,6 @@ let () =
       ("optimize", Test_optimize.suite);
       ("trace", Test_trace.suite);
       ("csrc-suite", Test_csrc_suite.suite);
+      ("sweep", Test_sweep.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,105 @@
+(* The sweep harness: fixed-order domain pool, section dispatch, and the
+   simulator's golden determinism contract. *)
+
+(* --- pool ------------------------------------------------------------------ *)
+
+let test_pool_order () =
+  let thunks = List.init 100 (fun i () -> i * i) in
+  let got = Exp.Pool.map_fixed ~jobs:4 thunks in
+  Alcotest.(check (list int)) "input order" (List.init 100 (fun i -> i * i))
+    got
+
+let test_pool_jobs_one_sequential () =
+  let got = Exp.Pool.map_fixed ~jobs:1 (List.init 5 (fun i () -> i)) in
+  Alcotest.(check (list int)) "sequential" [ 0; 1; 2; 3; 4 ] got
+
+exception Boom of int
+
+let test_pool_exception () =
+  let thunks =
+    List.init 8 (fun i () -> if i = 3 then raise (Boom i) else i)
+  in
+  match Exp.Pool.map_fixed ~jobs:4 thunks with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 3 -> ()
+  | exception e -> raise e
+
+(* --- section dispatch ------------------------------------------------------ *)
+
+let test_unknown_section () =
+  (match Exp.Experiments.run_section "no-such-section" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error msg ->
+      Alcotest.(check bool)
+        "names the section" true
+        (String.length msg > 0
+        && String.sub msg 0 15 = "unknown section"));
+  match
+    Exp.Experiments.run_section ~scale:Exp.Experiments.Quick "table-6.1"
+  with
+  | Ok s -> Alcotest.(check bool) "non-empty" true (String.length s > 0)
+  | Error e -> Alcotest.fail e
+
+let test_cli_unknown_section_exit_2 () =
+  (* the test process runs in _build/default/test *)
+  let exe =
+    if Sys.file_exists "../bin/experiments.exe" then "../bin/experiments.exe"
+    else "_build/default/bin/experiments.exe"
+  in
+  if Sys.file_exists exe then
+    let code = Sys.command (exe ^ " no-such-section 2>/dev/null") in
+    Alcotest.(check int) "exit status" 2 code
+  else Printf.eprintf "skipping CLI exit test: %s not built\n" exe
+
+(* --- parallel sweep determinism -------------------------------------------- *)
+
+let test_jobs_byte_identical () =
+  let a = Exp.Experiments.run_all ~scale:Exp.Experiments.Quick ~jobs:1 () in
+  let b = Exp.Experiments.run_all ~scale:Exp.Experiments.Quick ~jobs:4 () in
+  Alcotest.(check string) "jobs=4 equals jobs=1" a b
+
+(* --- golden determinism ----------------------------------------------------- *)
+
+(* Exact simulated times for the Figure 6.1 sweep at quick scale.  The
+   simulator is deterministic down to the picosecond, so these are exact
+   float equalities: any drift means the model's arithmetic changed, not
+   just its speed. *)
+let test_fig_6_1_goldens () =
+  let rows = Exp.Experiments.fig_6_1_data ~scale:Exp.Experiments.Quick () in
+  let expect =
+    [ ("pi", 4.9834053279999999, 0.15114460399999999);
+      ("3-5-sum", 23.369105328, 0.69272460400000002);
+      ("primes", 58.467274078000003, 3.4762457279999999);
+      ("stream", 16.557276708, 1.4459930240000001);
+      ("dot", 2.3223012000000001, 0.29682086400000002);
+      ("lu", 3.2332794840000001, 0.68695424000000005) ]
+  in
+  Alcotest.(check int) "row count" (List.length expect) (List.length rows);
+  List.iter2
+    (fun (n, b, r) (row : Exp.Experiments.fig_6_1_row) ->
+      Alcotest.(check string) (n ^ ": name") n row.Exp.Experiments.name;
+      Alcotest.(check (float 0.0))
+        (n ^ ": baseline ms")
+        b row.Exp.Experiments.baseline_ms;
+      Alcotest.(check (float 0.0)) (n ^ ": rcce ms") r
+        row.Exp.Experiments.rcce_ms;
+      Alcotest.(check bool) (n ^ ": verified") true
+        row.Exp.Experiments.verified)
+    expect rows
+
+let suite =
+  [
+    Alcotest.test_case "pool: fixed order" `Quick test_pool_order;
+    Alcotest.test_case "pool: jobs=1 sequential" `Quick
+      test_pool_jobs_one_sequential;
+    Alcotest.test_case "pool: exception propagates" `Quick
+      test_pool_exception;
+    Alcotest.test_case "dispatch: unknown section" `Quick
+      test_unknown_section;
+    Alcotest.test_case "dispatch: CLI exits 2" `Quick
+      test_cli_unknown_section_exit_2;
+    Alcotest.test_case "run_all: jobs byte-identical" `Slow
+      test_jobs_byte_identical;
+    Alcotest.test_case "fig 6.1: golden cycle counts" `Slow
+      test_fig_6_1_goldens;
+  ]
