@@ -71,7 +71,7 @@ let diag_format_of_flag fmt =
 
 let translate_cmd path ncores capacity density sound_locals many_to_one
     optimize race_check warn_error diag_format timings timings_format
-    verbose =
+    trace_out verbose =
   let program = or_die (parse_source path) in
   let options =
     options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
@@ -92,6 +92,15 @@ let translate_cmd path ncores capacity density sound_locals many_to_one
       if timings || timings_format <> None then
         emit_timings session
           (Option.value timings_format ~default:"table");
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          (* merge-write: a later `simrun --trace` on the same file adds
+             the simulator tracks to this compiler track *)
+          Obs.Chrome.write_merge path (Session.chrome_events session);
+          Printf.eprintf "-- trace: %d provider spans -> %s (Perfetto)\n"
+            (Obs.Spans.length (Session.spans session))
+            path);
       if race_check then begin
         let status =
           Diag.emit ~format:(diag_format_of_flag diag_format)
@@ -195,12 +204,16 @@ let cfg_cmd path func =
 
 (* --- run -------------------------------------------------------------------- *)
 
-let run_cmd path ncores detect_races diag_format =
+let run_cmd path ncores detect_races diag_format profile_on trace_out =
   let program = or_die (parse_source path) in
+  let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
+  let profile = if profile_on then Some (Scc.Profile.create ()) else None in
   let result =
     try
-      if ncores <= 1 then Cexec.Interp.run_pthread ~detect_races program
-      else Cexec.Interp.run_rcce ~detect_races ~ncores program
+      if ncores <= 1 then
+        Cexec.Interp.run_pthread ?trace ?profile ~detect_races program
+      else Cexec.Interp.run_rcce ?trace ?profile ~detect_races ~ncores
+             program
     with Cexec.Interp.Runtime_error msg ->
       prerr_endline ("hsmcc: runtime error: " ^ msg);
       exit 1
@@ -208,6 +221,25 @@ let run_cmd path ncores detect_races diag_format =
   print_string result.Cexec.Interp.output;
   Printf.eprintf "-- simulated time: %.3f ms\n"
     (float_of_int result.Cexec.Interp.elapsed_ps /. 1e9);
+  (match profile with
+  | None -> ()
+  | Some p -> prerr_string (Scc.Profile.render p));
+  (match trace_out, trace with
+  | Some out, Some tr ->
+      if Scc.Trace.dropped tr > 0 then
+        Printf.eprintf
+          "hsmcc: warning: trace truncated, %d events dropped\n"
+          (Scc.Trace.dropped tr);
+      let events =
+        Scc.Trace.to_chrome_events tr
+        @ (match profile with
+          | None -> []
+          | Some p -> Scc.Profile.counter_events p)
+      in
+      Obs.Chrome.write_merge out events;
+      Printf.eprintf "-- trace: %d events -> %s (Perfetto)\n"
+        (Scc.Trace.length tr) out
+  | _, _ -> ());
   (* dynamic reports print through the same renderer as [hsmcc check] *)
   let diags =
     List.map Cexec.Lockset.report_to_diag result.Cexec.Interp.races
@@ -293,11 +325,19 @@ let timings_format_arg =
            ~doc:"Timings output format: table (fixed columns) or json. \
                  Implies $(b,--timings).")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Write the per-provider/per-pass wall-clock spans as a \
+                 Chrome/Perfetto trace.  If FILE already holds a trace \
+                 (or a later $(b,simrun --trace) targets the same file), \
+                 compiler and simulator tracks share one timeline.")
+
 let translate_term =
   Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
         $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
         $ race_check_arg $ warn_error_arg $ diag_format_arg $ timings_arg
-        $ timings_format_arg $ verbose_arg)
+        $ timings_format_arg $ trace_out_arg $ verbose_arg)
 
 let translate_cmd_info =
   Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")
@@ -325,10 +365,24 @@ let detect_races_arg =
        & info [ "detect-races" ]
            ~doc:"Run the Eraser lockset race detector during execution.")
 
+let run_profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Attribute every simulated picosecond to the executing C \
+                 function and source line; print flat/inclusive \
+                 profiles, line heat, mutex contention and barrier \
+                 imbalance on stderr.")
+
+let run_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Write a Chrome/Perfetto timeline of the simulated run \
+                 (merged into FILE if it already holds a trace).")
+
 let run_cmd_info =
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program on the simulated SCC")
     Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg
-          $ diag_format_arg)
+          $ diag_format_arg $ run_profile_arg $ run_trace_arg)
 
 let defines_arg =
   Arg.(value & opt_all string []

@@ -2,11 +2,20 @@
 
      simrun pi --mode rcce-mpb --units 32
      simrun stream --mode pthread --units 32
+     simrun --name pi --profile --trace out.json
 *)
 
 open Cmdliner
 
-let run_cmd name mode units trace_out verbose =
+let run_cmd name name_flag mode units trace_out profile_on metrics_out
+    verbose =
+  let name =
+    match name, name_flag with
+    | Some n, _ | None, Some n -> n
+    | None, None ->
+        prerr_endline "simrun: missing workload (positional or --name)";
+        exit 2
+  in
   match Workloads.Suite.find name with
   | None ->
       Printf.eprintf "simrun: unknown workload %S (have: %s)\n" name
@@ -28,7 +37,12 @@ let run_cmd name mode units trace_out verbose =
       in
       let cfg = Scc.Config.default in
       let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
-      let r = Workloads.Workload.run ?trace ~cfg w mode in
+      let profile =
+        if profile_on || metrics_out <> None then
+          Some (Scc.Profile.create ())
+        else None
+      in
+      let r = Workloads.Workload.run ?trace ?profile ~cfg w mode in
       Printf.printf "workload:   %s\n" r.Workloads.Workload.workload;
       Printf.printf "mode:       %s\n"
         (Workloads.Workload.mode_to_string r.Workloads.Workload.mode);
@@ -60,18 +74,49 @@ let run_cmd name mode units trace_out verbose =
         in
         print_string (Exp.Tabulate.render (header :: rows))
       end;
+      (match profile with
+      | None -> ()
+      | Some p ->
+          if profile_on then begin
+            print_newline ();
+            print_string (Scc.Profile.render p)
+          end;
+          match metrics_out with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc
+                (Obs.Registry.to_prometheus (Scc.Profile.registry p));
+              close_out oc;
+              Printf.printf "metrics:    -> %s (prometheus text)\n" path);
       (match trace_out, trace with
       | Some path, Some tr ->
-          let oc = open_out path in
-          output_string oc (Scc.Trace.to_chrome_json tr);
-          close_out oc;
-          Printf.printf "trace:      %d events -> %s (chrome://tracing)\n"
+          if Scc.Trace.dropped tr > 0 then
+            Printf.eprintf
+              "simrun: warning: trace truncated, %d events dropped past \
+               the buffer limit\n"
+              (Scc.Trace.dropped tr);
+          let events =
+            Scc.Trace.to_chrome_events tr
+            @ (match profile with
+              | None -> []
+              | Some p -> Scc.Profile.counter_events p)
+          in
+          (* merge-write: lands in the same JSON array as compiler spans
+             when the file came from `hsmcc translate --trace` *)
+          Obs.Chrome.write_merge path events;
+          Printf.printf "trace:      %d events -> %s (Perfetto)\n"
             (Scc.Trace.length tr) path
       | _, _ -> ());
       if not r.Workloads.Workload.verified then exit 1
 
 let name_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let name_flag_arg =
+  Arg.(value & opt (some string) None
+       & info [ "name" ] ~docv:"WORKLOAD"
+           ~doc:"Workload name (alternative to the positional argument).")
 
 let mode_arg =
   Arg.(value & opt string "rcce-offchip"
@@ -89,13 +134,28 @@ let verbose_arg =
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE.json"
-           ~doc:"Write a Chrome-tracing timeline of the run.")
+           ~doc:"Write a Chrome-tracing timeline of the run.  If FILE \
+                 already holds a trace (e.g. from hsmcc translate \
+                 --trace), the simulator events are merged into it.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Attribute every simulated picosecond to the running \
+                 workload and print flat/inclusive profiles, source-line \
+                 heat, mutex contention and barrier imbalance tables.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write aggregate counters and wait histograms in \
+                 Prometheus text exposition format.")
 
 let main =
   Cmd.v
     (Cmd.info "simrun" ~version:"1.0.0"
        ~doc:"Run one benchmark on the simulated SCC")
-    Term.(const run_cmd $ name_arg $ mode_arg $ units_arg $ trace_arg
-          $ verbose_arg)
+    Term.(const run_cmd $ name_arg $ name_flag_arg $ mode_arg $ units_arg
+          $ trace_arg $ profile_arg $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval main)

@@ -69,6 +69,9 @@ type shared = {
   mpb_alloc_log : (int, int) Hashtbl.t;     (* collective RCCE_malloc *)
   ncores : int;                             (* RCCE ranks; 1 for pthread *)
   races : Lockset.t option;                 (* Eraser detector, if enabled *)
+  profile : Scc.Profile.t option;           (* simulated-time profiler *)
+  fn_slots : int array;      (* profiler slot per [rp_funcs] index *)
+  line_slots : int array;    (* profiler line slot per [rp_locs] index *)
 }
 
 (* One process: an address space with its own globals.  [globals] is the
@@ -115,6 +118,25 @@ let flush task =
 let charge task cycles =
   task.pending_cycles <- task.pending_cycles + cycles;
   if task.pending_cycles >= flush_threshold then flush task
+
+(* Profiler attribution frames.  Pending cycles are flushed at the frame
+   boundary so batched compute lands on the frame it was executed in:
+   cycles accumulated before a call belong to the caller, cycles pending
+   at return belong to the callee. *)
+let prof_push task fidx =
+  match task.proc.sh.profile with
+  | None -> ()
+  | Some p ->
+      flush task;
+      Scc.Profile.push p ~ctx:task.api.Scc.Engine.self
+        task.proc.sh.fn_slots.(fidx)
+
+let prof_pop task =
+  match task.proc.sh.profile with
+  | None -> ()
+  | Some p ->
+      flush task;
+      Scc.Profile.pop p ~ctx:task.api.Scc.Engine.self
 
 (* --- memory -------------------------------------------------------------- *)
 
@@ -312,8 +334,7 @@ let rec eval task (e : Resolve.rexpr) : Value.t =
   | Resolve.Rcond (c, a, b) ->
       charge task 2;
       if Value.is_truthy (eval task c) then eval task a else eval task b
-  | Resolve.Rcall_user (idx, args) ->
-      call_user task task.proc.sh.resolved.Resolve.rp_funcs.(idx) args
+  | Resolve.Rcall_user (idx, args) -> call_user task idx args
   | Resolve.Rcall_builtin (name, args, ast_args) ->
       call_builtin task name args ast_args
   | Resolve.Rindex (arr, idx) -> begin
@@ -431,6 +452,13 @@ and exec_stmt task (s : Resolve.rstmt) : outcome =
   | Resolve.Rsbreak -> Broke
   | Resolve.Rscontinue -> Continued
   | Resolve.Rsnull -> Normal
+  | Resolve.Rsat (loc, inner) ->
+      (match task.proc.sh.profile with
+      | None -> ()
+      | Some p ->
+          Scc.Profile.set_line p ~ctx:task.api.Scc.Engine.self
+            task.proc.sh.line_slots.(loc));
+      exec_stmt task inner
 
 and exec_block task stmts =
   let rec go = function
@@ -469,12 +497,14 @@ and exec_decl task (d : Resolve.rdecl) =
 
 (* --- calls ------------------------------------------------------------------ *)
 
-and call_user task (fn : Resolve.rfunc) args =
+and call_user task fidx args =
+  let fn = task.proc.sh.resolved.Resolve.rp_funcs.(fidx) in
   if List.length args <> fn.Resolve.rf_nparams then
     runtime_error "%s expects %d arguments, got %d" fn.Resolve.rf_name
       fn.Resolve.rf_nparams (List.length args);
   let values = List.map (eval task) args in
   charge task 10;   (* call/return overhead *)
+  prof_push task fidx;
   task.frames <- make_frame fn :: task.frames;
   List.iter2
     (fun (slot, pname, pty) v ->
@@ -489,6 +519,7 @@ and call_user task (fn : Resolve.rfunc) args =
   (match task.frames with
   | _ :: rest -> task.frames <- rest
   | [] -> ());
+  prof_pop task;
   result
 
 (* --- builtins ----------------------------------------------------------------- *)
@@ -670,6 +701,7 @@ and call_builtin task name args ast_args =
                         pending_cycles = 0; shm_count = 0; mpb_count = 0;
                         held_locks = Lockset.Int_set.empty }
                     in
+                    prof_push child fidx;
                     (try
                        List.iter
                          (fun (slot, pname, pty) ->
@@ -678,7 +710,8 @@ and call_builtin task name args ast_args =
                          fn.Resolve.rf_params;
                        ignore (exec_block child fn.Resolve.rf_body)
                      with Thread_exit -> ());
-                    flush child)
+                    flush child;
+                    prof_pop child)
               in
               let tid_lv =
                 eval_lvalue task (Resolve.Runary (Ast.Deref, tid))
@@ -715,7 +748,12 @@ and call_builtin task name args ast_args =
       Value.Vint 0
   | "pthread_mutex_destroy", [ _ ] -> Value.Vint 0
   | "pthread_mutex_lock", [ _m ] ->
-      let id = mutex_lock_id task (mutex_name_of_expr (ast_arg ast_args 0)) in
+      let mname = mutex_name_of_expr (ast_arg ast_args 0) in
+      let id = mutex_lock_id task mname in
+      (match task.proc.sh.profile with
+      | None -> ()
+      | Some p ->
+          Scc.Profile.name_lock p ~lock:(rank_to_core task id) mname);
       flush task;
       api.Scc.Engine.acquire (rank_to_core task id);
       task.held_locks <- Lockset.Int_set.add id task.held_locks;
@@ -787,6 +825,11 @@ and call_builtin task name args ast_args =
       Value.Vint 0
   | "RCCE_acquire_lock", [ n ] ->
       let id = Value.as_int (eval task n) in
+      (match task.proc.sh.profile with
+      | None -> ()
+      | Some p ->
+          Scc.Profile.name_lock p ~lock:(rank_to_core task id)
+            (Printf.sprintf "rcce-lock-%d" id));
       flush task;
       api.Scc.Engine.acquire (rank_to_core task id);
       task.held_locks <- Lockset.Int_set.add id task.held_locks;
@@ -833,11 +876,27 @@ let setup_globals task =
             es)
     rp.Resolve.rp_globals
 
-let make_shared ?cfg ~detect_races ~ncores program =
-  let eng = Scc.Engine.create ?cfg () in
+let make_shared ?cfg ?trace ?profile ~detect_races ~ncores program =
+  let eng = Scc.Engine.create ?cfg ?trace ?profile () in
   let n = Scc.Config.n_cores (Scc.Engine.cfg eng) in
+  let resolved = Resolve.resolve program in
+  (* pre-intern every function and statement position, so the profiling
+     hot path is an array index *)
+  let fn_slots, line_slots =
+    match profile with
+    | None -> ([||], [||])
+    | Some p ->
+        ( Array.map
+            (fun (f : Resolve.rfunc) -> Scc.Profile.intern p f.Resolve.rf_name)
+            resolved.Resolve.rp_funcs,
+          Array.map
+            (fun (loc : Srcloc.t) ->
+              Scc.Profile.intern_line p
+                (Printf.sprintf "%s:%d" loc.Srcloc.file loc.Srcloc.line))
+            resolved.Resolve.rp_locs )
+  in
   {
-    resolved = Resolve.resolve program;
+    resolved;
     eng;
     shared_store = region_store_create ();
     private_stores = Array.init n (fun _ -> region_store_create ());
@@ -852,6 +911,9 @@ let make_shared ?cfg ~detect_races ~ncores program =
     mpb_alloc_log = Hashtbl.create 16;
     ncores;
     races = (if detect_races then Some (Lockset.create ()) else None);
+    profile;
+    fn_slots;
+    line_slots;
   }
 
 let make_process sh ~core ~rank =
@@ -872,18 +934,15 @@ type result = {
   races : Lockset.report list;  (* empty unless detection was enabled *)
 }
 
+(* Index of the program's entry function in [rp_funcs]. *)
 let entry_function sh =
   let rp = sh.resolved in
-  let find name =
-    Option.map
-      (fun i -> rp.Resolve.rp_funcs.(i))
-      (Hashtbl.find_opt rp.Resolve.rp_fn_index name)
-  in
+  let find name = Hashtbl.find_opt rp.Resolve.rp_fn_index name in
   match find "RCCE_APP" with
-  | Some fn -> fn
+  | Some i -> i
   | None -> begin
       match find "main" with
-      | Some fn -> fn
+      | Some i -> i
       | None -> runtime_error "program has neither RCCE_APP nor main"
     end
 
@@ -894,7 +953,9 @@ let run_entry sh proc api =
       shm_count = 0; mpb_count = 0; held_locks = Lockset.Int_set.empty }
   in
   setup_globals task;
-  let fn = entry_function sh in
+  let fidx = entry_function sh in
+  let fn = sh.resolved.Resolve.rp_funcs.(fidx) in
+  prof_push task fidx;
   task.frames <- [ make_frame fn ];
   List.iter
     (fun (slot, pname, pty) ->
@@ -911,13 +972,15 @@ let run_entry sh proc api =
     with Thread_exit -> Value.Vint 0
   in
   flush task;
+  prof_pop task;
   v
 
 let race_reports (sh : shared) =
   match sh.races with Some d -> Lockset.reports d | None -> []
 
-let run_pthread ?cfg ?(detect_races = false) (program : Ast.program) =
-  let sh = make_shared ?cfg ~detect_races ~ncores:1 program in
+let run_pthread ?cfg ?trace ?profile ?(detect_races = false)
+    (program : Ast.program) =
+  let sh = make_shared ?cfg ?trace ?profile ~detect_races ~ncores:1 program in
   let proc = make_process sh ~core:0 ~rank:0 in
   let exit_value = ref Value.Vvoid in
   ignore
@@ -932,9 +995,10 @@ let run_pthread ?cfg ?(detect_races = false) (program : Ast.program) =
     races = race_reports sh;
   }
 
-let run_rcce ?cfg ?(detect_races = false) ~ncores (program : Ast.program) =
+let run_rcce ?cfg ?trace ?profile ?(detect_races = false) ~ncores
+    (program : Ast.program) =
   if ncores < 1 then invalid_arg "Interp.run_rcce: ncores must be positive";
-  let sh = make_shared ?cfg ~detect_races ~ncores program in
+  let sh = make_shared ?cfg ?trace ?profile ~detect_races ~ncores program in
   let exit_values = Array.make ncores Value.Vvoid in
   for rank = 0 to ncores - 1 do
     let proc = make_process sh ~core:rank ~rank in

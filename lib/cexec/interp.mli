@@ -16,15 +16,19 @@ type result = {
 }
 
 val run_pthread :
-  ?cfg:Scc.Config.t -> ?detect_races:bool -> Ast.program -> result
+  ?cfg:Scc.Config.t -> ?trace:Scc.Trace.t -> ?profile:Scc.Profile.t ->
+  ?detect_races:bool -> Ast.program -> result
 (** One process on core 0; [pthread_create] spawns further contexts on
     the same core — the paper's unconverted-program baseline.
     [detect_races] (default false) runs the Eraser lockset detector over
-    every access.
+    every access.  With [trace] the run records a timeline; with
+    [profile] every simulated picosecond is attributed to the executing
+    C function and source line (see {!Scc.Profile}).
     @raise Runtime_error on dynamic errors (unbound names, bad calls). *)
 
 val run_rcce :
-  ?cfg:Scc.Config.t -> ?detect_races:bool -> ncores:int -> Ast.program ->
+  ?cfg:Scc.Config.t -> ?trace:Scc.Trace.t -> ?profile:Scc.Profile.t ->
+  ?detect_races:bool -> ncores:int -> Ast.program ->
   result
 (** One process per core, each interpreting the whole program ([RCCE_APP]
     if present, else [main]), with collective [RCCE_shmalloc] /

@@ -57,6 +57,7 @@ type rstmt =
   | Rsbreak
   | Rscontinue
   | Rsnull
+  | Rsat of int * rstmt
 
 and rfor_init = Rfor_none | Rfor_expr of rexpr | Rfor_decl of rdecl list
 
@@ -81,6 +82,7 @@ type t = {
   rp_fn_index : (string, int) Hashtbl.t;
   rp_globals : rglobal array;
   rp_global_index : (string, int) Hashtbl.t;
+  rp_locs : Srcloc.t array;
 }
 
 (* One slot per distinct name: parameters first, then declarations in
@@ -197,7 +199,34 @@ let resolve (program : Ast.program) : t =
       rd_init = Option.map (rinit ~locals) d.Ast.d_init;
     }
   in
+  (* Source lines interned to indices into [rp_locs]: one entry per
+     distinct (file, line), so the profiler's line attribution is an
+     array lookup. *)
+  let loc_tbl = Hashtbl.create 64 in
+  let locs_rev = ref [] in
+  let n_locs = ref 0 in
+  let intern_loc (loc : Srcloc.t) =
+    let key = (loc.Srcloc.file, loc.Srcloc.line) in
+    match Hashtbl.find_opt loc_tbl key with
+    | Some i -> i
+    | None ->
+        let i = !n_locs in
+        incr n_locs;
+        Hashtbl.replace loc_tbl key i;
+        locs_rev := loc :: !locs_rev;
+        i
+  in
   let rec rstmt ~locals ~tbl (s : Ast.stmt) : rstmt =
+    let body = rstmt_desc ~locals ~tbl s in
+    match s.Ast.s_desc with
+    (* blocks only recurse (their children carry their own lines) and
+       nulls execute nothing — wrapping them would be pure overhead *)
+    | Ast.Sblock _ | Ast.Snull -> body
+    | _ ->
+        if s.Ast.s_loc.Srcloc.line > 0 then
+          Rsat (intern_loc s.Ast.s_loc, body)
+        else body
+  and rstmt_desc ~locals ~tbl (s : Ast.stmt) : rstmt =
     match s.Ast.s_desc with
     | Ast.Sexpr e -> Rsexpr (rexpr ~locals e)
     | Ast.Sdecl ds -> Rsdecl (List.map (rdecl ~locals ~tbl) ds)
@@ -258,4 +287,5 @@ let resolve (program : Ast.program) : t =
     rp_fn_index = fn_index;
     rp_globals;
     rp_global_index = global_index;
+    rp_locs = Array.of_list (List.rev !locs_rev);
   }

@@ -68,6 +68,10 @@ type rstmt =
   | Rsbreak
   | Rscontinue
   | Rsnull
+  | Rsat of int * rstmt
+      (** the statement's source position, as an index into [rp_locs];
+          the profiler's line attribution hook (blocks and null
+          statements are not wrapped) *)
 
 and rfor_init = Rfor_none | Rfor_expr of rexpr | Rfor_decl of rdecl list
 
@@ -96,6 +100,9 @@ type t = {
   rp_global_index : (string, int) Hashtbl.t;
       (** canonical table slot per name; on duplicate declarations the
           last one wins, like the interpreter's [Hashtbl.replace] *)
+  rp_locs : Srcloc.t array;
+      (** interned statement positions, one per distinct (file, line);
+          indexed by {!Rsat} *)
 }
 
 val resolve : Ast.program -> t

@@ -1,0 +1,160 @@
+(** Shared observability core: monotonic counters, fixed-bucket
+    histograms, and nestable spans over an {e explicit} time source —
+    simulated picoseconds in the engine, wall-clock nanoseconds in the
+    compiler — with pluggable sinks (human table, JSON-lines, Chrome
+    trace, Prometheus-style text exposition).
+
+    Nothing here reads a clock on its own: every instrument is fed
+    integer timestamps by its owner, so the same code serves both the
+    deterministic simulator (where "time" is the DES clock) and the
+    compiler (where it is [wall_clock_ns]). *)
+
+type time_unit = Picoseconds | Nanoseconds
+
+val us_of : time_unit -> int -> float
+(** Convert a raw timestamp to the microseconds the Chrome trace format
+    expects. *)
+
+val wall_clock_ns : unit -> int
+(** Wall-clock time in integer nanoseconds (for [Nanoseconds] spans). *)
+
+val json_escape : string -> string
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+  val help : t -> string
+  val value : t -> int
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Monotonic: [add] of a negative amount raises [Invalid_argument]. *)
+end
+
+(** {1 Fixed-bucket histograms} *)
+
+module Histogram : sig
+  type t
+
+  val name : t -> string
+  val bounds : t -> int array
+  (** Upper bounds (inclusive), strictly increasing; an implicit +Inf
+      bucket follows the last bound. *)
+
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+
+  val bucket_counts : t -> int array
+  (** Per-bucket (non-cumulative) counts; length [bounds + 1], the last
+      entry being the +Inf overflow bucket. *)
+end
+
+(** {1 Registry and sinks} *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> ?help:string -> string -> Counter.t
+  (** Idempotent per name: a second call returns the first counter. *)
+
+  val histogram : t -> ?help:string -> bounds:int array -> string -> Histogram.t
+
+  val to_prometheus : t -> string
+  (** Prometheus text exposition format (counters and histograms, with
+      cumulative [le] buckets, [_sum] and [_count] series). *)
+
+  val to_jsonl : t -> string
+  (** One JSON object per line, one line per instrument. *)
+
+  val to_table : t -> string
+  (** Fixed-column human table. *)
+end
+
+(** {1 Chrome trace events}
+
+    The subset of the Chrome tracing JSON format Perfetto needs: complete
+    ("X") duration events, counter ("C") events, and process/thread
+    metadata ("M") events.  Timestamps are microseconds. *)
+
+module Chrome : sig
+  type event =
+    | Complete of {
+        name : string;
+        cat : string;
+        pid : int;
+        tid : int;
+        ts_us : float;
+        dur_us : float;
+        args : (string * string) list;
+      }
+    | Counter of {
+        name : string;
+        pid : int;
+        ts_us : float;
+        series : (string * float) list;
+      }
+    | Process_name of { pid : int; name : string }
+    | Thread_name of { pid : int; tid : int; name : string }
+
+  val to_json : event list -> string
+  (** A complete JSON array document. *)
+
+  val write_merge : string -> event list -> unit
+  (** Write [events] to a file as a JSON array; when the file already
+      holds a JSON array (for example the other half of a
+      compile-then-simulate run), the new events are appended inside the
+      existing array, so compiler and simulator tracks land in one
+      Perfetto-loadable trace. *)
+end
+
+(** {1 Spans} *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_pid : int;
+  sp_tid : int;
+  sp_start : int;  (** in the owner's [time_unit], relative to the epoch *)
+  sp_dur : int;
+  sp_args : (string * string) list;
+}
+
+module Spans : sig
+  type t
+
+  val create : ?epoch:int -> time_unit -> t
+  (** [epoch] is subtracted from every recorded start, anchoring
+      wall-clock spans to the start of the run instead of 1970. *)
+
+  val time_unit : t -> time_unit
+
+  val record :
+    t ->
+    name:string ->
+    ?cat:string ->
+    ?args:(string * string) list ->
+    pid:int ->
+    tid:int ->
+    start:int ->
+    dur:int ->
+    unit ->
+    unit
+
+  val spans : t -> span list
+  (** In recording order. *)
+
+  val length : t -> int
+
+  val to_chrome : t -> Chrome.event list
+end
+
+(** {1 Table rendering} *)
+
+val render_table : string list list -> string
+(** Left-aligned fixed-width columns from a header row plus data rows
+    (a dependency-free sibling of [Exp.Tabulate.render]). *)

@@ -138,6 +138,15 @@ type t = {
   mutable started : bool;
   mutable n_events : int;           (* contexts resumed *)
   trace : Trace.t option;
+  profile : Profile.t option;
+  (* machine-metric sampling state; [next_sample_ps] is [max_int] when
+     profiling is off, so the hot path pays one compare *)
+  mutable next_sample_ps : int;
+  mutable mesh_busy_ps : int;       (* accumulated link-traversal ps *)
+  mutable samp_l1_hits : int;
+  mutable samp_l1_misses : int;
+  mutable samp_mesh_ps : int;
+  mutable samp_last_ts : int;
   core_freq_mhz : int array;   (* per-core DVFS state, tile-granular *)
   (* Per-event timing constants, precomputed so the hot path never
      divides or searches: picoseconds per core cycle (tracks DVFS),
@@ -161,7 +170,7 @@ type t = {
   mutable shared_cores : int list;  (* cores with more than one context *)
 }
 
-let create ?(cfg = Config.default) ?trace () =
+let create ?(cfg = Config.default) ?trace ?profile () =
   let n = Config.n_cores cfg in
   let mesh = Mesh.create cfg in
   {
@@ -198,6 +207,16 @@ let create ?(cfg = Config.default) ?trace () =
     started = false;
     n_events = 0;
     trace;
+    profile;
+    next_sample_ps =
+      (match profile with
+      | None -> max_int
+      | Some p -> Profile.sample_interval_ps p);
+    mesh_busy_ps = 0;
+    samp_l1_hits = 0;
+    samp_l1_misses = 0;
+    samp_mesh_ps = 0;
+    samp_last_ts = 0;
     core_freq_mhz = Array.make n cfg.Config.core_freq_mhz;
     ps_core = Array.make n (Config.ps_per_cycle cfg.Config.core_freq_mhz);
     mc_of = Array.init n (fun core -> Mesh.mc_of_core mesh core);
@@ -229,11 +248,61 @@ let cfg t = t.cfg
 
 let trace t = t.trace
 
-let record_trace t ctx ~start_ps ~end_ps kind =
-  match t.trace with
+let profile t = t.profile
+
+(* One machine-metric sample at simulated time [now]: L1 hit rate, memory
+   controller queue depths and mesh link utilization, each measured over
+   the window since the previous sample. *)
+let take_samples t p now =
+  let hits = ref 0 and misses = ref 0 in
+  Array.iter
+    (fun c ->
+      hits := !hits + Cache.hits c;
+      misses := !misses + Cache.misses c)
+    t.l1;
+  let dh = !hits - t.samp_l1_hits and dm = !misses - t.samp_l1_misses in
+  t.samp_l1_hits <- !hits;
+  t.samp_l1_misses <- !misses;
+  let rate =
+    if dh + dm = 0 then 1.0 else float_of_int dh /. float_of_int (dh + dm)
+  in
+  Profile.sample p ~ts:now ~name:"l1 hit rate" ~series:[ ("rate", rate) ];
+  let depths = ref [] in
+  for mc = Array.length t.mc_free_at - 1 downto 0 do
+    let free_at = t.mc_free_at.(mc) in
+    let depth =
+      if free_at > now then
+        float_of_int (free_at - now) /. float_of_int t.mc_service_ps
+      else 0.0
+    in
+    depths := (Printf.sprintf "mc%d" mc, depth) :: !depths
+  done;
+  Profile.sample p ~ts:now ~name:"mc queue depth" ~series:!depths;
+  let window = now - t.samp_last_ts in
+  let dmesh = t.mesh_busy_ps - t.samp_mesh_ps in
+  t.samp_mesh_ps <- t.mesh_busy_ps;
+  let util =
+    if window <= 0 then 0.0
+    else float_of_int dmesh /. float_of_int window
+  in
+  Profile.sample p ~ts:now ~name:"mesh utilization"
+    ~series:[ ("links-busy", util) ];
+  t.samp_last_ts <- now;
+  t.next_sample_ps <- now + Profile.sample_interval_ps p
+
+(* Record one timed interval: into the trace, and — when profiling — as
+   picoseconds attributed to the context's current source frame. *)
+let record_interval t ctx ~start_ps ~end_ps kind =
+  (match t.trace with
   | None -> ()
   | Some tr ->
-      Trace.record tr ~ctx:ctx.id ~core:ctx.core ~start_ps ~end_ps kind
+      Trace.record tr ~ctx:ctx.id ~core:ctx.core ~start_ps ~end_ps kind);
+  match t.profile with
+  | None -> ()
+  | Some p ->
+      Profile.charge p ~ctx:ctx.id ~kind (end_ps - start_ps);
+      if end_ps >= t.next_sample_ps then take_samples t p end_ps
+
 let memmap t = t.memmap
 let mesh t = t.mesh
 
@@ -385,7 +454,7 @@ let charge_compute t ctx dur =
     else dur
   in
   occupy_processor t ctx ~until:(start + dur);
-  record_trace t ctx ~start_ps:start ~end_ps:(start + dur) Trace.Compute
+  record_interval t ctx ~start_ps:start ~end_ps:(start + dur) Trace.Compute
 
 (* --- memory system ------------------------------------------------------ *)
 
@@ -419,6 +488,7 @@ let private_line t ctx ~write addr =
       cs.Stats.private_dram_lines <- cs.Stats.private_dram_lines + 1;
       let mc = t.mc_of.(ctx.core) in
       let out = t.mc_out_ps.(ctx.core) in
+      t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
       let base = ccx t ctx t.cfg.Config.dram_base_cycles in
       let arrive = ctx.now + base + out in
       let back = mc_round_trip t ~mc ~arrive in
@@ -445,6 +515,7 @@ let shared_line t ctx ~write addr =
   let line = Memmap.offset_of_addr addr / t.cfg.Config.line_bytes in
   let mc = line mod t.cfg.Config.n_mcs in
   let out = t.shared_out_ps.(ctx.core).(mc) in
+  t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
   let base = ccx t ctx t.cfg.Config.dram_base_cycles in
   let arrive = ctx.now + base + out in
   let back = mc_round_trip t ~mc ~arrive in
@@ -456,6 +527,7 @@ let shared_line t ctx ~write addr =
 let mpb_line t ctx ~write:_ ~owner _addr =
   ctx.stats.Stats.mpb_lines <- ctx.stats.Stats.mpb_lines + 1;
   let out = t.core_out_ps.(ctx.core).(owner) in
+  t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
   let base = ccx t ctx t.cfg.Config.mpb_base_cycles in
   let transfer = t.mesh_transfer_ps in
   let arrive = ctx.now + base + out in
@@ -483,7 +555,7 @@ let charge_access t ctx ~write addr =
     | _ -> invalid_arg "Engine.charge_access: bad address"
   in
   occupy_processor t ctx ~until:(start + dur);
-  record_trace t ctx ~start_ps:start ~end_ps:(start + dur)
+  record_interval t ctx ~start_ps:start ~end_ps:(start + dur)
     (match kind with
     | 0 -> Trace.Mem_private
     | 1 -> Trace.Mem_shared
@@ -496,17 +568,27 @@ let barrier_group_size t = t.n_barrier_members
 
 let barrier_cost t = cc t t.cfg.Config.mpb_base_cycles
 
-(* Release every waiter of a full barrier at the propagation time. *)
-let release_barrier_waiters t waiters =
+(* Release every waiter of a full barrier at the propagation time.
+   [key] identifies the barrier for the profiler's imbalance table: a
+   counted-barrier id, or [-1] for the global barrier. *)
+let release_barrier_waiters t ~key waiters =
   let release =
     List.fold_left (fun acc (c, _) -> max acc c.now) 0 waiters
     + barrier_cost t
   in
+  (match t.profile with
+  | None -> ()
+  | Some p ->
+      let first =
+        List.fold_left (fun acc (c, _) -> min acc c.now) max_int waiters
+      in
+      let last = release - barrier_cost t in
+      Profile.barrier_episode p ~key ~spread_ps:(max 0 (last - first)));
   List.iter
     (fun (c, k) ->
       c.stats.Stats.barrier_wait_ps <-
         c.stats.Stats.barrier_wait_ps + (release - c.now);
-      record_trace t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
+      record_interval t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
       c.now <- release;
       c.status <- Ready;
       c.pending <- Some (Cont k);
@@ -517,7 +599,7 @@ let arrive_barrier t ctx k =
   t.barrier_waiting <- (ctx, k) :: t.barrier_waiting;
   t.n_barrier_waiting <- t.n_barrier_waiting + 1;
   if t.n_barrier_waiting = barrier_group_size t then begin
-    release_barrier_waiters t t.barrier_waiting;
+    release_barrier_waiters t ~key:(-1) t.barrier_waiting;
     t.barrier_waiting <- [];
     t.n_barrier_waiting <- 0
   end
@@ -546,7 +628,7 @@ let arrive_barrier_n t ctx ~id ~count k =
   cell.cb_waiters <- (ctx, k) :: cell.cb_waiters;
   cell.cb_arrived <- cell.cb_arrived + 1;
   if cell.cb_arrived >= count then begin
-    release_barrier_waiters t cell.cb_waiters;
+    release_barrier_waiters t ~key:id cell.cb_waiters;
     cell.cb_waiters <- [];
     cell.cb_arrived <- 0
   end
@@ -610,6 +692,10 @@ let do_acquire t ctx lock_id k =
   | None ->
       lock.held_by <- Some ctx.id;
       ctx.now <- max ctx.now lock.free_time + lock_cost t ctx lock_id;
+      (match t.profile with
+      | None -> ()
+      | Some p ->
+          Profile.lock_acquired p ~lock:lock_id ~wait_ps:0 ~holder:(-1));
       ctx.status <- Ready;
       ctx.pending <- Some (Cont k);
       ready_enqueue t ctx
@@ -638,8 +724,13 @@ let do_release t ctx lock_id k =
       in
       waiter.stats.Stats.lock_wait_ps <-
         waiter.stats.Stats.lock_wait_ps + (wake - waiter.now);
-      record_trace t waiter ~start_ps:waiter.now ~end_ps:wake
+      record_interval t waiter ~start_ps:waiter.now ~end_ps:wake
         Trace.Lock_wait;
+      (match t.profile with
+      | None -> ()
+      | Some p ->
+          Profile.lock_acquired p ~lock:lock_id
+            ~wait_ps:(wake - waiter.now) ~holder:ctx.id);
       waiter.now <- wake;
       waiter.status <- Ready;
       waiter.pending <- Some (Cont wk);
@@ -885,7 +976,9 @@ let run t =
                   (n_ctxs t)
                   t.n_barrier_waiting t.n_join_waiting))
   in
-  if n_ctxs t > 0 then loop ()
+  if n_ctxs t > 0 then loop ();
+  (* complete inclusive times for frames still open at the end *)
+  match t.profile with None -> () | Some p -> Profile.finalize p
 
 let stats t =
   {

@@ -40,9 +40,13 @@ exception Deadlock of string
 
 type t
 
-val create : ?cfg:Config.t -> ?trace:Trace.t -> unit -> t
+val create : ?cfg:Config.t -> ?trace:Trace.t -> ?profile:Profile.t -> unit -> t
 (** With [trace], every compute burst, memory access, barrier wait and
-    lock wait is recorded as a timed interval. *)
+    lock wait is recorded as a timed interval.  With [profile], the same
+    picoseconds are additionally attributed to each context's current
+    source frame (see {!Profile}), lock and barrier contention is
+    tabulated, and machine metrics (L1 hit rate, memory-controller queue
+    depth, mesh utilization) are sampled on the profile's interval. *)
 
 val cfg : t -> Config.t
 val memmap : t -> Memmap.t
@@ -60,6 +64,8 @@ val run : t -> unit
 val stats : t -> Stats.t
 
 val trace : t -> Trace.t option
+
+val profile : t -> Profile.t option
 
 val elapsed_ps : t -> int
 (** Completion time of the slowest context. *)

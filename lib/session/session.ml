@@ -42,6 +42,13 @@ type stat = {
   mutable s_wall_s : float;
 }
 
+let kind_to_string = function `Fact -> "fact" | `Pass -> "pass"
+
+(* The compiler's track in a merged Chrome trace.  Simulator tracks use
+   the core number as pid and the profiler's metric track uses 9998, so
+   a compile-then-simulate run shows as three distinct processes. *)
+let compiler_pid = 9999
+
 type timing = {
   t_name : string;
   t_kind : [ `Fact | `Pass ];
@@ -66,6 +73,7 @@ type t = {
   mutable gen : int;
   stats : (string, stat) Hashtbl.t;
   mutable stat_order : string list;       (* reverse first-invocation order *)
+  spans : Obs.Spans.t;   (* one wall-clock span per provider invocation *)
   symtab_c : Ir.Symtab.t cell;
   scope_c : (Analysis.Scope_analysis.t * snapshot) cell;
   threads_c : (Analysis.Thread_analysis.t * snapshot) cell;
@@ -87,6 +95,7 @@ let create ?file ?(options = default_options) program =
     gen = 0;
     stats = Hashtbl.create 16;
     stat_order = [];
+    spans = Obs.Spans.create ~epoch:(Obs.wall_clock_ns ()) Obs.Nanoseconds;
     symtab_c = cell ();
     scope_c = cell ();
     threads_c = cell ();
@@ -139,9 +148,13 @@ let stat_of t name kind deps =
 
 let timed t name kind deps compute =
   let s = stat_of t name kind deps in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.wall_clock_ns () in
   Fun.protect
-    ~finally:(fun () -> s.s_wall_s <- s.s_wall_s +. (Unix.gettimeofday () -. t0))
+    ~finally:(fun () ->
+      let t1 = Obs.wall_clock_ns () in
+      s.s_wall_s <- s.s_wall_s +. (float_of_int (t1 - t0) /. 1e9);
+      Obs.Spans.record t.spans ~name ~cat:(kind_to_string kind)
+        ~pid:compiler_pid ~tid:0 ~start:t0 ~dur:(t1 - t0) ())
     (fun () ->
       s.s_invocations <- s.s_invocations + 1;
       compute ())
@@ -270,7 +283,13 @@ let facts_computed t =
       if s.s_kind = `Fact then acc + s.s_invocations else acc)
     t.stats 0
 
-let kind_to_string = function `Fact -> "fact" | `Pass -> "pass"
+let spans t = t.spans
+
+let chrome_events t =
+  Obs.Chrome.Process_name { pid = compiler_pid; name = "hsmcc compiler" }
+  :: Obs.Chrome.Thread_name
+       { pid = compiler_pid; tid = 0; name = "providers" }
+  :: Obs.Spans.to_chrome t.spans
 
 (* Human table, in the spirit of lib/diag's gcc renderer: fixed columns,
    one line per provider, machine-stable names. *)
@@ -292,19 +311,7 @@ let render_timings t =
 
 (* JSON renderer following lib/diag's conventions: one array of flat
    objects, no trailing newline inside the array. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Obs.json_escape
 
 let render_timings_json t =
   let obj r =

@@ -120,6 +120,16 @@ val record_pass : t -> name:string -> (unit -> 'a) -> 'a
 (** Time an arbitrary unit of work (a Stage-5 transform pass, the
     structural validator) into the same table as the fact providers. *)
 
+val spans : t -> Obs.Spans.t
+(** One wall-clock span per provider/pass invocation, epoch-rebased to
+    the session's creation time. *)
+
+val chrome_events : t -> Obs.Chrome.event list
+(** The spans as Chrome trace events under a dedicated compiler process
+    (pid 9999), mergeable with simulator traces via
+    [Obs.Chrome.write_merge] for one Perfetto view of a
+    compile-then-simulate run. *)
+
 val render_timings : t -> string
 (** Human-readable table, one row per provider/pass. *)
 

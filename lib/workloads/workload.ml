@@ -101,20 +101,33 @@ type result = {
 
 let elapsed_ms r = float_of_int r.elapsed_ps /. 1e9
 
-let run ?cfg ?trace (w : t) mode =
-  let eng = Scc.Engine.create ?cfg ?trace () in
+let run ?cfg ?trace ?profile (w : t) mode =
+  let eng = Scc.Engine.create ?cfg ?trace ?profile () in
   let units = units_of_mode mode in
   if units < 1 then invalid_arg "Workload.run: no execution units";
   let ctx = { eng; units; mode; notes = [] } in
   let instance = w.instantiate ctx in
+  (* when profiling, each unit runs under a root frame named after the
+     workload, so engine charges are attributed rather than landing on
+     <toplevel> *)
+  let body =
+    match profile with
+    | None -> instance.body
+    | Some p ->
+        let slot = Scc.Profile.intern p w.name in
+        fun (api : Scc.Engine.api) ->
+          Scc.Profile.push p ~ctx:api.Scc.Engine.self slot;
+          instance.body api;
+          Scc.Profile.pop p ~ctx:api.Scc.Engine.self
+  in
   (match mode with
   | Pthread_baseline n ->
       for _ = 1 to n do
-        ignore (Scc.Engine.spawn eng ~core:0 instance.body)
+        ignore (Scc.Engine.spawn eng ~core:0 body)
       done
   | Rcce (_, n) ->
       for core = 0 to n - 1 do
-        ignore (Scc.Engine.spawn eng ~core instance.body)
+        ignore (Scc.Engine.spawn eng ~core body)
       done);
   Scc.Engine.run eng;
   {

@@ -51,8 +51,13 @@ type result = {
 
 val elapsed_ms : result -> float
 
-val run : ?cfg:Scc.Config.t -> ?trace:Scc.Trace.t -> t -> mode -> result
-(** With [trace], the run records a timeline (see {!Scc.Trace}). *)
+val run :
+  ?cfg:Scc.Config.t -> ?trace:Scc.Trace.t -> ?profile:Scc.Profile.t ->
+  t -> mode -> result
+(** With [trace], the run records a timeline (see {!Scc.Trace}).  With
+    [profile], every simulated picosecond is attributed to a root frame
+    named after the workload, and contention/machine-metric timelines
+    are collected (see {!Scc.Profile}). *)
 
 val speedup : baseline:result -> result -> float
 (** [baseline.elapsed / r.elapsed]. *)

@@ -24,6 +24,8 @@ let () =
       ("race", Test_race.suite);
       ("optimize", Test_optimize.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("csrc-suite", Test_csrc_suite.suite);
       ("sweep", Test_sweep.suite);
       ("fuzz", Test_fuzz.suite);
