@@ -1,0 +1,217 @@
+(* conform: differential conformance harness for the Pthread -> RCCE
+   translator.
+
+   Generates seeded, data-race-free Pthread programs, runs each on the
+   single-core pthread baseline and (translated) on the SCC simulator,
+   compares the observable behaviours, and delta-debugs any diverging
+   program to a minimal counterexample.
+
+     conform --seed 42 --count 200
+     conform --seed 7 --count 40 --sabotage drop-pass:mutex-convert \
+             --expect-diverge
+     conform replay test/conformance/*.c
+     conform emit --seed 1 --count 10 --dir test/conformance *)
+
+open Cmdliner
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let directives_of_spec ~expect (sp : Conform.Gen.spec) =
+  { Conform.Harness.d_cores = sp.Conform.Gen.run_cores;
+    d_many_to_one = sp.Conform.Gen.many_to_one;
+    d_optimize = sp.Conform.Gen.optimize;
+    d_expect = expect }
+
+let save_failure dir (o : Conform.Harness.outcome) =
+  ensure_dir dir;
+  let kind = Conform.Oracle.kind_of_failure o.Conform.Harness.o_failure in
+  let spec_line = Conform.Gen.describe o.o_spec in
+  let d =
+    directives_of_spec ~expect:(Conform.Harness.Expect_diverge kind) o.o_spec
+  in
+  let note = Conform.Oracle.failure_to_string o.o_failure in
+  let min_path = Filename.concat dir (Printf.sprintf "seed%d.min.c" o.o_seed) in
+  let orig_path =
+    Filename.concat dir (Printf.sprintf "seed%d.orig.c" o.o_seed)
+  in
+  write_file min_path
+    (Conform.Harness.corpus_file ~seed:o.o_seed ~note ~spec_line d o.o_shrunk);
+  write_file orig_path
+    (Conform.Harness.corpus_file ~seed:o.o_seed ~note ~spec_line d o.o_program);
+  min_path
+
+let report_failure ~save_dir (o : Conform.Harness.outcome) =
+  Printf.printf "FAIL seed %d (%s)\n  %s\n" o.Conform.Harness.o_seed
+    (Conform.Gen.describe o.o_spec)
+    (Conform.Oracle.failure_to_string o.o_failure);
+  Printf.printf "  shrunk from %d to %d (size metric, %d oracle evals)\n"
+    (Conform.Shrink.size o.o_program)
+    (Conform.Shrink.size o.o_shrunk)
+    o.o_evals;
+  (match save_dir with
+  | Some dir ->
+      let path = save_failure dir o in
+      Printf.printf "  saved counterexample to %s\n" path
+  | None -> ());
+  Printf.printf "  reproduce with: conform --seed %d --count 1\n" o.o_seed;
+  print_string "  --- minimized counterexample ---\n";
+  print_string (Conform.Gen.source_of_program o.o_shrunk);
+  print_string "  --------------------------------\n"
+
+let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
+    verbose =
+  let sabotage =
+    match sabotage with
+    | None -> None
+    | Some s -> (
+        match Conform.Harness.sabotage_of_string s with
+        | Ok s -> Some s
+        | Error e ->
+            prerr_endline ("conform: " ^ e);
+            exit 2)
+  in
+  let shrink_budget =
+    if no_shrink then 0 else if quick then 60 else 250
+  in
+  let progress ~index ~seed verdict =
+    if verbose then
+      Printf.printf "[%d] seed %d: %s\n%!" index seed
+        (match verdict with
+        | Conform.Oracle.Agree -> "agree"
+        | Conform.Oracle.Diverge f -> Conform.Oracle.failure_to_string f)
+    else if (index + 1) mod 25 = 0 then
+      Printf.printf "  ... %d programs checked\n%!" (index + 1)
+  in
+  let summary =
+    Conform.Harness.run ~progress ~shrink_budget ?sabotage ~seed ~count ()
+  in
+  let nfail = List.length summary.Conform.Harness.s_failures in
+  List.iter (report_failure ~save_dir) summary.s_failures;
+  Printf.printf "%d program(s), %d agreement(s), %d divergence(s)%s\n"
+    summary.s_total (summary.s_total - nfail) nfail
+    (match sabotage with
+    | Some s -> " [sabotage: " ^ Conform.Harness.sabotage_to_string s ^ "]"
+    | None -> "");
+  if expect_diverge then
+    if nfail > 0 then begin
+      Printf.printf
+        "killing-mutation check passed: the harness caught the sabotaged \
+         pipeline\n";
+      0
+    end
+    else begin
+      Printf.printf
+        "killing-mutation check FAILED: no divergence reported for a broken \
+         pipeline\n";
+      1
+    end
+  else if nfail > 0 then 1
+  else 0
+
+let replay_cmd files =
+  let failed = ref 0 in
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      match Conform.Harness.replay ~file contents with
+      | Ok () -> Printf.printf "ok   %s\n" file
+      | Error e ->
+          incr failed;
+          Printf.printf "FAIL %s\n  %s\n" file e)
+    files;
+  Printf.printf "%d file(s), %d failure(s)\n" (List.length files) !failed;
+  if !failed > 0 then 1 else 0
+
+let emit_cmd seed count dir =
+  ensure_dir dir;
+  for i = 0 to count - 1 do
+    let gseed = seed + i in
+    let spec, program = Conform.Gen.generate ~seed:gseed in
+    let cfg = Conform.Oracle.config_of_spec spec in
+    let expect =
+      match Conform.Oracle.check cfg program with
+      | Conform.Oracle.Agree -> Conform.Harness.Expect_agree
+      | Conform.Oracle.Diverge f ->
+          Conform.Harness.Expect_diverge (Conform.Oracle.kind_of_failure f)
+    in
+    let d = directives_of_spec ~expect spec in
+    let path = Filename.concat dir (Printf.sprintf "gen_seed%d.c" gseed) in
+    write_file path
+      (Conform.Harness.corpus_file ~seed:gseed
+         ~spec_line:(Conform.Gen.describe spec) d program);
+    Printf.printf "wrote %s (%s)\n" path (Conform.Gen.describe spec)
+  done;
+  0
+
+(* ---------------------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed; program $(i,i) uses seed N+i.")
+
+let count_arg =
+  Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate and check.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller shrink budget, for CI.")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report divergences without minimizing them.")
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save-failures" ] ~docv:"DIR"
+           ~doc:"Write original and shrunk counterexamples to $(docv).")
+
+let sabotage_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sabotage" ] ~docv:"MUTATION"
+           ~doc:"Deliberately break the pipeline (drop-pass:$(i,name)) to \
+                 verify the harness catches it.")
+
+let expect_diverge_arg =
+  Arg.(value & flag
+       & info [ "expect-diverge" ]
+           ~doc:"Invert the exit status: succeed only if at least one \
+                 divergence was found (killing-mutation check).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One line per program.")
+
+let run_term =
+  Term.(const run_cmd $ seed_arg $ count_arg $ quick_arg $ no_shrink_arg
+        $ save_arg $ sabotage_arg $ expect_diverge_arg $ verbose_arg)
+
+let replay_cmd_v =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Corpus files (with // conform-* directives) to replay.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run checked-in conformance corpus files")
+    Term.(const replay_cmd $ files)
+
+let emit_cmd_v =
+  let dir =
+    Arg.(value & opt string "test/conformance"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Write generated programs as corpus files")
+    Term.(const emit_cmd $ seed_arg $ count_arg $ dir)
+
+let main =
+  Cmd.group ~default:run_term
+    (Cmd.info "conform" ~version:"1.0.0"
+       ~doc:"Differential conformance testing of the Pthread->RCCE translator")
+    [ replay_cmd_v; emit_cmd_v ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,391 @@
+open Cfront
+
+type mode = Create_loop | Standalone
+
+type acc_kind = Add_acc | Mul_acc
+
+type acc = {
+  a_name : string;
+  a_kind : acc_kind;
+  a_init : int option;
+  a_mutex : int;
+}
+
+type spec = {
+  seed : int;
+  nt : int;
+  mode : mode;
+  many_to_one : bool;
+  run_cores : int;
+  phases : int;
+  n_mutexes : int;
+  accs : acc list;
+  n_slots : int;
+  n_ro : int;
+  use_pointer : bool;
+  optimize : bool;
+}
+
+(* ---------------------------------------------------------------- *)
+(* AST shorthands                                                   *)
+
+let s d = Ast.stmt d
+let ex e = s (Ast.Sexpr e)
+let il n = Ast.int n
+let v = Ast.var
+let bin op a b = Ast.Binary (op, a, b)
+let idx a i = Ast.Index (a, i)
+let addr e = Ast.Unary (Ast.Addr, e)
+let deref e = Ast.Unary (Ast.Deref, e)
+let null = v "NULL"
+
+let printf_ fmt args = Ast.call "printf" (Ast.Str_lit fmt :: args)
+
+(* [for (var = 0; var < bound; var++) body] — the canonical counted loop
+   shape [Analysis.Thread_analysis.loop_bounds] recognizes. *)
+let for_to var bound body =
+  s
+    (Ast.Sfor
+       ( Ast.For_expr (Ast.assign (v var) (il 0)),
+         Some (bin Ast.Lt (v var) bound),
+         Some (Ast.Unary (Ast.Postinc, v var)),
+         s (Ast.Sblock body) ))
+
+let decl_stmt ?init name ty = s (Ast.Sdecl [ Ast.decl ?init name ty ])
+
+(* ---------------------------------------------------------------- *)
+(* Spec drawing                                                     *)
+
+let spec_of rng seed =
+  let nt = Rng.range rng 2 4 in
+  let mode = Rng.weighted rng [ (3, Create_loop); (1, Standalone) ] in
+  let many_to_one =
+    (match mode with Create_loop -> nt > 2 && Rng.chance rng 0.25 | Standalone -> false)
+  in
+  let run_cores = if many_to_one then 2 else nt in
+  let phases =
+    match mode with
+    | Create_loop when (not many_to_one) && Rng.chance rng 0.35 -> 2
+    | _ -> 1
+  in
+  let n_mutexes = Rng.range rng 1 (min 2 run_cores) in
+  let n_accs = Rng.range rng 1 3 in
+  let accs =
+    List.init n_accs (fun j ->
+        let a_kind = Rng.weighted rng [ (3, Add_acc); (1, Mul_acc) ] in
+        let a_init =
+          match a_kind with
+          | Mul_acc -> Some (Rng.range rng 1 2)
+          | Add_acc ->
+              if Rng.chance rng 0.4 then Some (Rng.range rng 0 9) else None
+        in
+        { a_name = Printf.sprintf "g%d" j; a_kind; a_init;
+          a_mutex = j mod n_mutexes })
+  in
+  let n_slots = if phases = 2 then 2 else Rng.range rng 1 2 in
+  let use_pointer = Rng.chance rng 0.3 in
+  let n_ro =
+    let n = Rng.range rng 0 2 in
+    if use_pointer && n = 0 then 1 else n
+  in
+  let optimize = Rng.chance rng 0.2 in
+  { seed; nt; mode; many_to_one; run_cores; phases; n_mutexes; accs;
+    n_slots; n_ro; use_pointer; optimize }
+
+(* ---------------------------------------------------------------- *)
+(* Expression generation                                            *)
+
+type genv = {
+  rng : Rng.t;
+  locals : string list;        (* initialized int locals *)
+  loop_var : string option;    (* counter of the enclosing loop, if any *)
+  ro : string list;            (* read-only array names, length 8 each *)
+  cross : string list;         (* slot arrays readable across threads *)
+  nt : int;
+  pointer : bool;
+}
+
+let rec atom g =
+  let choices =
+    [ (3, `Lit); (3, `Tid) ]
+    @ (match g.loop_var with Some _ -> [ (3, `Loop) ] | None -> [])
+    @ (if g.locals <> [] then [ (2, `Local) ] else [])
+    @ (if g.ro <> [] then [ (2, `Ro) ] else [])
+    @ (if g.pointer then [ (1, `Ptr) ] else [])
+    @ (if g.cross <> [] then [ (3, `Cross) ] else [])
+  in
+  match Rng.weighted g.rng choices with
+  | `Lit -> il (Rng.range g.rng 0 9)
+  | `Tid -> v "tid"
+  | `Loop -> v (Option.get g.loop_var)
+  | `Local -> v (Rng.pick g.rng g.locals)
+  | `Ro ->
+      (* masked index keeps every access inside the 8-element array *)
+      idx (v (Rng.pick g.rng g.ro)) (bin Ast.Band (atom g) (il 7))
+  | `Ptr -> deref (v "p0")
+  | `Cross ->
+      (* a neighbour's phase-1 slot: safe only after the barrier *)
+      let a = Rng.pick g.rng g.cross in
+      let off = Rng.range g.rng 1 (g.nt - 1) in
+      idx (v a) (bin Ast.Mod (bin Ast.Add (v "tid") (il off)) (il g.nt))
+
+let rec expr g depth =
+  if depth <= 0 then atom g
+  else
+    match Rng.int g.rng 6 with
+    | 0 -> bin Ast.Add (expr g (depth - 1)) (expr g (depth - 1))
+    | 1 -> bin Ast.Sub (expr g (depth - 1)) (expr g (depth - 1))
+    | 2 -> bin Ast.Mul (expr g (depth - 1)) (il (Rng.range g.rng 0 5))
+    | 3 -> bin Ast.Mod (expr g (depth - 1)) (il (Rng.range g.rng 2 7))
+    | 4 -> bin Ast.Div (expr g (depth - 1)) (il (Rng.range g.rng 2 5))
+    | _ -> atom g
+
+(* ---------------------------------------------------------------- *)
+(* Worker bodies                                                    *)
+
+(* Thread-local computation: loops, branches and plain updates over the
+   [xK] locals.  Nothing here touches shared state. *)
+let local_stmt g ~loop_var =
+  let target () = Rng.pick g.rng g.locals in
+  match Rng.int g.rng 3 with
+  | 0 ->
+      let x = target () in
+      let k = Rng.range g.rng 2 8 in
+      let gl = { g with loop_var = Some loop_var } in
+      for_to loop_var (il k)
+        [ ex (Ast.assign (v x) (bin Ast.Add (v x) (expr gl 2))) ]
+  | 1 ->
+      let cond = bin Ast.Eq (bin Ast.Mod (expr g 1) (il 2)) (il 0) in
+      let x = target () and y = target () in
+      s
+        (Ast.Sif
+           ( cond,
+             ex (Ast.assign (v x) (expr g 2)),
+             Some (ex (Ast.assign (v y) (expr g 2))) ))
+  | _ ->
+      let x = target () in
+      if Rng.bool g.rng then ex (Ast.assign (v x) (expr g 2))
+      else ex (Ast.Assign (Some Ast.Add, v x, expr g 2))
+
+(* One mutex-protected update of accumulator [a].  The added amount is
+   thread-local, so per-thread contributions commute. *)
+let acc_update g (a : acc) =
+  let lock = ex (Ast.call "pthread_mutex_lock" [ addr (v (Printf.sprintf "m%d" a.a_mutex)) ]) in
+  let unlock =
+    ex (Ast.call "pthread_mutex_unlock" [ addr (v (Printf.sprintf "m%d" a.a_mutex)) ])
+  in
+  let update =
+    match a.a_kind with
+    | Add_acc ->
+        let e = expr g 2 in
+        if Rng.bool g.rng then ex (Ast.assign (v a.a_name) (bin Ast.Add (v a.a_name) e))
+        else ex (Ast.Assign (Some Ast.Add, v a.a_name, e))
+    | Mul_acc ->
+        let c = il (Rng.range g.rng 2 3) in
+        if Rng.bool g.rng then ex (Ast.assign (v a.a_name) (bin Ast.Mul (v a.a_name) c))
+        else ex (Ast.Assign (Some Ast.Mul, v a.a_name, c))
+  in
+  let once = [ lock; update; unlock ] in
+  if Rng.chance g.rng 0.3 then
+    [ for_to "j" (il (Rng.range g.rng 1 3)) once ]
+  else once
+
+let slot_name k = Printf.sprintf "out%d" k
+let ro_name k = Printf.sprintf "ro%d" k
+
+(* The worker body for one spec.  With two phases: phase 1 writes
+   [out0[tid]] and the accumulators, then a barrier, then phase 2 reads
+   neighbours' [out0] slots and writes [out1[tid]]. *)
+let worker_body rng (sp : spec) =
+  let locals = [ "x0"; "x1"; "x2" ] in
+  let ro = List.init sp.n_ro ro_name in
+  let base =
+    { rng; locals; loop_var = None; ro; cross = []; nt = sp.nt;
+      pointer = sp.use_pointer }
+  in
+  let decls =
+    decl_stmt ~init:(Ast.Init_expr (Ast.Cast (Ctype.Int, v "arg"))) "tid"
+      Ctype.Int
+    :: decl_stmt "i" Ctype.Int
+    :: decl_stmt "j" Ctype.Int
+    :: List.map
+         (fun x ->
+           decl_stmt ~init:(Ast.Init_expr (il (Rng.range rng 0 5))) x
+             Ctype.Int)
+         locals
+  in
+  let phase1 =
+    let stmts =
+      List.concat
+        (List.init (Rng.range rng 1 3) (fun _ -> [ local_stmt base ~loop_var:"i" ]))
+    in
+    let writes =
+      let nwrite = if sp.phases = 2 then 1 else sp.n_slots in
+      List.init nwrite (fun k ->
+          ex (Ast.assign (idx (v (slot_name k)) (v "tid")) (expr base 2)))
+    in
+    let updates = List.concat_map (acc_update base) sp.accs in
+    stmts @ writes @ updates
+  in
+  let phase2 =
+    if sp.phases < 2 then []
+    else
+      let g2 = { base with cross = [ slot_name 0 ] } in
+      [ ex (Ast.call "pthread_barrier_wait" [ addr (v "bar") ]);
+        local_stmt g2 ~loop_var:"i";
+        ex (Ast.assign (idx (v (slot_name 1)) (v "tid")) (expr g2 2)) ]
+  in
+  decls @ phase1 @ phase2 @ [ ex (Ast.call "pthread_exit" [ null ]) ]
+
+(* ---------------------------------------------------------------- *)
+(* Whole programs                                                   *)
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let sp = spec_of rng seed in
+  let void_ptr = Ctype.Ptr Ctype.Void in
+  let workers =
+    match sp.mode with
+    | Create_loop ->
+        [ Ast.func "work" ~ret:void_ptr
+            ~params:[ ("arg", void_ptr) ]
+            (worker_body rng sp) ]
+    | Standalone ->
+        List.init sp.nt (fun k ->
+            Ast.func (Printf.sprintf "work%d" k) ~ret:void_ptr
+              ~params:[ ("arg", void_ptr) ]
+              (worker_body rng sp))
+  in
+  let acc_globals =
+    List.map
+      (fun a ->
+        let init = Option.map (fun n -> Ast.Init_expr (il n)) a.a_init in
+        Ast.Gvar (Ast.decl ?init a.a_name Ctype.Int))
+      sp.accs
+  in
+  let mutex_globals =
+    List.init sp.n_mutexes (fun k ->
+        Ast.Gvar (Ast.decl (Printf.sprintf "m%d" k) (Ctype.Named "pthread_mutex_t")))
+  in
+  let slot_globals =
+    List.init sp.n_slots (fun k ->
+        Ast.Gvar (Ast.decl (slot_name k) (Ctype.Array (Ctype.Int, Some sp.nt))))
+  in
+  let ro_globals =
+    List.init sp.n_ro (fun k ->
+        Ast.Gvar (Ast.decl (ro_name k) (Ctype.Array (Ctype.Int, Some 8))))
+  in
+  let ptr_globals =
+    if not sp.use_pointer then []
+    else
+      [ Ast.Gvar (Ast.decl ~init:(Ast.Init_expr (il (Rng.range rng 1 9))) "c0" Ctype.Int);
+        Ast.Gvar (Ast.decl "p0" (Ctype.Ptr Ctype.Int)) ]
+  in
+  let barrier_globals =
+    if sp.phases = 2 then
+      [ Ast.Gvar (Ast.decl "bar" (Ctype.Named "pthread_barrier_t")) ]
+    else []
+  in
+  let main_body =
+    let thread_decls =
+      match sp.mode with
+      | Create_loop ->
+          [ decl_stmt "threads"
+              (Ctype.Array (Ctype.Named "pthread_t", Some sp.nt)) ]
+      | Standalone ->
+          List.init sp.nt (fun k ->
+              decl_stmt (Printf.sprintf "th%d" k) (Ctype.Named "pthread_t"))
+    in
+    let inits =
+      List.init sp.n_mutexes (fun k ->
+          ex (Ast.call "pthread_mutex_init" [ addr (v (Printf.sprintf "m%d" k)); null ]))
+      @ (if sp.phases = 2 then
+           [ ex (Ast.call "pthread_barrier_init" [ addr (v "bar"); null; il sp.nt ]) ]
+         else [])
+    in
+    (* every core of the translated program re-runs these writes with
+       identical values, so they are idempotent *)
+    let ro_inits =
+      List.init sp.n_ro (fun k ->
+          let a = Rng.range rng 1 5
+          and b = Rng.range rng 0 6
+          and m = Rng.range rng 5 9 in
+          for_to "t" (il 8)
+            [ ex
+                (Ast.assign
+                   (idx (v (ro_name k)) (v "t"))
+                   (bin Ast.Mod
+                      (bin Ast.Add (bin Ast.Mul (v "t") (il a)) (il b))
+                      (il m))) ])
+    in
+    let ptr_init =
+      if sp.use_pointer then [ ex (Ast.assign (v "p0") (addr (v "c0"))) ]
+      else []
+    in
+    let creates, joins =
+      match sp.mode with
+      | Create_loop ->
+          ( [ for_to "t" (il sp.nt)
+                [ ex
+                    (Ast.call "pthread_create"
+                       [ addr (idx (v "threads") (v "t")); null; v "work";
+                         Ast.Cast (void_ptr, v "t") ]) ] ],
+            [ for_to "t" (il sp.nt)
+                [ ex (Ast.call "pthread_join" [ idx (v "threads") (v "t"); null ]) ] ] )
+      | Standalone ->
+          ( List.init sp.nt (fun k ->
+                ex
+                  (Ast.call "pthread_create"
+                     [ addr (v (Printf.sprintf "th%d" k)); null;
+                       v (Printf.sprintf "work%d" k);
+                       Ast.Cast (void_ptr, il k) ])),
+            List.init sp.nt (fun k ->
+                ex (Ast.call "pthread_join" [ v (Printf.sprintf "th%d" k); null ])) )
+    in
+    let observations =
+      List.map
+        (fun a ->
+          ex (printf_ (Printf.sprintf "OBS %s 0 %%d\n" a.a_name) [ v a.a_name ]))
+        sp.accs
+      @ List.init sp.n_slots (fun k ->
+            for_to "t" (il sp.nt)
+              [ ex
+                  (printf_
+                     (Printf.sprintf "OBS %s %%d %%d\n" (slot_name k))
+                     [ v "t"; idx (v (slot_name k)) (v "t") ]) ])
+      @ (if sp.use_pointer then
+           [ ex (printf_ "OBS deref 0 %d\n" [ deref (v "p0") ]) ]
+         else [])
+      @ (if Rng.chance rng 0.5 then
+           [ ex
+               (printf_ "checksum %d\n"
+                  [ bin Ast.Add (v (List.hd sp.accs).a_name)
+                      (idx (v (slot_name 0)) (il 0)) ]) ]
+         else [])
+    in
+    (decl_stmt "t" Ctype.Int :: thread_decls)
+    @ inits @ ro_inits @ ptr_init @ creates @ joins @ observations
+    @ [ s (Ast.Sreturn (Some (il 0))) ]
+  in
+  let main = Ast.func "main" ~ret:Ctype.Int ~params:[] main_body in
+  let program =
+    { Ast.p_includes = [ "#include <stdio.h>"; "#include <pthread.h>" ];
+      p_globals =
+        acc_globals @ mutex_globals @ slot_globals @ ro_globals
+        @ ptr_globals @ barrier_globals
+        @ List.map (fun f -> Ast.Gfunc f) workers
+        @ [ Ast.Gfunc main ] }
+  in
+  (sp, program)
+
+let describe sp =
+  Printf.sprintf
+    "%s nt=%d cores=%d phases=%d accs=%d mutexes=%d slots=%d ro=%d%s%s%s"
+    (match sp.mode with Create_loop -> "loop" | Standalone -> "standalone")
+    sp.nt sp.run_cores sp.phases (List.length sp.accs) sp.n_mutexes
+    sp.n_slots sp.n_ro
+    (if sp.use_pointer then " ptr" else "")
+    (if sp.many_to_one then " m21" else "")
+    (if sp.optimize then " opt" else "")
+
+let source_of_program = Pretty.program

@@ -1,0 +1,66 @@
+open Cfront
+
+(** Seeded generator of well-typed Pthread C programs for differential
+    conformance testing.
+
+    Every generated program is {b data-race-free by construction} and has
+    exactly one defined outcome, so the single-core pthread baseline and
+    the translated RCCE execution must observe the same values:
+
+    - shared accumulators are updated only inside their own mutex, and
+      every update to one accumulator is drawn from a single commutative
+      class (all additive, or all multiply-by-constant), so the final
+      value is independent of thread interleaving;
+    - per-thread slot arrays are written only at the writer's own [tid]
+      index;
+    - cross-thread slot reads happen only after a [pthread_barrier_wait]
+      phase boundary, and the two phases have disjoint write sets;
+    - every other input is thread-local ([tid], loop counters, locals)
+      or read-only shared state initialized idempotently in [main];
+    - arithmetic is integer-only with constant positive divisors, and
+      array indices are masked into bounds.
+
+    Programs stay inside the translatable subset: thread creation is
+    either the canonical counted [pthread_create] loop or a fixed list
+    of standalone creates, observations are tagged [printf] lines
+    emitted by [main] after the joins. *)
+
+type mode =
+  | Create_loop   (** [for (t = 0; t < NT; t++) pthread_create(...)] *)
+  | Standalone    (** one [pthread_create] statement per thread *)
+
+type acc_kind =
+  | Add_acc  (** updates are [g += e] with thread-local [e] *)
+  | Mul_acc  (** updates are [g *= c] with a constant [c] *)
+
+type acc = {
+  a_name : string;
+  a_kind : acc_kind;
+  a_init : int option;  (** declaration initializer, if any *)
+  a_mutex : int;        (** index of the protecting mutex *)
+}
+
+type spec = {
+  seed : int;
+  nt : int;             (** thread count, 2..4 *)
+  mode : mode;
+  many_to_one : bool;   (** translate with the task-loop mapping *)
+  run_cores : int;      (** cores for the RCCE run (= translator ncores) *)
+  phases : int;         (** 1, or 2 with a barrier between phases *)
+  n_mutexes : int;
+  accs : acc list;
+  n_slots : int;        (** per-thread slot arrays [int outK[nt]] *)
+  n_ro : int;           (** read-only arrays [int roK[8]] *)
+  use_pointer : bool;   (** global [int *p0] aimed at shared state *)
+  optimize : bool;      (** run the optional constant-folding pass *)
+}
+
+val generate : seed:int -> spec * Ast.program
+(** The program for a seed — a pure function of the integer: the same
+    seed yields a byte-identical pretty-printed program on every run. *)
+
+val describe : spec -> string
+(** One-line human summary ("loop nt=4 phases=2 accs=2 ..."). *)
+
+val source_of_program : Ast.program -> string
+(** Pretty-print back to C (the canonical corpus file body). *)

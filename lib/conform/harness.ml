@@ -1,0 +1,194 @@
+open Cfront
+
+(* ---------------------------------------------------------------- *)
+(* Sabotage                                                         *)
+
+type sabotage = Drop_pass of string
+
+let sabotage_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "drop-pass" ->
+      let name = String.sub s (i + 1) (String.length s - i - 1) in
+      let known =
+        List.map
+          (fun p -> p.Translate.Pass.name)
+          (Translate.Driver.passes_for
+             { Translate.Pass.default_options with Translate.Pass.optimize = true })
+      in
+      if List.mem name known then Ok (Drop_pass name)
+      else
+        Error
+          (Printf.sprintf "unknown pass %S (known: %s)" name
+             (String.concat ", " known))
+  | _ -> Error (Printf.sprintf "unrecognized sabotage %S (try drop-pass:<name>)" s)
+
+let sabotage_to_string (Drop_pass name) = "drop-pass:" ^ name
+
+let apply_sabotage (Drop_pass name) (cfg : Oracle.config) =
+  let passes =
+    List.filter
+      (fun p -> p.Translate.Pass.name <> name)
+      (Translate.Driver.passes_for cfg.Oracle.options)
+  in
+  { cfg with Oracle.passes = Some passes }
+
+(* ---------------------------------------------------------------- *)
+(* Fuzzing                                                          *)
+
+type outcome = {
+  o_seed : int;
+  o_spec : Gen.spec;
+  o_failure : Oracle.failure;
+  o_program : Ast.program;
+  o_shrunk : Ast.program;
+  o_evals : int;
+}
+
+type summary = { s_total : int; s_failures : outcome list }
+
+let run ?(progress = fun ~index:_ ~seed:_ _ -> ()) ?(shrink_budget = 250)
+    ?sabotage ~seed ~count () =
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let gseed = seed + i in
+    let spec, program = Gen.generate ~seed:gseed in
+    let cfg = Oracle.config_of_spec spec in
+    let cfg =
+      match sabotage with None -> cfg | Some s -> apply_sabotage s cfg
+    in
+    let verdict = Oracle.check cfg program in
+    progress ~index:i ~seed:gseed verdict;
+    match verdict with
+    | Oracle.Agree -> ()
+    | Oracle.Diverge failure ->
+        let shrunk, evals =
+          if shrink_budget <= 0 then (program, 0)
+          else
+            Shrink.shrink ~budget:shrink_budget cfg
+              ~kind:(Oracle.kind_of_failure failure)
+              program
+        in
+        failures :=
+          { o_seed = gseed; o_spec = spec; o_failure = failure;
+            o_program = program; o_shrunk = shrunk; o_evals = evals }
+          :: !failures
+  done;
+  { s_total = count; s_failures = List.rev !failures }
+
+(* ---------------------------------------------------------------- *)
+(* Corpus files                                                     *)
+
+type expectation = Expect_agree | Expect_diverge of string
+
+type directives = {
+  d_cores : int;
+  d_many_to_one : bool;
+  d_optimize : bool;
+  d_expect : expectation;
+}
+
+let expectation_to_string = function
+  | Expect_agree -> "agree"
+  | Expect_diverge kind -> "diverge " ^ kind
+
+let corpus_file ?seed ?note ~spec_line d program =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b ("// " ^ s ^ "\n")) fmt in
+  (match seed with Some s -> line "conform-seed: %d" s | None -> ());
+  line "conform-spec: %s" spec_line;
+  line "conform-cores: %d" d.d_cores;
+  line "conform-many-to-one: %b" d.d_many_to_one;
+  line "conform-optimize: %b" d.d_optimize;
+  line "conform-expect: %s" (expectation_to_string d.d_expect);
+  (match note with
+  | Some n ->
+      String.split_on_char '\n' n |> List.iter (fun l -> line "conform-note: %s" l)
+  | None -> ());
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Pretty.program program);
+  Buffer.contents b
+
+let parse_directives contents =
+  let directive line =
+    (* "// conform-key: value" *)
+    let line = String.trim line in
+    if String.length line > 3 && String.sub line 0 3 = "// " then
+      let rest = String.sub line 3 (String.length line - 3) in
+      match String.index_opt rest ':' with
+      | Some i when String.length rest > 8 && String.sub rest 0 8 = "conform-" ->
+          let key = String.sub rest 0 i in
+          let value = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
+          Some (key, value)
+      | _ -> None
+    else None
+  in
+  let kvs =
+    String.split_on_char '\n' contents |> List.filter_map directive
+  in
+  let find key = List.assoc_opt ("conform-" ^ key) kvs in
+  let int_of key =
+    match find key with
+    | None -> Error (Printf.sprintf "missing // conform-%s directive" key)
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "conform-%s: not an integer: %S" key v))
+  in
+  let bool_of key default =
+    match find key with
+    | None -> Ok default
+    | Some "true" -> Ok true
+    | Some "false" -> Ok false
+    | Some v -> Error (Printf.sprintf "conform-%s: not a boolean: %S" key v)
+  in
+  let ( let* ) = Result.bind in
+  let* d_cores = int_of "cores" in
+  let* d_many_to_one = bool_of "many-to-one" false in
+  let* d_optimize = bool_of "optimize" false in
+  let* d_expect =
+    match find "expect" with
+    | None | Some "agree" -> Ok Expect_agree
+    | Some v -> (
+        match String.split_on_char ' ' v with
+        | [ "diverge"; kind ] -> Ok (Expect_diverge kind)
+        | _ -> Error (Printf.sprintf "conform-expect: unrecognized %S" v))
+  in
+  Ok { d_cores; d_many_to_one; d_optimize; d_expect }
+
+let config_of_directives d =
+  { Oracle.options =
+      { Translate.Pass.default_options with
+        Translate.Pass.ncores = d.d_cores;
+        many_to_one = d.d_many_to_one;
+        optimize = d.d_optimize };
+    passes = None }
+
+let replay ~file contents =
+  match parse_directives contents with
+  | Error e -> Error e
+  | Ok d -> (
+      match
+        try Ok (Parser.program ~file contents)
+        with Srcloc.Error (loc, m) ->
+          Error (Printf.sprintf "%s: %s" (Srcloc.to_string loc) m)
+      with
+      | Error e -> Error ("parse error: " ^ e)
+      | Ok program -> (
+          let verdict = Oracle.check (config_of_directives d) program in
+          match (d.d_expect, verdict) with
+          | Expect_agree, Oracle.Agree -> Ok ()
+          | Expect_diverge kind, Oracle.Diverge f
+            when Oracle.kind_of_failure f = kind ->
+              Ok ()
+          | Expect_agree, Oracle.Diverge f ->
+              Error
+                (Printf.sprintf "expected agreement, diverged: %s"
+                   (Oracle.failure_to_string f))
+          | Expect_diverge kind, Oracle.Agree ->
+              Error
+                (Printf.sprintf
+                   "expected a %s divergence, but the executions agree" kind)
+          | Expect_diverge kind, Oracle.Diverge f ->
+              Error
+                (Printf.sprintf "expected a %s divergence, got %s" kind
+                   (Oracle.failure_to_string f))))

@@ -1,0 +1,82 @@
+(** The conformance campaign driver: generate → check → shrink → record,
+    plus the corpus file format used by [test/conformance/].
+
+    Program [i] of a run started with [--seed S] is generated from seed
+    [S + i], so any reported failure is reproducible standalone with
+    [--seed (S + i) --count 1]. *)
+
+(** {1 Sabotage}
+
+    Deliberate pipeline mutations for the killing-mutation check: the
+    harness must catch a hand-broken translator. *)
+
+type sabotage =
+  | Drop_pass of string  (** run the pipeline without the named pass *)
+
+val sabotage_of_string : string -> (sabotage, string) result
+(** Recognizes ["drop-pass:<name>"] where [<name>] is a Stage-5 pass
+    (e.g. ["mutex-convert"], ["shared-rewrite"]). *)
+
+val sabotage_to_string : sabotage -> string
+
+val apply_sabotage : sabotage -> Oracle.config -> Oracle.config
+
+(** {1 Fuzzing} *)
+
+type outcome = {
+  o_seed : int;             (** the standalone-reproducing seed *)
+  o_spec : Gen.spec;
+  o_failure : Oracle.failure;
+  o_program : Cfront.Ast.program;  (** as generated *)
+  o_shrunk : Cfront.Ast.program;   (** minimized (= [o_program] if
+                                       shrinking was disabled) *)
+  o_evals : int;            (** oracle evaluations the shrinker spent *)
+}
+
+type summary = {
+  s_total : int;
+  s_failures : outcome list;  (** in discovery order *)
+}
+
+val run :
+  ?progress:(index:int -> seed:int -> Oracle.verdict -> unit) ->
+  ?shrink_budget:int ->
+  ?sabotage:sabotage ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** [run ~seed ~count ()] fuzzes [count] programs.  [shrink_budget] = 0
+    disables shrinking (default 250 evaluations per failure). *)
+
+(** {1 Corpus files}
+
+    A corpus file is a C program preceded by [// conform-*] directive
+    comments recording how to run it and what to expect. *)
+
+type expectation = Expect_agree | Expect_diverge of string
+    (** the string is an {!Oracle.kind_of_failure} tag *)
+
+type directives = {
+  d_cores : int;
+  d_many_to_one : bool;
+  d_optimize : bool;
+  d_expect : expectation;
+}
+
+val corpus_file :
+  ?seed:int ->
+  ?note:string ->
+  spec_line:string ->
+  directives ->
+  Cfront.Ast.program ->
+  string
+(** Render a corpus file: directive header plus pretty-printed source. *)
+
+val parse_directives : string -> (directives, string) result
+(** Read the [// conform-*] header of a corpus file's contents. *)
+
+val replay : file:string -> string -> (unit, string) result
+(** [replay ~file contents] parses directives and source, runs the
+    oracle, and checks the verdict against the expectation.  [Error]
+    carries a human-readable explanation. *)

@@ -1,0 +1,154 @@
+open Cfront
+
+(* ---------------------------------------------------------------- *)
+(* Size metric                                                      *)
+
+let size (p : Ast.program) =
+  let n = ref (10 * List.length p.Ast.p_globals) in
+  ignore
+    (Visit.rewrite_program
+       (fun _ ->
+         n := !n + 10;
+         None)
+       p);
+  Visit.iter_exprs_of_program
+    (function Ast.Int_lit k -> n := !n + min (abs k) 16 | _ -> ())
+    p;
+  !n
+
+(* ---------------------------------------------------------------- *)
+(* Candidate enumeration                                            *)
+
+(* Statements are addressed by their position in [Visit.rewrite_program]'s
+   bottom-up traversal order, which is stable for a given program. *)
+
+type stmt_shape = Plain | If_stmt of bool (* has else *) | Loop_stmt
+
+let stmt_shapes p =
+  let shapes = ref [] in
+  let c = ref 0 in
+  ignore
+    (Visit.rewrite_program
+       (fun st ->
+         let shape =
+           match st.Ast.s_desc with
+           | Ast.Sif (_, _, els) -> If_stmt (els <> None)
+           | Ast.Sfor _ | Ast.Swhile _ | Ast.Sdo _ -> Loop_stmt
+           | _ -> Plain
+         in
+         shapes := (!c, shape) :: !shapes;
+         incr c;
+         None)
+       p);
+  List.rev !shapes
+
+let rewrite_nth p i f =
+  let c = ref 0 in
+  Visit.rewrite_program
+    (fun st ->
+      let here = !c = i in
+      incr c;
+      if here then f st else None)
+    p
+
+let delete_stmt p i = rewrite_nth p i (fun _ -> Some [])
+
+let collapse_if p i keep_then =
+  rewrite_nth p i (fun st ->
+      match st.Ast.s_desc with
+      | Ast.Sif (_, then_, els) ->
+          if keep_then then Some [ then_ ]
+          else Some (match els with Some e -> [ e ] | None -> [])
+      | _ -> None)
+
+let unwrap_loop p i =
+  rewrite_nth p i (fun st ->
+      match st.Ast.s_desc with
+      | Ast.Sfor (_, _, _, body) | Ast.Swhile (_, body) | Ast.Sdo (body, _)
+        ->
+          Some [ body ]
+      | _ -> None)
+
+let count_literals p =
+  let c = ref 0 in
+  Visit.iter_exprs_of_program
+    (function Ast.Int_lit k when k <> 0 -> incr c | _ -> ())
+    p;
+  !c
+
+let halve_literal p i =
+  let c = ref 0 in
+  Visit.map_program_exprs
+    (function
+      | Ast.Int_lit k when k <> 0 ->
+          let here = !c = i in
+          incr c;
+          if here then Ast.Int_lit (k / 2) else Ast.Int_lit k
+      | e -> e)
+    p
+
+let delete_global (p : Ast.program) i =
+  { p with
+    Ast.p_globals =
+      List.filteri
+        (fun j g ->
+          j <> i
+          || (match g with Ast.Gfunc f -> f.Ast.f_name = "main" | _ -> false))
+        p.Ast.p_globals }
+
+(* All one-step reductions of [p], biggest cuts first. *)
+let candidates (p : Ast.program) =
+  let globals =
+    List.mapi (fun i _ -> fun () -> delete_global p i) p.Ast.p_globals
+  in
+  let shapes = stmt_shapes p in
+  let structural =
+    List.concat_map
+      (fun (i, shape) ->
+        match shape with
+        | If_stmt has_else ->
+            [ (fun () -> collapse_if p i true) ]
+            @ (if has_else then [ (fun () -> collapse_if p i false) ] else [])
+            @ [ (fun () -> delete_stmt p i) ]
+        | Loop_stmt ->
+            [ (fun () -> unwrap_loop p i); (fun () -> delete_stmt p i) ]
+        | Plain -> [ (fun () -> delete_stmt p i) ])
+      shapes
+  in
+  let literals =
+    List.init (count_literals p) (fun i -> fun () -> halve_literal p i)
+  in
+  globals @ structural @ literals
+
+(* ---------------------------------------------------------------- *)
+(* Greedy descent                                                   *)
+
+let diverges_like cfg kind program =
+  match Oracle.check cfg program with
+  | Oracle.Diverge f -> Oracle.kind_of_failure f = kind
+  | Oracle.Agree -> false
+
+let shrink ?(budget = 250) cfg ~kind program =
+  let evals = ref 0 in
+  let rec descend current current_size =
+    if !evals >= budget then current
+    else
+      let rec try_candidates = function
+        | [] -> current
+        | cand :: rest ->
+            if !evals >= budget then current
+            else
+              let candidate = cand () in
+              let csize = size candidate in
+              if csize >= current_size then try_candidates rest
+              else begin
+                incr evals;
+                if diverges_like cfg kind candidate then
+                  descend candidate csize
+                else try_candidates rest
+              end
+      in
+      try_candidates (candidates current)
+  in
+  let result = descend program (size program) in
+  (result, !evals)

@@ -1,0 +1,29 @@
+open Cfront
+
+(** Delta-debugging minimizer for diverging programs.
+
+    Greedy descent over structural reductions — delete a global, delete
+    a statement, collapse an [if] to one branch, unwrap a loop body,
+    halve an integer literal — accepting a candidate only when the
+    {!Oracle} still reports a divergence of the {e same kind} and the
+    program got strictly smaller, so the search always terminates.  A
+    candidate that stops diverging (or diverges differently) is
+    rejected; well-typedness is not preserved by construction but a
+    candidate the pipeline rejects simply lands in the
+    [translation-error] kind and is discarded the same way. *)
+
+val size : Ast.program -> int
+(** The strictly-decreasing metric: statements and globals weigh 10
+    each, plus the magnitude of every integer literal (capped). *)
+
+val shrink :
+  ?budget:int ->
+  Oracle.config ->
+  kind:string ->
+  Ast.program ->
+  Ast.program * int
+(** [shrink cfg ~kind p] minimizes [p] while {!Oracle.check} keeps
+    returning a divergence whose {!Oracle.kind_of_failure} equals
+    [kind].  [budget] (default 250) caps oracle evaluations — each one
+    is two full simulated executions.  Returns the smallest program
+    found and the number of evaluations spent. *)

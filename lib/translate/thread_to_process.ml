@@ -2,14 +2,26 @@ open Cfront
 
 (* Stage 5, Algorithm 4: convert thread launches into per-process calls.
 
-   - A [pthread_create] inside a counted loop means every core runs the
-     thread function: the loop is dismantled, the create statement becomes
-     a direct call whose argument has the loop counter replaced by the
-     core-ID variable, and any other statements of the body are kept once
-     (also with counter -> core ID).
-   - A standalone [pthread_create] is a thread-specific task: it becomes a
-     direct call wrapped in [if (myID == k)], where k is the call's order
-     of appearance — the paper's hash-table of function name to core ID.
+   - A [pthread_create] inside a counted loop means the cores of that
+     loop's thread range run the thread function: the loop is dismantled,
+     the create statement becomes a direct call whose argument has the
+     loop counter replaced by the caller's thread index, and any other
+     statements of the body are kept once (same substitution).
+   - Every create site consumes a contiguous range of thread IDs, in
+     order of appearance: a counted loop of n creates takes the next n,
+     a standalone create takes the next one.  A loop whose range is not
+     the full chip ([base > 0] or [n < ncores]) is guarded with
+     [if (myID >= base && myID < base + n)] and indexed by
+     [myID - base]; the canonical whole-chip loop stays an unguarded
+     direct call, exactly the paper's Algorithm 4 output.  Without the
+     guard an extra core would run a phantom thread instance whose
+     out-of-range index reads and writes past the site's shared arrays
+     (found by the conformance fuzzer: two create loops, or one loop
+     narrower than the chip, corrupted the neighbouring allocation).
+   - A standalone [pthread_create] is a thread-specific task: it becomes
+     a direct call wrapped in [if (myID == k)], where k is the site's
+     thread ID — the paper's hash-table of function name to core ID
+     (folded onto the chip with [mod ncores] under many-to-one).
    - A [pthread_join] inside a loop dismantles the loop into one
      [RCCE_barrier] followed by the rest of the body (counter -> core ID);
      a standalone join becomes a barrier.
@@ -32,11 +44,13 @@ let barrier_stmt loc =
     (Ast.Sexpr
        (Ast.call "RCCE_barrier" [ Ast.Unary (Ast.Addr, Ast.var "RCCE_COMM_WORLD") ]))
 
+(* Substitute every use of variable [from] with the expression [to_]
+   (the caller's thread index: [myID], [myTask], or [myID - base]). *)
 let subst_var ~from ~to_ e =
   Visit.map_expr
     (fun e ->
       match e with
-      | Ast.Var name when String.equal name from -> Ast.var to_
+      | Ast.Var name when String.equal name from -> to_
       | _ -> e)
     e
 
@@ -45,7 +59,7 @@ let subst_stmt ~from ~to_ (s : Ast.stmt) =
   Visit.map_stmt_exprs
     (fun e ->
       match e with
-      | Ast.Var name when String.equal name from -> Ast.var to_
+      | Ast.Var name when String.equal name from -> to_
       | _ -> e)
     s
 
@@ -63,17 +77,18 @@ let stmt_contains_call name (s : Ast.stmt) =
   !found
 
 (* The direct call replacing one pthread_create: [tf(arg)] with the loop
-   counter (if any) replaced by the index variable ([myID], or [myTask]
-   inside a many-to-one task loop).  A create whose thread argument was
-   NULL calls with NULL, preserving the signature. *)
-let direct_call ~counter ~index_var loc args =
+   counter (if any) replaced by the caller's thread index ([myID],
+   [myID - base], or [myTask] inside a many-to-one task loop).  A create
+   whose thread argument was NULL calls with NULL, preserving the
+   signature. *)
+let direct_call ~counter ~index loc args =
   match args with
   | [ _tid; _attr; farg; targ ] -> begin
       match Analysis.Thread_analysis.func_name_of_arg farg with
       | Some fname ->
           let arg =
             match counter with
-            | Some c -> subst_var ~from:c ~to_:index_var targ
+            | Some c -> subst_var ~from:c ~to_:index targ
             | None -> targ
           in
           Some (Ast.stmt ~loc (Ast.Sexpr (Ast.call fname [ arg ])))
@@ -82,21 +97,21 @@ let direct_call ~counter ~index_var loc args =
   | _ -> None
 
 (* Rewrite the statements of a dismantled create/join loop body,
-   substituting the loop counter with [index_var]. *)
-let rec lower_body ~env ~counter ~index_var ~seq stmts =
-  List.concat_map (lower_body_stmt ~env ~counter ~index_var ~seq) stmts
+   substituting the loop counter with [index]. *)
+let rec lower_body ~env ~counter ~index stmts =
+  List.concat_map (lower_body_stmt ~env ~counter ~index) stmts
 
-and lower_body_stmt ~env ~counter ~index_var ~seq (s : Ast.stmt) =
+and lower_body_stmt ~env ~counter ~index (s : Ast.stmt) =
   let subst s =
     match counter with
-    | Some c -> subst_stmt ~from:c ~to_:index_var s
+    | Some c -> subst_stmt ~from:c ~to_:index s
     | None -> s
   in
   match s.Ast.s_desc with
   | Ast.Sexpr e -> begin
       match find_create_call e with
       | Some args -> begin
-          match direct_call ~counter ~index_var s.Ast.s_loc args with
+          match direct_call ~counter ~index s.Ast.s_loc args with
           | Some call -> [ call ]
           | None -> [ subst s ]
         end
@@ -109,7 +124,7 @@ and lower_body_stmt ~env ~counter ~index_var ~seq (s : Ast.stmt) =
     end
   | Ast.Sblock stmts ->
       [ Ast.stmt ~loc:s.Ast.s_loc
-          (Ast.Sblock (lower_body ~env ~counter ~index_var ~seq stmts)) ]
+          (Ast.Sblock (lower_body ~env ~counter ~index stmts)) ]
   | Ast.Sdecl _ | Ast.Sif _ | Ast.Swhile _ | Ast.Sdo _ | Ast.Sfor _
   | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Snull -> [ subst s ]
 
@@ -158,7 +173,10 @@ let task_loop ~loc ~nt body =
 
 let transform env (program : Ast.program) =
   check_core_count env;
-  let seq = ref 0 in   (* order of appearance of standalone creates *)
+  let ncores = (Pass.options env).Pass.ncores in
+  let many_to_one = (Pass.options env).Pass.many_to_one in
+  (* first thread ID of the next create site, in order of appearance *)
+  let base = ref 0 in
   let uses_task_loop = ref false in
   (* In many-to-one mode a counted create/join loop becomes a task loop;
      [bounds] is the (counter, trip) pair when statically known. *)
@@ -182,20 +200,62 @@ let transform env (program : Ast.program) =
             (match task_mode bounds with
             | Some nt ->
                 uses_task_loop := true;
+                base := !base + nt;
                 Pass.note env
                   "threads-to-processes: create loop at %s became a                    many-to-one task loop over %d threads"
                   (Srcloc.to_string s.Ast.s_loc) nt;
                 let lowered =
-                  lower_body ~env ~counter ~index_var:task_var ~seq stmts
+                  lower_body ~env ~counter ~index:(Ast.var task_var) stmts
                 in
                 Some [ task_loop ~loc:s.Ast.s_loc ~nt lowered ]
             | None ->
-                Pass.note env
-                  "threads-to-processes: dismantled create loop at %s"
-                  (Srcloc.to_string s.Ast.s_loc);
-                Some
-                  (lower_body ~env ~counter ~index_var:core_id_var ~seq
-                     stmts))
+                let base0 = !base in
+                let index =
+                  if base0 = 0 then Ast.var core_id_var
+                  else
+                    Ast.Binary
+                      (Ast.Sub, Ast.var core_id_var, Ast.int base0)
+                in
+                let lowered = lower_body ~env ~counter ~index stmts in
+                (match bounds with
+                | Some (_, n) when base0 = 0 && n >= ncores ->
+                    (* the canonical whole-chip loop: every core runs a
+                       thread instance, no guard needed *)
+                    base := base0 + n;
+                    Pass.note env
+                      "threads-to-processes: dismantled create loop at %s"
+                      (Srcloc.to_string s.Ast.s_loc);
+                    Some lowered
+                | Some (_, n) ->
+                    base := base0 + n;
+                    let upper =
+                      Ast.Binary
+                        (Ast.Lt, Ast.var core_id_var, Ast.int (base0 + n))
+                    in
+                    let guard =
+                      if base0 = 0 then upper
+                      else
+                        Ast.Binary
+                          ( Ast.Land,
+                            Ast.Binary
+                              (Ast.Ge, Ast.var core_id_var, Ast.int base0),
+                            upper )
+                    in
+                    Pass.note env
+                      "threads-to-processes: dismantled create loop at %s, \
+                       guarded to thread range [%d, %d)"
+                      (Srcloc.to_string s.Ast.s_loc) base0 (base0 + n);
+                    Some
+                      [ Ast.stmt ~loc:s.Ast.s_loc
+                          (Ast.Sif
+                             ( guard,
+                               Ast.stmt ~loc:s.Ast.s_loc (Ast.Sblock lowered),
+                               None )) ]
+                | None ->
+                    Pass.note env
+                      "threads-to-processes: dismantled create loop at %s"
+                      (Srcloc.to_string s.Ast.s_loc);
+                    Some lowered))
         | _ -> None
       end
     | Ast.Sfor (_, _, _, _) when stmt_contains_call "pthread_join" s -> begin
@@ -212,7 +272,7 @@ let transform env (program : Ast.program) =
             | Some nt ->
                 uses_task_loop := true;
                 let rest =
-                  lower_body ~env ~counter ~index_var:task_var ~seq stmts
+                  lower_body ~env ~counter ~index:(Ast.var task_var) stmts
                 in
                 Pass.note env
                   "threads-to-processes: join loop at %s became a barrier                    and a task loop"
@@ -224,7 +284,7 @@ let transform env (program : Ast.program) =
                 Some (barrier_stmt s.Ast.s_loc :: wrapped)
             | None ->
                 let rest =
-                  lower_body ~env ~counter ~index_var:core_id_var ~seq stmts
+                  lower_body ~env ~counter ~index:(Ast.var core_id_var) stmts
                 in
                 Pass.note env
                   "threads-to-processes: join loop at %s became a barrier"
@@ -237,18 +297,19 @@ let transform env (program : Ast.program) =
         match find_create_call e with
         | Some args -> begin
             match
-              direct_call ~counter:None ~index_var:core_id_var s.Ast.s_loc
-                args
+              direct_call ~counter:None ~index:(Ast.var core_id_var)
+                s.Ast.s_loc args
             with
             | Some call ->
-                let k = !seq in
-                incr seq;
+                let k = !base in
+                base := k + 1;
+                let core = if many_to_one then k mod ncores else k in
                 let guard =
-                  Ast.Binary (Ast.Eq, Ast.var core_id_var, Ast.int k)
+                  Ast.Binary (Ast.Eq, Ast.var core_id_var, Ast.int core)
                 in
                 Pass.note env
                   "threads-to-processes: standalone create pinned to core %d"
-                  k;
+                  core;
                 Some
                   [ Ast.stmt ~loc:s.Ast.s_loc (Ast.Sif (guard, call, None)) ]
             | None -> None

@@ -1,0 +1,82 @@
+// conform-seed: 1
+// conform-spec: loop nt=3 cores=3 phases=1 accs=3 mutexes=1 slots=1 ro=2 opt
+// conform-cores: 3
+// conform-many-to-one: false
+// conform-optimize: true
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 0;
+int g1;
+int g2 = 1;
+pthread_mutex_t m0;
+int out0[3];
+int ro0[8];
+int ro1[8];
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 4;
+    int x1 = 3;
+    int x2 = 0;
+    for (i = 0; i < 2; i++)
+    {
+        x2 = x2 + 8 % 4 % 3;
+    }
+    if (ro1[tid & 7] / 5 % 2 == 0)
+        x1 = tid % 4 / 5;
+    else
+        x2 = ro0[tid & 7] % 5 * 1;
+    for (i = 0; i < 7; i++)
+    {
+        x1 = x1 + (ro0[5 & 7] * 0 + ro1[i & 7]);
+    }
+    out0[tid] = (x1 + 6) / 5;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (4 + ro1[ro1[x2 & 7] & 7]) % 5;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 = g1 + (x1 + ro0[0 & 7]) / 2;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g2 = g2 * 2;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[3];
+    pthread_mutex_init(&m0, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 3 + 4) % 8;
+    }
+    for (t = 0; t < 8; t++)
+    {
+        ro1[t] = (t * 5 + 6) % 6;
+    }
+    for (t = 0; t < 3; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 3; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 3; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

@@ -1,0 +1,96 @@
+// conform-seed: 11
+// conform-spec: loop nt=4 cores=4 phases=2 accs=3 mutexes=2 slots=2 ro=2 ptr
+// conform-cores: 4
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 7;
+int g1;
+int g2 = 1;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[4];
+int out1[4];
+int ro0[8];
+int ro1[8];
+int c0 = 2;
+int *p0;
+pthread_barrier_t bar;
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 5;
+    int x1 = 5;
+    int x2 = 1;
+    if (*p0 % 3 % 2 == 0)
+        x1 = tid - (tid - x2);
+    else
+        x2 = x1 % 7 - (*p0 + x2);
+    out0[tid] = x0;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (8 % 5 + x1 * 3);
+    pthread_mutex_unlock(&m0);
+    for (j = 0; j < 2; j++)
+    {
+        pthread_mutex_lock(&m1);
+        g1 += ro0[tid & 7];
+        pthread_mutex_unlock(&m1);
+    }
+    pthread_mutex_lock(&m0);
+    g2 *= 2;
+    pthread_mutex_unlock(&m0);
+    pthread_barrier_wait(&bar);
+    if ((out0[(tid + 1) % 4] - ro0[5 & 7]) % 2 == 0)
+        x0 = tid % 7 - (6 - 0);
+    else
+        x2 = tid;
+    out1[tid] = x0 * 2;
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    pthread_barrier_init(&bar, NULL, 4);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 1 + 4) % 6;
+    }
+    for (t = 0; t < 8; t++)
+    {
+        ro1[t] = (t * 2 + 2) % 7;
+    }
+    p0 = &c0;
+    for (t = 0; t < 4; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("OBS deref 0 %d\n", *p0);
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

@@ -1,0 +1,66 @@
+// conform-seed: 12
+// conform-spec: loop nt=2 cores=2 phases=1 accs=3 mutexes=1 slots=1 ro=0
+// conform-cores: 2
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 1;
+int g1 = 1;
+int g2 = 5;
+pthread_mutex_t m0;
+int out0[2];
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 5;
+    int x2 = 2;
+    if (x0 / 3 % 2 == 0)
+        x0 = 9 % 4 / 4;
+    else
+        x1 = x2 / 5 % 3;
+    out0[tid] = tid % 5 % 7;
+    pthread_mutex_lock(&m0);
+    g0 *= 3;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 = g1 * 3;
+    pthread_mutex_unlock(&m0);
+    for (j = 0; j < 3; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g2 += tid / 5;
+        pthread_mutex_unlock(&m0);
+    }
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[2];
+    pthread_mutex_init(&m0, NULL);
+    for (t = 0; t < 2; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    return 0;
+}

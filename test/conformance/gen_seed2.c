@@ -1,0 +1,74 @@
+// conform-seed: 2
+// conform-spec: loop nt=4 cores=4 phases=1 accs=1 mutexes=1 slots=2 ro=1 ptr
+// conform-cores: 4
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0;
+pthread_mutex_t m0;
+int out0[4];
+int out1[4];
+int ro0[8];
+int c0 = 7;
+int *p0;
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 4;
+    int x1 = 1;
+    int x2 = 4;
+    for (i = 0; i < 2; i++)
+    {
+        x0 = x0 + (0 - ro0[2 & 7] - x0 / 5);
+    }
+    for (i = 0; i < 4; i++)
+    {
+        x2 = x2 + (i * 3 + x0 * 3);
+    }
+    x0 += (7 + 4) * 0;
+    out0[tid] = *p0 - (tid - tid);
+    out1[tid] = (6 + tid) * 2;
+    pthread_mutex_lock(&m0);
+    g0 += tid / 5;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m0, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 5 + 6) % 7;
+    }
+    p0 = &c0;
+    for (t = 0; t < 4; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("OBS deref 0 %d\n", *p0);
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

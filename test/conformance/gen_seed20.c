@@ -1,0 +1,93 @@
+// conform-seed: 20
+// conform-spec: loop nt=2 cores=2 phases=2 accs=2 mutexes=2 slots=2 ro=1 ptr
+// conform-cores: 2
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 4;
+int g1 = 2;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[2];
+int out1[2];
+int ro0[8];
+int c0 = 9;
+int *p0;
+pthread_barrier_t bar;
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 5;
+    int x2 = 3;
+    if (tid % 2 % 2 == 0)
+        x1 = tid + 2 + (0 - tid);
+    else
+        x1 = ro0[tid & 7] * 5 - tid / 3;
+    for (i = 0; i < 4; i++)
+    {
+        x1 = x1 + (3 + 3) % 3;
+    }
+    if ((ro0[x1 & 7] - 4) % 2 == 0)
+        x1 = x1 * 5 - tid * 0;
+    else
+        x2 = tid * 0 / 5;
+    out0[tid] = 3 * 2 - (tid + 0);
+    pthread_mutex_lock(&m0);
+    g0 = g0 + tid;
+    pthread_mutex_unlock(&m0);
+    for (j = 0; j < 2; j++)
+    {
+        pthread_mutex_lock(&m1);
+        g1 *= 2;
+        pthread_mutex_unlock(&m1);
+    }
+    pthread_barrier_wait(&bar);
+    if (x1 % 2 == 0)
+        x1 = (x1 + out0[(tid + 1) % 2]) / 5;
+    else
+        x1 = (tid - *p0) * 5;
+    out1[tid] = out0[(tid + 1) % 2] % 4 - ro0[x2 & 7] * 5;
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[2];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    pthread_barrier_init(&bar, NULL, 2);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 2 + 5) % 7;
+    }
+    p0 = &c0;
+    for (t = 0; t < 2; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("OBS deref 0 %d\n", *p0);
+    return 0;
+}

@@ -1,0 +1,117 @@
+// conform-seed: 21
+// conform-spec: standalone nt=3 cores=3 phases=1 accs=1 mutexes=2 slots=2 ro=1 ptr
+// conform-cores: 3
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[3];
+int out1[3];
+int ro0[8];
+int c0 = 6;
+int *p0;
+
+void *work0(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 4;
+    int x1 = 4;
+    int x2 = 3;
+    for (i = 0; i < 6; i++)
+    {
+        x2 = x2 + (i + x2) / 2;
+    }
+    x2 = tid % 7 + ro0[*p0 & 7] * 5;
+    out0[tid] = tid;
+    out1[tid] = (3 - *p0) / 2;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (ro0[ro0[7 & 7] & 7] % 6 - ro0[9 & 7] % 4);
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work1(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 4;
+    int x1 = 3;
+    int x2 = 3;
+    x0 += (x0 - 8) % 4;
+    if (tid * 5 % 2 == 0)
+        x2 = (tid + x1) % 4;
+    else
+        x1 = (tid - ro0[*p0 & 7]) % 5;
+    out0[tid] = tid + 0 - 3 * 0;
+    out1[tid] = tid - tid / 2;
+    for (j = 0; j < 1; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g0 = g0 + (tid + 1) * 5;
+        pthread_mutex_unlock(&m0);
+    }
+    pthread_exit(NULL);
+}
+
+void *work2(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 2;
+    int x1 = 4;
+    int x2 = 4;
+    x1 = 1 / 3 % 4;
+    x0 = x0 % 4 + ro0[ro0[2 & 7] & 7];
+    if ((tid - x1) % 2 == 0)
+        x1 = (2 - x2) * 0;
+    else
+        x0 = 0 * 0 - 2 / 4;
+    out0[tid] = *p0 * 0;
+    out1[tid] = tid - x0 - (tid - ro0[tid & 7]);
+    pthread_mutex_lock(&m0);
+    g0 += 6;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t th0;
+    pthread_t th1;
+    pthread_t th2;
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 2 + 0) % 8;
+    }
+    p0 = &c0;
+    pthread_create(&th0, NULL, work0, (void*)0);
+    pthread_create(&th1, NULL, work1, (void*)1);
+    pthread_create(&th2, NULL, work2, (void*)2);
+    pthread_join(th0, NULL);
+    pthread_join(th1, NULL);
+    pthread_join(th2, NULL);
+    printf("OBS g0 0 %d\n", g0);
+    for (t = 0; t < 3; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 3; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("OBS deref 0 %d\n", *p0);
+    return 0;
+}

@@ -1,0 +1,87 @@
+// conform-seed: 24
+// conform-spec: loop nt=2 cores=2 phases=2 accs=3 mutexes=2 slots=2 ro=0
+// conform-cores: 2
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0;
+int g1 = 9;
+int g2 = 9;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[2];
+int out1[2];
+pthread_barrier_t bar;
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 3;
+    int x1 = 3;
+    int x2 = 0;
+    for (i = 0; i < 8; i++)
+    {
+        x2 = x2 + (8 + tid + i / 2);
+    }
+    for (i = 0; i < 7; i++)
+    {
+        x0 = x0 + i % 5;
+    }
+    for (i = 0; i < 5; i++)
+    {
+        x1 = x1 + (tid + i - tid / 2);
+    }
+    out0[tid] = tid / 2 - (x0 + 2);
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (7 * 4 + (tid - 9));
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m1);
+    g1 = g1 + tid / 2 % 6;
+    pthread_mutex_unlock(&m1);
+    pthread_mutex_lock(&m0);
+    g2 = g2 + tid % 2 * 1;
+    pthread_mutex_unlock(&m0);
+    pthread_barrier_wait(&bar);
+    for (i = 0; i < 6; i++)
+    {
+        x2 = x2 + i / 2 % 7;
+    }
+    out1[tid] = tid % 5 * 3;
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[2];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    pthread_barrier_init(&bar, NULL, 2);
+    for (t = 0; t < 2; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

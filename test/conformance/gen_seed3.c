@@ -1,0 +1,69 @@
+// conform-seed: 3
+// conform-spec: loop nt=4 cores=2 phases=1 accs=2 mutexes=2 slots=2 ro=1 m21
+// conform-cores: 2
+// conform-many-to-one: true
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 7;
+int g1;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[4];
+int out1[4];
+int ro0[8];
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 4;
+    int x2 = 5;
+    x0 += 2 - ro0[tid & 7] - (x1 + tid);
+    out0[tid] = 9;
+    out1[tid] = 4 % 4 + ro0[x0 & 7] * 4;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (x2 - ro0[x0 & 7]) / 2;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m1);
+    g1 = g1 + (tid * 3 + 5);
+    pthread_mutex_unlock(&m1);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 5 + 2) % 6;
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

@@ -1,0 +1,97 @@
+// conform-seed: 30
+// conform-spec: standalone nt=2 cores=2 phases=1 accs=3 mutexes=1 slots=1 ro=0
+// conform-cores: 2
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0;
+int g1 = 2;
+int g2 = 5;
+pthread_mutex_t m0;
+int out0[2];
+
+void *work0(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 4;
+    int x2 = 4;
+    if (tid % 6 % 2 == 0)
+        x2 = (6 - 2) * 0;
+    else
+        x2 = tid / 5 / 3;
+    for (i = 0; i < 6; i++)
+    {
+        x2 = x2 + (x2 + tid / 2);
+    }
+    out0[tid] = 6 / 2;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + 9;
+    pthread_mutex_unlock(&m0);
+    for (j = 0; j < 1; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g1 *= 3;
+        pthread_mutex_unlock(&m0);
+    }
+    pthread_mutex_lock(&m0);
+    g2 = g2 + x1 * 4 % 3;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work1(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 5;
+    int x1 = 5;
+    int x2 = 5;
+    if ((tid + tid) % 2 == 0)
+        x2 = 5 - 8 + x0 / 5;
+    else
+        x2 = 0;
+    x2 = (9 + 0) % 4;
+    out0[tid] = (4 - 3) * 3;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + (x1 + tid + (3 - x1));
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 = g1 * 2;
+    pthread_mutex_unlock(&m0);
+    for (j = 0; j < 1; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g2 += (x2 - 7) / 4;
+        pthread_mutex_unlock(&m0);
+    }
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t th0;
+    pthread_t th1;
+    pthread_mutex_init(&m0, NULL);
+    pthread_create(&th0, NULL, work0, (void*)0);
+    pthread_create(&th1, NULL, work1, (void*)1);
+    pthread_join(th0, NULL);
+    pthread_join(th1, NULL);
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

@@ -1,0 +1,77 @@
+// conform-seed: 40
+// conform-spec: loop nt=4 cores=2 phases=1 accs=1 mutexes=2 slots=1 ro=2 ptr m21
+// conform-cores: 2
+// conform-many-to-one: true
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 1;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[4];
+int ro0[8];
+int ro1[8];
+int c0 = 4;
+int *p0;
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 5;
+    int x1 = 3;
+    int x2 = 0;
+    if ((*p0 + ro1[6 & 7]) % 2 == 0)
+        x0 = x1 - 4 + ro1[7 & 7] / 2;
+    else
+        x1 = ro0[4 & 7];
+    if (tid * 0 % 2 == 0)
+        x0 = (2 + x0) / 5;
+    else
+        x2 = tid / 5 - *p0;
+    if (5 % 5 % 2 == 0)
+        x1 = *p0 / 2 / 5;
+    else
+        x2 = 1 + tid + tid / 3;
+    out0[tid] = x1;
+    pthread_mutex_lock(&m0);
+    g0 *= 3;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 5 + 2) % 7;
+    }
+    for (t = 0; t < 8; t++)
+    {
+        ro1[t] = (t * 3 + 4) % 5;
+    }
+    p0 = &c0;
+    for (t = 0; t < 4; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    printf("OBS deref 0 %d\n", *p0);
+    return 0;
+}

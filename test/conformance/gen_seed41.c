@@ -1,0 +1,171 @@
+// conform-seed: 41
+// conform-spec: standalone nt=4 cores=4 phases=1 accs=3 mutexes=1 slots=2 ro=0 opt
+// conform-cores: 4
+// conform-many-to-one: false
+// conform-optimize: true
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0;
+int g1;
+int g2;
+pthread_mutex_t m0;
+int out0[4];
+int out1[4];
+
+void *work0(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 3;
+    int x2 = 3;
+    if ((2 + 6) % 2 == 0)
+        x2 = x2 % 4 - tid / 4;
+    else
+        x1 = tid + 0 + x2 * 0;
+    if (x2 % 7 % 2 == 0)
+        x2 = (1 - 9) % 3;
+    else
+        x1 = tid + 5 - 9 % 2;
+    out0[tid] = tid % 5 + tid * 4;
+    out1[tid] = (tid - tid) % 6;
+    pthread_mutex_lock(&m0);
+    g0 = g0 + 2 % 7;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 = g1 + (5 / 3 - tid);
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g2 = g2 + 7 * 3 * 3;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work1(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 3;
+    int x2 = 1;
+    for (i = 0; i < 5; i++)
+    {
+        x1 = x1 + tid / 2;
+    }
+    x1 = 1;
+    x0 = 8 / 3 * 5;
+    out0[tid] = tid / 5;
+    out1[tid] = (6 + x1) * 3;
+    pthread_mutex_lock(&m0);
+    g0 += x1 % 7 - (0 - 6);
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 += tid % 4 - tid % 4;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g2 += 2 / 5 / 4;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work2(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 5;
+    int x1 = 1;
+    int x2 = 2;
+    if ((3 + tid) % 2 == 0)
+        x0 = 4 / 5 + (3 + tid);
+    else
+        x0 = tid / 2;
+    x1 += (x2 - tid) % 2;
+    if (tid / 4 % 2 == 0)
+        x1 = x2 % 4 / 3;
+    else
+        x0 = x1 * 2 - x0;
+    out0[tid] = 7 + tid * 3;
+    out1[tid] = tid;
+    pthread_mutex_lock(&m0);
+    g0 += x1 * 2 + (tid + 5);
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g1 = g1 + (4 - 3);
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m0);
+    g2 += 1 % 3 / 4;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work3(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 2;
+    int x1 = 0;
+    int x2 = 3;
+    for (i = 0; i < 2; i++)
+    {
+        x2 = x2 + 5 / 3 * 4;
+    }
+    if (7 / 2 % 2 == 0)
+        x2 = 8;
+    else
+        x2 = (tid + tid) % 7;
+    out0[tid] = (1 + tid) % 6;
+    out1[tid] = 0 - x1 + tid;
+    for (j = 0; j < 1; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g0 += tid / 3;
+        pthread_mutex_unlock(&m0);
+    }
+    for (j = 0; j < 1; j++)
+    {
+        pthread_mutex_lock(&m0);
+        g1 = g1 + x2;
+        pthread_mutex_unlock(&m0);
+    }
+    pthread_mutex_lock(&m0);
+    g2 = g2 + tid / 2 / 4;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t th0;
+    pthread_t th1;
+    pthread_t th2;
+    pthread_t th3;
+    pthread_mutex_init(&m0, NULL);
+    pthread_create(&th0, NULL, work0, (void*)0);
+    pthread_create(&th1, NULL, work1, (void*)1);
+    pthread_create(&th2, NULL, work2, (void*)2);
+    pthread_create(&th3, NULL, work3, (void*)3);
+    pthread_join(th0, NULL);
+    pthread_join(th1, NULL);
+    pthread_join(th2, NULL);
+    pthread_join(th3, NULL);
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    return 0;
+}

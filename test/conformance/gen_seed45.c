@@ -1,0 +1,75 @@
+// conform-seed: 45
+// conform-spec: loop nt=4 cores=4 phases=1 accs=3 mutexes=2 slots=1 ro=2
+// conform-cores: 4
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 2;
+int g1 = 1;
+int g2;
+pthread_mutex_t m0;
+pthread_mutex_t m1;
+int out0[4];
+int ro0[8];
+int ro1[8];
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 4;
+    int x1 = 3;
+    int x2 = 0;
+    if ((ro0[4 & 7] + 8) % 2 == 0)
+        x2 = (tid - x1) * 4;
+    else
+        x1 = 3;
+    out0[tid] = (x1 + tid) / 3;
+    pthread_mutex_lock(&m0);
+    g0 *= 2;
+    pthread_mutex_unlock(&m0);
+    pthread_mutex_lock(&m1);
+    g1 *= 3;
+    pthread_mutex_unlock(&m1);
+    pthread_mutex_lock(&m0);
+    g2 += 8 % 7 / 3;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m0, NULL);
+    pthread_mutex_init(&m1, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 2 + 5) % 9;
+    }
+    for (t = 0; t < 8; t++)
+    {
+        ro1[t] = (t * 2 + 5) % 8;
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_create(&threads[t], NULL, work, (void*)t);
+    }
+    for (t = 0; t < 4; t++)
+    {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS g0 0 %d\n", g0);
+    printf("OBS g1 0 %d\n", g1);
+    printf("OBS g2 0 %d\n", g2);
+    for (t = 0; t < 4; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    return 0;
+}

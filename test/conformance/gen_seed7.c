@@ -1,0 +1,86 @@
+// conform-seed: 7
+// conform-spec: standalone nt=2 cores=2 phases=1 accs=1 mutexes=1 slots=2 ro=1 opt
+// conform-cores: 2
+// conform-many-to-one: false
+// conform-optimize: true
+// conform-expect: agree
+
+#include <stdio.h>
+#include <pthread.h>
+
+int g0 = 9;
+pthread_mutex_t m0;
+int out0[2];
+int out1[2];
+int ro0[8];
+
+void *work0(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 1;
+    int x1 = 1;
+    int x2 = 4;
+    for (i = 0; i < 6; i++)
+    {
+        x1 = x1 + (tid - tid - x1 / 5);
+    }
+    if (8 % 5 % 2 == 0)
+        x2 = ro0[tid & 7] % 3 + (7 + 5);
+    else
+        x0 = (2 + 7) / 2;
+    out0[tid] = 8 / 5 + (tid + tid);
+    out1[tid] = 4 / 4 / 3;
+    pthread_mutex_lock(&m0);
+    g0 += ro0[ro0[ro0[tid & 7] & 7] & 7] + 1 * 2;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+void *work1(void *arg)
+{
+    int tid = (int)arg;
+    int i;
+    int j;
+    int x0 = 2;
+    int x1 = 1;
+    int x2 = 5;
+    if (tid % 2 == 0)
+        x0 = tid % 5 / 5;
+    else
+        x1 = 8 % 6 - ro0[0 & 7] * 0;
+    out0[tid] = 8 + x2 / 3;
+    out1[tid] = 2 - x1 + ro0[tid & 7];
+    pthread_mutex_lock(&m0);
+    g0 += (6 + ro0[x0 & 7]) % 3;
+    pthread_mutex_unlock(&m0);
+    pthread_exit(NULL);
+}
+
+int main(void)
+{
+    int t;
+    pthread_t th0;
+    pthread_t th1;
+    pthread_mutex_init(&m0, NULL);
+    for (t = 0; t < 8; t++)
+    {
+        ro0[t] = (t * 3 + 0) % 6;
+    }
+    pthread_create(&th0, NULL, work0, (void*)0);
+    pthread_create(&th1, NULL, work1, (void*)1);
+    pthread_join(th0, NULL);
+    pthread_join(th1, NULL);
+    printf("OBS g0 0 %d\n", g0);
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out0 %d %d\n", t, out0[t]);
+    }
+    for (t = 0; t < 2; t++)
+    {
+        printf("OBS out1 %d %d\n", t, out1[t]);
+    }
+    printf("checksum %d\n", g0 + out0[0]);
+    return 0;
+}

@@ -1,0 +1,35 @@
+// conform-spec: hand-written: one 2-thread create loop on a 4-core chip
+// conform-cores: 4
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+// conform-note: Companion to two_create_loops.c: a single create loop that is
+// conform-note: narrower than the chip.  Without the range guard, cores 2 and
+// conform-note: 3 ran phantom thread instances and wrote out[2] and out[3],
+// conform-note: which the pthread baseline leaves at zero.
+
+#include <stdio.h>
+#include <pthread.h>
+
+int out[4];
+
+void *work(void *arg) {
+    int tid = (int) arg;
+    out[tid] = tid + 10;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[2];
+    for (t = 0; t < 2; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 2; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    for (t = 0; t < 4; t++) {
+        printf("OBS out %d %d\n", t, out[t]);
+    }
+    return 0;
+}

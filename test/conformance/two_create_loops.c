@@ -1,0 +1,57 @@
+// conform-spec: hand-written: two 8-thread create loops on a 16-core chip
+// conform-cores: 16
+// conform-many-to-one: false
+// conform-optimize: false
+// conform-expect: agree
+// conform-note: Regression for the unguarded-create-loop bug found by the
+// conform-note: fuzzer probes.  threads-to-processes used to dismantle every
+// conform-note: create loop into a bare direct call, so all 16 cores ran both
+// conform-note: workers with tid = myID: workb's phantom instances (tid 8..15)
+// conform-note: wrote outb[8..15], past the 32-byte line of outb and straight
+// conform-note: into outa's allocation, after worka's legitimate writes.  The
+// conform-note: pass now guards each create site with its thread-ID range
+// conform-note: (if (myID < 8) / if (myID >= 8 && myID < 16)) and indexes the
+// conform-note: second loop by myID - 8.
+
+#include <stdio.h>
+#include <pthread.h>
+
+int outb[8];
+int outa[8];
+
+void *worka(void *arg) {
+    int tid = (int) arg;
+    outa[tid] = tid + 10;
+    pthread_exit(NULL);
+}
+
+void *workb(void *arg) {
+    int tid = (int) arg;
+    outb[tid] = tid + 20;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t a[8];
+    pthread_t b[8];
+    for (t = 0; t < 8; t++) {
+        pthread_create(&a[t], NULL, worka, (void *) t);
+    }
+    for (t = 0; t < 8; t++) {
+        pthread_create(&b[t], NULL, workb, (void *) t);
+    }
+    for (t = 0; t < 8; t++) {
+        pthread_join(a[t], NULL);
+    }
+    for (t = 0; t < 8; t++) {
+        pthread_join(b[t], NULL);
+    }
+    for (t = 0; t < 8; t++) {
+        printf("OBS outa %d %d\n", t, outa[t]);
+    }
+    for (t = 0; t < 8; t++) {
+        printf("OBS outb %d %d\n", t, outb[t]);
+    }
+    return 0;
+}

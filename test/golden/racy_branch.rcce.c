@@ -1,0 +1,27 @@
+#include <stdio.h>
+#include "RCCE.h"
+
+int *data;
+int *enable;
+
+void *work(void *tid)
+{
+    if (*enable)
+    {
+        *data = *data + 1;
+    }
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    data = (int*)RCCE_shmalloc(sizeof(int) * 1);
+    enable = (int*)RCCE_shmalloc(sizeof(int) * 1);
+    int myID;
+    myID = RCCE_ue();
+    work((void*)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("data = %d\n", *data);
+    RCCE_finalize();
+    return 0;
+}

@@ -1,0 +1,215 @@
+open Cfront
+
+(* The differential conformance harness: generator determinism, the
+   dual-execution oracle on the checked-in regression corpus, the
+   killing-mutation check (a hand-broken pipeline must be caught and the
+   counterexample shrunk), and golden translations of the examples. *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let data_dir name =
+  if Sys.file_exists ("../" ^ name) then "../" ^ name else name
+
+(* ---------------------------------------------------------------- *)
+
+let test_generator_determinism () =
+  (* a fixed seed is a pure function: two independent generations give
+     byte-identical corpora *)
+  let corpus base =
+    List.init 20 (fun i ->
+        let _, p = Conform.Gen.generate ~seed:(base + i) in
+        Conform.Gen.source_of_program p)
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "same seed, same corpus" (corpus 42) (corpus 42);
+  Alcotest.(check bool) "different seeds differ" false
+    (String.equal (corpus 42) (corpus 43))
+
+let test_generated_programs_reparse () =
+  (* the pretty-printed program parses back to the same source — the
+     corpus file bodies are self-contained *)
+  for seed = 100 to 109 do
+    let _, p = Conform.Gen.generate ~seed in
+    let src = Conform.Gen.source_of_program p in
+    let reparsed = Parser.program ~file:"gen.c" src in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d reparses to itself" seed)
+      src
+      (Conform.Gen.source_of_program reparsed)
+  done
+
+let test_quick_fuzz_agrees () =
+  (* a small fresh fuzz budget: translated executions must match the
+     pthread baseline on every generated program *)
+  let summary =
+    Conform.Harness.run ~shrink_budget:0 ~seed:4242 ~count:12 ()
+  in
+  Alcotest.(check int) "all programs agree" 0
+    (List.length summary.Conform.Harness.s_failures)
+
+let test_corpus_replays () =
+  let dir = data_dir "test/conformance" in
+  let dir = if Sys.file_exists dir then dir else "conformance" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus has at least 10 programs" true
+    (List.length files >= 10);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Conform.Harness.replay ~file:path (read_file path) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" f e)
+    files
+
+let test_killing_mutation () =
+  (* dropping the mutex->test-and-set pass must produce a detected,
+     shrinkable divergence: lock/unlock calls silently disappear and the
+     accumulator updates race *)
+  let sabotage =
+    match Conform.Harness.sabotage_of_string "drop-pass:mutex-convert" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let summary =
+    Conform.Harness.run ~shrink_budget:20 ~sabotage ~seed:7 ~count:6 ()
+  in
+  match summary.Conform.Harness.s_failures with
+  | [] -> Alcotest.fail "sabotaged pipeline was not caught"
+  | o :: _ ->
+      Alcotest.(check string) "divergence kind" "output-mismatch"
+        (Conform.Oracle.kind_of_failure o.Conform.Harness.o_failure);
+      Alcotest.(check bool) "counterexample was shrunk" true
+        (Conform.Shrink.size o.o_shrunk < Conform.Shrink.size o.o_program);
+      (* the minimized program still diverges under the sabotage, and
+         still agrees under the honest pipeline *)
+      let cfg = Conform.Oracle.config_of_spec o.o_spec in
+      let broken = Conform.Harness.apply_sabotage sabotage cfg in
+      (match Conform.Oracle.check broken o.o_shrunk with
+      | Conform.Oracle.Diverge _ -> ()
+      | Conform.Oracle.Agree ->
+          Alcotest.fail "shrunk program no longer diverges");
+      (match Conform.Oracle.check cfg o.o_shrunk with
+      | Conform.Oracle.Agree -> ()
+      | Conform.Oracle.Diverge f ->
+          Alcotest.failf "shrunk program diverges without sabotage: %s"
+            (Conform.Oracle.failure_to_string f))
+
+let test_sabotage_shared_rewrite_caught () =
+  (* dropping shared-rewrite leaves every global private per core, so
+     the observations disagree *)
+  let sabotage =
+    match Conform.Harness.sabotage_of_string "drop-pass:shared-rewrite" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let summary =
+    Conform.Harness.run ~shrink_budget:0 ~sabotage ~seed:1 ~count:6 ()
+  in
+  Alcotest.(check bool) "at least one divergence" true
+    (summary.Conform.Harness.s_failures <> [])
+
+let test_unknown_sabotage_rejected () =
+  match Conform.Harness.sabotage_of_string "drop-pass:no-such-pass" with
+  | Ok _ -> Alcotest.fail "accepted an unknown pass"
+  | Error _ -> ()
+
+let test_golden_translations () =
+  (* translator output for the three hand-written examples is pinned:
+     any change to the pipeline shows up as a reviewable golden diff *)
+  let examples = data_dir "examples/c" in
+  let golden = data_dir "test/golden" in
+  let golden = if Sys.file_exists golden then golden else "golden" in
+  List.iter
+    (fun name ->
+      let src = read_file (Filename.concat examples (name ^ ".c")) in
+      let options =
+        { Translate.Pass.default_options with Translate.Pass.ncores = 4 }
+      in
+      let translated, _ =
+        Translate.Driver.translate_to_string ~options ~file:(name ^ ".c") src
+      in
+      let expected = read_file (Filename.concat golden (name ^ ".rcce.c")) in
+      Alcotest.(check string)
+        (name ^ " matches its golden translation")
+        expected translated)
+    [ "locked_counter"; "unlocked_counter"; "racy_branch" ]
+
+let test_oracle_flags_broken_output () =
+  (* the comparator itself: a converted program whose observation count
+     or value is off must be rejected, not silently accepted *)
+  let src =
+    {|#include <stdio.h>
+#include <pthread.h>
+
+int out[2];
+
+void *work(void *arg) {
+    int tid = (int) arg;
+    out[tid] = tid + 10;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[2];
+    for (t = 0; t < 2; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 2; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS out 0 %d\n", out[0]);
+    printf("OBS out 1 %d\n", out[1]);
+    return 0;
+}
+|}
+  in
+  let program = Parser.program ~file:"oracle.c" src in
+  let cfg = Conform.Oracle.default_config ~ncores:2 in
+  (match Conform.Oracle.check cfg program with
+  | Conform.Oracle.Agree -> ()
+  | Conform.Oracle.Diverge f ->
+      Alcotest.failf "trivial program diverges: %s"
+        (Conform.Oracle.failure_to_string f));
+  (* dropping shared-rewrite leaves [out] private per core: each core
+     only sees its own slot write, so the other slot prints 0 and the
+     oracle must flag the value mismatch deterministically *)
+  let sabotage =
+    match Conform.Harness.sabotage_of_string "drop-pass:shared-rewrite" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let broken = Conform.Harness.apply_sabotage sabotage cfg in
+  match Conform.Oracle.check broken program with
+  | Conform.Oracle.Diverge _ -> ()
+  | Conform.Oracle.Agree ->
+      Alcotest.fail "dropping shared-rewrite went unnoticed"
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick
+      test_generator_determinism;
+    Alcotest.test_case "generated programs reparse" `Quick
+      test_generated_programs_reparse;
+    Alcotest.test_case "quick fuzz agrees" `Slow test_quick_fuzz_agrees;
+    Alcotest.test_case "regression corpus replays" `Slow test_corpus_replays;
+    Alcotest.test_case "killing mutation: mutex-convert" `Slow
+      test_killing_mutation;
+    Alcotest.test_case "killing mutation: shared-rewrite" `Slow
+      test_sabotage_shared_rewrite_caught;
+    Alcotest.test_case "unknown sabotage rejected" `Quick
+      test_unknown_sabotage_rejected;
+    Alcotest.test_case "golden example translations" `Quick
+      test_golden_translations;
+    Alcotest.test_case "oracle flags broken pipelines" `Quick
+      test_oracle_flags_broken_output;
+  ]

@@ -29,4 +29,5 @@ let () =
       ("csrc-suite", Test_csrc_suite.suite);
       ("sweep", Test_sweep.suite);
       ("fuzz", Test_fuzz.suite);
+      ("conform", Test_conform.suite);
     ]
