@@ -64,8 +64,78 @@ let report_failure ~save_dir (o : Conform.Harness.outcome) =
   print_string (Conform.Gen.source_of_program o.o_shrunk);
   print_string "  --------------------------------\n"
 
+(* Soundness stressor for the bounds verifier: on every generated
+   program, analyze the translated RCCE code and cross-check the
+   verifier's verdict against the dual-execution oracle.  An analyzer
+   that claims every access is proved in bounds while the converted
+   execution crashes or diverges is unsound — that is the one outcome
+   this mode fails on.  With --sabotage shrink-shmalloc every
+   multi-element region is under-allocated by one, so a sound verifier
+   must refuse to prove those programs. *)
+let verify_run ~seed ~count ~sabotage ~verbose =
+  let unsound = ref 0
+  and flagged = ref 0
+  and proved = ref 0
+  and skipped = ref 0 in
+  for i = 0 to count - 1 do
+    let gseed = seed + i in
+    let spec, program = Conform.Gen.generate ~seed:gseed in
+    let cfg = Conform.Oracle.config_of_spec spec in
+    let cfg =
+      match sabotage with
+      | None -> cfg
+      | Some s -> Conform.Harness.apply_sabotage s cfg
+    in
+    match Conform.Oracle.translate cfg program with
+    | exception _ ->
+        incr skipped;
+        if verbose then
+          Printf.printf "[%d] seed %d: translation failed, skipped\n%!" i
+            gseed
+    | translated ->
+        let summary =
+          Absint.analyze
+            ~ncores:cfg.Conform.Oracle.options.Translate.Pass.ncores
+            translated
+        in
+        let safe = Absint.Oblig.all_proved summary in
+        let oracle_crashes =
+          match Conform.Oracle.check cfg program with
+          | Conform.Oracle.Agree -> false
+          | Conform.Oracle.Diverge
+              (Conform.Oracle.Converted_error _
+              | Conform.Oracle.Output_mismatch _
+              | Conform.Oracle.Exit_mismatch _) -> true
+          | Conform.Oracle.Diverge _ -> false
+        in
+        if safe && oracle_crashes then begin
+          incr unsound;
+          Printf.printf
+            "UNSOUND seed %d (%s): verifier proved every access in \
+             bounds, but the converted execution diverges\n"
+            gseed (Conform.Gen.describe spec);
+          print_string (Conform.Gen.source_of_program translated)
+        end
+        else begin
+          if safe then incr proved else incr flagged;
+          if verbose then
+            Printf.printf "[%d] seed %d: %s\n%!" i gseed
+              (if safe then "all proved"
+               else
+                 Printf.sprintf "%d obligation(s) not discharged"
+                   (List.length (Absint.Oblig.unproved summary)))
+        end
+  done;
+  Printf.printf
+    "%d program(s): %d fully proved, %d flagged, %d skipped, %d UNSOUND%s\n"
+    count !proved !flagged !skipped !unsound
+    (match sabotage with
+    | Some s -> " [sabotage: " ^ Conform.Harness.sabotage_to_string s ^ "]"
+    | None -> "");
+  if !unsound > 0 then 1 else 0
+
 let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
-    verbose =
+    verify verbose =
   let sabotage =
     match sabotage with
     | None -> None
@@ -76,6 +146,17 @@ let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
             prerr_endline ("conform: " ^ e);
             exit 2)
   in
+  if verify then begin
+    (match sabotage with
+    | Some (Conform.Harness.Drop_pass _) ->
+        prerr_endline
+          "conform: --verify only composes with --sabotage \
+           shrink-shmalloc (drop-pass divergences are about thread \
+           multiplicity, not bounds)";
+        exit 2
+    | _ -> ());
+    exit (verify_run ~seed ~count ~sabotage ~verbose)
+  end;
   let shrink_budget =
     if no_shrink then 0 else if quick then 60 else 250
   in
@@ -183,12 +264,22 @@ let expect_diverge_arg =
            ~doc:"Invert the exit status: succeed only if at least one \
                  divergence was found (killing-mutation check).")
 
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Soundness stressor for the bounds verifier: analyze \
+                 each translated program and fail if the verifier \
+                 proves every access in bounds on a program whose \
+                 converted execution the oracle can crash.  Composes \
+                 with --sabotage shrink-shmalloc.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One line per program.")
 
 let run_term =
   Term.(const run_cmd $ seed_arg $ count_arg $ quick_arg $ no_shrink_arg
-        $ save_arg $ sabotage_arg $ expect_diverge_arg $ verbose_arg)
+        $ save_arg $ sabotage_arg $ expect_diverge_arg $ verify_arg
+        $ verbose_arg)
 
 let replay_cmd_v =
   let files =

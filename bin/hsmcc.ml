@@ -26,7 +26,7 @@ let parse_source path =
   | exception Sys_error msg -> Error msg
 
 let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
-    ~optimize =
+    ~optimize ~sharpen =
   {
     Translate.Pass.default_options with
     Translate.Pass.ncores;
@@ -37,6 +37,7 @@ let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
     sound_locals;
     many_to_one;
     optimize;
+    sharpen;
   }
 
 let timings_format_of_flag fmt =
@@ -67,15 +68,26 @@ let diag_format_of_flag fmt =
                          (expected gcc or json)" fmt);
       exit 2
 
+(* The one diagnostic sink for `check` and `verify`: promote warnings
+   under --warn-error, render in the requested format, print the gcc
+   summary line, and return the process exit status — so the two
+   commands cannot drift apart in exit-code or rendering behaviour. *)
+let emit_diags ~out ~warn_error ~diag_format diags =
+  let diags = if warn_error then Diag.promote_warnings diags else diags in
+  let format = diag_format_of_flag diag_format in
+  let status = Diag.emit ~format out diags in
+  if format = Diag.Gcc then prerr_endline (Diag.summary diags);
+  status
+
 (* --- translate ------------------------------------------------------------ *)
 
 let translate_cmd path ncores capacity density sound_locals many_to_one
-    optimize race_check warn_error diag_format timings timings_format
-    trace_out verbose =
+    optimize sharpen race_check warn_error diag_format timings
+    timings_format trace_out verbose =
   let program = or_die (parse_source path) in
   let options =
     options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
-      ~optimize
+      ~optimize ~sharpen
   in
   (* one session carries the whole command: the race check below reuses
      the very facts the translator demanded — nothing runs twice *)
@@ -118,14 +130,73 @@ let check_cmd path warn_error diag_format =
   let program = or_die (parse_source path) in
   let session = Session.create ~file:path program in
   match Session.race_diags session with
-  | diags ->
-      let diags =
-        if warn_error then Diag.promote_warnings diags else diags
+  | diags -> exit (emit_diags ~out:stdout ~warn_error ~diag_format diags)
+  | exception Cfront.Srcloc.Error (loc, msg) ->
+      prerr_endline
+        (Printf.sprintf "hsmcc: %s: %s" (Cfront.Srcloc.to_string loc) msg);
+      exit 1
+
+(* --- verify --------------------------------------------------------------- *)
+
+(* Thread-modular abstract interpretation: prove every indexed access in
+   bounds.  A Pthread input is verified twice — as written and after
+   translation to RCCE, where every shmalloc access raises a proof
+   obligation; an already-translated program (RCCE_APP entry) once. *)
+let verify_cmd path ncores many_to_one optimize sharpen domain json
+    warn_error diag_format timings timings_format =
+  (match Absint.domain_of_string domain with
+  | Ok Absint.Interval -> ()
+  | Error msg ->
+      prerr_endline ("hsmcc: " ^ msg);
+      exit 2);
+  let program = or_die (parse_source path) in
+  let options =
+    { Translate.Pass.default_options with Translate.Pass.ncores;
+      many_to_one; optimize; sharpen }
+  in
+  let session = Session.create ~file:path ~options program in
+  match
+    let source = Session.absint_summary session in
+    let source_diags = Session.bounds_verdict session in
+    let sharpened =
+      if sharpen then Session.sharpened session else []
+    in
+    let translated =
+      if Absint.detect_mode program = Absint.Oblig.Rcce then None
+      else
+        match Translate.Driver.translate_session session with
+        | (_ : Cfront.Ast.program * Translate.Driver.report) ->
+            (* the translator published a new generation; the fact
+               recomputes against the RCCE program *)
+            Some (Session.absint_summary session,
+                  Session.bounds_verdict session)
+        | exception Translate.Driver.Error e ->
+            Printf.eprintf
+              "hsmcc: note: translation failed (%s); verifying the \
+               source program only\n"
+              (Translate.Driver.error_to_string e);
+            None
+    in
+    (source, source_diags, sharpened, translated)
+  with
+  | source, source_diags, sharpened, translated ->
+      let runs =
+        source :: (match translated with Some (s, _) -> [ s ] | None -> [])
       in
-      let format = diag_format_of_flag diag_format in
-      let status = Diag.emit ~format stdout diags in
-      if format = Diag.Gcc then prerr_endline (Diag.summary diags);
-      exit status
+      if json then print_string (Absint.render_json ~file:path runs)
+      else begin
+        List.iter (fun s -> print_string (Absint.render_human s)) runs;
+        if sharpened <> [] then
+          Printf.printf "  sharpened to private: %s\n"
+            (String.concat ", " sharpened)
+      end;
+      if timings || timings_format <> None then
+        emit_timings session (Option.value timings_format ~default:"table");
+      let diags =
+        source_diags
+        @ (match translated with Some (_, d) -> d | None -> [])
+      in
+      exit (emit_diags ~out:stderr ~warn_error ~diag_format diags)
   | exception Cfront.Srcloc.Error (loc, msg) ->
       prerr_endline
         (Printf.sprintf "hsmcc: %s: %s" (Cfront.Srcloc.to_string loc) msg);
@@ -292,6 +363,14 @@ let optimize_arg =
            ~doc:"Constant folding and dead-branch elimination (the \
                  paper's section 7.3).")
 
+let sharpen_arg =
+  Arg.(value & flag
+       & info [ "sharpen" ]
+           ~doc:"Feed thread-locality facts proved by the abstract \
+                 interpretation back into the sharing lattice: globals \
+                 touched by exactly one thread become Private and stay \
+                 out of shared memory.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pass notes.")
 
@@ -336,8 +415,8 @@ let trace_out_arg =
 let translate_term =
   Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
         $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
-        $ race_check_arg $ warn_error_arg $ diag_format_arg $ timings_arg
-        $ timings_format_arg $ trace_out_arg $ verbose_arg)
+        $ sharpen_arg $ race_check_arg $ warn_error_arg $ diag_format_arg
+        $ timings_arg $ timings_format_arg $ trace_out_arg $ verbose_arg)
 
 let translate_cmd_info =
   Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")
@@ -353,6 +432,30 @@ let check_cmd_info =
        ~doc:"Statically detect data races (lockset analysis over the \
              Stage 1-3 facts)")
     Term.(const check_cmd $ file_arg $ warn_error_arg $ diag_format_arg)
+
+let domain_arg =
+  Arg.(value & opt string "interval"
+       & info [ "domain" ] ~docv:"DOMAIN"
+           ~doc:"Abstract numeric domain for the verifier (only \
+                 $(b,interval) is implemented; the engine is \
+                 domain-generic, octagons can slot in).")
+
+let verify_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Print the verification report as one JSON document \
+                 (stable field order; diagnostics go to stderr).")
+
+let verify_cmd_info =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Prove array and shmalloc accesses in bounds by \
+             thread-modular abstract interpretation (source program \
+             and its RCCE translation)")
+    Term.(const verify_cmd $ file_arg $ cores_arg $ many_to_one_arg
+          $ optimize_arg $ sharpen_arg $ domain_arg $ verify_json_arg
+          $ warn_error_arg $ diag_format_arg $ timings_arg
+          $ timings_format_arg)
 
 let run_cores_arg =
   Arg.(value & opt int 1
@@ -409,7 +512,7 @@ let main =
     (Cmd.info "hsmcc" ~version:"1.0.0"
        ~doc:"Pthread-to-RCCE translation framework for hybrid shared \
              memory manycores")
-    [ translate_cmd_info; analyze_cmd_info; check_cmd_info; run_cmd_info;
-      preprocess_cmd_info; cfg_cmd_info ]
+    [ translate_cmd_info; analyze_cmd_info; check_cmd_info;
+      verify_cmd_info; run_cmd_info; preprocess_cmd_info; cfg_cmd_info ]
 
 let () = exit (Cmd.eval main)

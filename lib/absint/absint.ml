@@ -1,0 +1,45 @@
+open Cfront
+
+(* Library facade: mode detection, domain selection, and the concrete
+   interval instantiation of the thread-modular engine. *)
+
+module Domain_sig = Domain_sig
+module Itv = Itv
+module Aval = Aval
+module Oblig = Oblig
+module Engine = Engine
+module Report = Report
+module Sharpen = Sharpen
+
+module Interval_engine = Engine.Make (Itv)
+
+type domain = Interval
+
+let domain_of_string = function
+  | "interval" -> Ok Interval
+  | "octagon" ->
+      Error "domain `octagon' is not implemented yet (only `interval')"
+  | s -> Error (Printf.sprintf "unknown abstract domain `%s'" s)
+
+let domain_name = function Interval -> Itv.name
+
+(* A program is analyzed under RCCE semantics when it defines the
+   [RCCE_APP] entry point (the shape [lib/translate] emits); everything
+   else is treated as a Pthread program. *)
+let detect_mode (program : Ast.program) =
+  if Ast.find_function program "RCCE_APP" <> None then Oblig.Rcce
+  else Oblig.Pthread
+
+let analyze ?mode ?(domain = Interval) ?(interference = true) ~ncores
+    (program : Ast.program) =
+  let mode = match mode with Some m -> m | None -> detect_mode program in
+  match domain with
+  | Interval ->
+      Interval_engine.run
+        { Engine.mode; ncores; interference }
+        program
+
+(* Re-exported report helpers, so consumers need only [Absint]. *)
+let diags_of = Report.diags_of
+let render_human = Report.render_human
+let render_json = Report.render_json

@@ -1,0 +1,12 @@
+(** Interval abstract domain: the classic instance of {!Domain_sig.S}.
+
+    Bounds are OCaml integers extended with infinities; arithmetic on
+    finite bounds saturates to the matching infinity on overflow, which is
+    a sound over-approximation. *)
+
+type bound = Ninf | Fin of int | Pinf
+
+type t = Bot | Itv of bound * bound
+(** Non-[Bot] values are normalized: lower bound not above the upper. *)
+
+include Domain_sig.S with type t := t

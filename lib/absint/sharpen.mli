@@ -1,0 +1,26 @@
+(** Feed proven thread-locality facts back into the sharing lattice.
+
+    A global the scope analysis marked [Shared] is demoted to [Private]
+    when the abstract interpretation proves exactly one thread ever
+    touches it: every access lies in a single spawned-only thread
+    function, that function has one dynamic instance (or the accesses
+    are guarded to a singleton thread id), and the global's address is
+    never taken. *)
+
+val instances_of : Analysis.Thread_analysis.t -> string -> int option
+(** Statically-known dynamic instance count of a thread function, or
+    [None] when some create site's multiplicity is unknown. *)
+
+val refineable :
+  threads:Analysis.Thread_analysis.t -> Oblig.summary -> string list
+(** Globals whose extent facts justify a [Shared] -> [Private]
+    demotion, in summary order. *)
+
+val apply :
+  scope:Analysis.Scope_analysis.t ->
+  threads:Analysis.Thread_analysis.t ->
+  Oblig.summary ->
+  string list
+(** Apply the demotions to the scope table through
+    {!Analysis.Sharing.refine} (the flip-once law is respected via
+    [can_refine]); returns the names actually refined. *)

@@ -3,7 +3,9 @@ open Cfront
 (* ---------------------------------------------------------------- *)
 (* Sabotage                                                         *)
 
-type sabotage = Drop_pass of string
+type sabotage =
+  | Drop_pass of string
+  | Shrink_shmalloc
 
 let sabotage_of_string s =
   match String.index_opt s ':' with
@@ -20,15 +22,49 @@ let sabotage_of_string s =
         Error
           (Printf.sprintf "unknown pass %S (known: %s)" name
              (String.concat ", " known))
-  | _ -> Error (Printf.sprintf "unrecognized sabotage %S (try drop-pass:<name>)" s)
+  | _ ->
+      if s = "shrink-shmalloc" then Ok Shrink_shmalloc
+      else
+        Error
+          (Printf.sprintf
+             "unrecognized sabotage %S (try drop-pass:<name> or \
+              shrink-shmalloc)" s)
 
-let sabotage_to_string (Drop_pass name) = "drop-pass:" ^ name
+let sabotage_to_string = function
+  | Drop_pass name -> "drop-pass:" ^ name
+  | Shrink_shmalloc -> "shrink-shmalloc"
 
-let apply_sabotage (Drop_pass name) (cfg : Oracle.config) =
+(* Under-allocate every multi-element shmalloc region by one element —
+   [RCCE_shmalloc(sizeof(T) * n)] becomes [... * (n - 1)] — as a final
+   pipeline pass.  Every generated index into such a region can then
+   reach past the end, so a bounds verifier that still proves the
+   program safe is unsound (the soundness stressor's killing mutation). *)
+let shrink_shmalloc_pass =
+  { Translate.Pass.name = "shrink-shmalloc";
+    transform =
+      (fun _ctx program ->
+        Visit.map_program_exprs
+          (fun e ->
+            match e with
+            | Ast.Call
+                ("RCCE_shmalloc",
+                 [ Ast.Binary (Ast.Mul, (Ast.Sizeof_type _ as sz),
+                               Ast.Int_lit n) ])
+              when n >= 2 ->
+                Ast.Call
+                  ("RCCE_shmalloc",
+                   [ Ast.Binary (Ast.Mul, sz, Ast.Int_lit (n - 1)) ])
+            | e -> e)
+          program);
+    forbids_after = [] }
+
+let apply_sabotage sabotage (cfg : Oracle.config) =
+  let passes = Translate.Driver.passes_for cfg.Oracle.options in
   let passes =
-    List.filter
-      (fun p -> p.Translate.Pass.name <> name)
-      (Translate.Driver.passes_for cfg.Oracle.options)
+    match sabotage with
+    | Drop_pass name ->
+        List.filter (fun p -> p.Translate.Pass.name <> name) passes
+    | Shrink_shmalloc -> passes @ [ shrink_shmalloc_pass ]
   in
   { cfg with Oracle.passes = Some passes }
 

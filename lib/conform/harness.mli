@@ -12,10 +12,15 @@
 
 type sabotage =
   | Drop_pass of string  (** run the pipeline without the named pass *)
+  | Shrink_shmalloc
+      (** under-allocate every multi-element shmalloc region by one
+          element after the pipeline — a guaranteed out-of-bounds
+          mutation the bounds verifier must flag *)
 
 val sabotage_of_string : string -> (sabotage, string) result
 (** Recognizes ["drop-pass:<name>"] where [<name>] is a Stage-5 pass
-    (e.g. ["mutex-convert"], ["shared-rewrite"]). *)
+    (e.g. ["mutex-convert"], ["shared-rewrite"]), and
+    ["shrink-shmalloc"]. *)
 
 val sabotage_to_string : sabotage -> string
 

@@ -20,16 +20,20 @@ type node = {
   mutable preds : int list;
 }
 
+type polarity = True_branch | False_branch | Either
+
 type t = {
   func : Ast.func;
   nodes : node array;
   entry : int;
   exit : int;
+  marks : (int * int, bool) Hashtbl.t;
 }
 
 type builder = {
   mutable acc : node list;   (* reverse order *)
   mutable count : int;
+  bmarks : (int * int, bool) Hashtbl.t;
 }
 
 let new_node b kind =
@@ -43,6 +47,20 @@ let add_edge src dst =
     src.succs <- dst.id :: src.succs;
     dst.preds <- src.id :: dst.preds
   end
+
+(* Edges added out of [cnode] since [before] carry branch polarity [pol].
+   A destination reachable under both polarities (e.g. an empty branch
+   falling through to the same node) loses its mark and stays [Either]. *)
+let mark_new_edges b cnode ~before pol =
+  List.iter
+    (fun dst ->
+      if not (List.mem dst before) then
+        let key = (cnode.id, dst) in
+        match Hashtbl.find_opt b.bmarks key with
+        | Some p when p <> pol -> Hashtbl.remove b.bmarks key
+        | Some _ -> ()
+        | None -> Hashtbl.replace b.bmarks key pol)
+    cnode.succs
 
 (* Lower a statement list.  [preds] are the nodes whose control falls into
    this construct; the result is the set of nodes falling out of it.
@@ -73,20 +91,26 @@ and lower_stmt b ~brk ~cont ~ret preds (s : Ast.stmt) =
   | Ast.Sif (c, then_branch, else_branch) -> begin
       let cnode = new_node b (Condition c) in
       connect_to cnode;
+      let before = cnode.succs in
       let then_out = lower_stmt b ~brk ~cont ~ret [ cnode ] then_branch in
+      mark_new_edges b cnode ~before true;
       match else_branch with
       | None -> cnode :: then_out
       | Some else_branch ->
+          let before = cnode.succs in
           let else_out = lower_stmt b ~brk ~cont ~ret [ cnode ] else_branch in
+          mark_new_edges b cnode ~before false;
           then_out @ else_out
     end
   | Ast.Swhile (c, body) ->
       let cnode = new_node b (Condition c) in
       connect_to cnode;
       let inner_brk = ref [] and inner_cont = ref [] in
+      let before = cnode.succs in
       let body_out =
         lower_stmt b ~brk:inner_brk ~cont:inner_cont ~ret [ cnode ] body
       in
+      mark_new_edges b cnode ~before true;
       List.iter (fun n -> add_edge n cnode) (body_out @ !inner_cont);
       cnode :: !inner_brk
   | Ast.Sdo (body, c) ->
@@ -100,6 +124,7 @@ and lower_stmt b ~brk ~cont ~ret preds (s : Ast.stmt) =
       let cnode = new_node b (Condition c) in
       List.iter (fun n -> add_edge n cnode) (body_out @ !inner_cont);
       add_edge cnode head;
+      Hashtbl.replace b.bmarks (cnode.id, head.id) true;
       cnode :: !inner_brk
   | Ast.Sfor (init, cond, step, body) ->
       let preds =
@@ -127,9 +152,11 @@ and lower_stmt b ~brk ~cont ~ret preds (s : Ast.stmt) =
       in
       List.iter (fun p -> add_edge p head) preds;
       let inner_brk = ref [] and inner_cont = ref [] in
+      let before = head.succs in
       let body_out =
         lower_stmt b ~brk:inner_brk ~cont:inner_cont ~ret [ head ] body
       in
+      if cond <> None then mark_new_edges b head ~before true;
       let back_sources =
         match step with
         | None -> body_out @ !inner_cont
@@ -146,7 +173,7 @@ and lower_stmt b ~brk ~cont ~ret preds (s : Ast.stmt) =
       exits @ !inner_brk
 
 let build (func : Ast.func) =
-  let b = { acc = []; count = 0 } in
+  let b = { acc = []; count = 0; bmarks = Hashtbl.create 16 } in
   let entry = new_node b Entry in
   let ret = ref [] in
   let brk = ref [] and cont = ref [] in
@@ -157,10 +184,40 @@ let build (func : Ast.func) =
   List.iter (fun n -> add_edge n exit) (!brk @ !cont);
   let nodes = Array.make b.count entry in
   List.iter (fun n -> nodes.(n.id) <- n) b.acc;
-  { func; nodes; entry = entry.id; exit = exit.id }
+  (* A two-way condition with exactly one marked edge gives the other edge
+     the opposite polarity (if-without-else fallthrough, loop exit). *)
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Condition _ -> begin
+          match n.succs with
+          | [ s1; s2 ] -> begin
+              match
+                ( Hashtbl.find_opt b.bmarks (n.id, s1),
+                  Hashtbl.find_opt b.bmarks (n.id, s2) )
+              with
+              | Some p, None -> Hashtbl.replace b.bmarks (n.id, s2) (not p)
+              | None, Some p -> Hashtbl.replace b.bmarks (n.id, s1) (not p)
+              | _ -> ()
+            end
+          | _ -> ()
+        end
+      | _ -> ())
+    nodes;
+  { func; nodes; entry = entry.id; exit = exit.id; marks = b.bmarks }
 
 let node t id = t.nodes.(id)
 let length t = Array.length t.nodes
+
+let edge_polarity t ~src ~dst =
+  match (node t src).kind with
+  | Condition _ -> begin
+      match Hashtbl.find_opt t.marks (src, dst) with
+      | Some true -> True_branch
+      | Some false -> False_branch
+      | None -> Either
+    end
+  | _ -> Either
 
 let exprs_of_node n =
   match n.kind with

@@ -20,17 +20,26 @@ type node = {
   mutable preds : int list;
 }
 
+type polarity = True_branch | False_branch | Either
+
 type t = {
   func : Ast.func;
   nodes : node array;
   entry : int;
   exit : int;
+  marks : (int * int, bool) Hashtbl.t;  (** branch polarity per (src, dst) *)
 }
 
 val build : Ast.func -> t
 
 val node : t -> int -> node
 val length : t -> int
+
+val edge_polarity : t -> src:int -> dst:int -> polarity
+(** Which outcome of the [src] condition the edge to [dst] represents.
+    [Either] when the edge is not out of a condition or when the builder
+    could not attribute a single polarity (e.g. a branch that is a bare
+    [break]); consumers must then assume both outcomes flow along it. *)
 
 val exprs_of_node : node -> Ast.expr list
 (** Expressions evaluated at this node. *)

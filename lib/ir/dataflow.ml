@@ -22,6 +22,27 @@ module type S = sig
     Cfg.t -> init:fact -> transfer:(Cfg.node -> fact -> fact) -> result
 end
 
+module type WIDEN_DOMAIN = sig
+  include DOMAIN
+
+  val widen : t -> t -> t
+  (** [widen old next] over-approximates [join old next] and guarantees
+      that repeated widening of a growing chain stabilizes. *)
+end
+
+module type BRANCHING = sig
+  type fact
+
+  type result = { in_facts : fact array; out_facts : fact array }
+
+  val solve :
+    ?branch:(Cfg.node -> Cfront.Ast.expr -> bool -> fact -> fact) ->
+    Cfg.t ->
+    init:fact ->
+    transfer:(Cfg.node -> fact -> fact) ->
+    result
+end
+
 module Forward (D : DOMAIN) : S with type fact = D.t = struct
   type fact = D.t
 
@@ -53,6 +74,88 @@ module Forward (D : DOMAIN) : S with type fact = D.t = struct
             (not (D.equal input in_facts.(id)))
             || not (D.equal output out_facts.(id))
           then begin
+            in_facts.(id) <- input;
+            out_facts.(id) <- output;
+            changed := true
+          end)
+        order
+    done;
+    { in_facts; out_facts }
+end
+
+(* Widening variant for infinite-height domains (intervals).  Differs from
+   [Forward] in two ways: condition nodes may refine the fact flowing along
+   each out-edge according to its branch polarity, and targets of retreating
+   edges (loop heads in reverse post-order) apply [widen] instead of plain
+   [join] so iteration terminates. *)
+module Forward_widen (D : WIDEN_DOMAIN) : BRANCHING with type fact = D.t =
+struct
+  type fact = D.t
+
+  type result = { in_facts : fact array; out_facts : fact array }
+
+  let solve ?branch (cfg : Cfg.t) ~init ~transfer =
+    let n = Cfg.length cfg in
+    let in_facts = Array.make n D.bottom in
+    let out_facts = Array.make n D.bottom in
+    let order = Array.of_list (Cfg.reverse_postorder cfg) in
+    let rpo_index = Array.make n max_int in
+    Array.iteri (fun i id -> rpo_index.(id) <- i) order;
+    let widen_point = Array.make n false in
+    Array.iter
+      (fun (nd : Cfg.node) ->
+        List.iter
+          (fun s ->
+            if rpo_index.(s) <> max_int && rpo_index.(s) <= rpo_index.(nd.Cfg.id)
+            then widen_point.(s) <- true)
+          nd.Cfg.succs)
+      cfg.Cfg.nodes;
+    (* Fact carried by the edge [p -> id]: the out-fact of [p], refined by
+       the branch outcome when [p] is a condition and a refiner is given. *)
+    let edge_fact p id =
+      let o = out_facts.(p) in
+      match branch with
+      | None -> o
+      | Some refine -> begin
+          match (Cfg.node cfg p).Cfg.kind with
+          | Cfg.Condition e -> begin
+              match Cfg.edge_polarity cfg ~src:p ~dst:id with
+              | Cfg.True_branch -> refine (Cfg.node cfg p) e true o
+              | Cfg.False_branch -> refine (Cfg.node cfg p) e false o
+              | Cfg.Either ->
+                  D.join
+                    (refine (Cfg.node cfg p) e true o)
+                    (refine (Cfg.node cfg p) e false o)
+            end
+          | _ -> o
+        end
+    in
+    let visited = Array.make n false in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun id ->
+          let node = Cfg.node cfg id in
+          let input =
+            if id = cfg.Cfg.entry then init
+            else
+              List.fold_left
+                (fun acc p -> D.join acc (edge_fact p id))
+                D.bottom node.Cfg.preds
+          in
+          let input =
+            if widen_point.(id) then
+              D.widen in_facts.(id) (D.join in_facts.(id) input)
+            else input
+          in
+          let output = transfer node input in
+          if
+            (not visited.(id))
+            || (not (D.equal input in_facts.(id)))
+            || not (D.equal output out_facts.(id))
+          then begin
+            visited.(id) <- true;
             in_facts.(id) <- input;
             out_facts.(id) <- output;
             changed := true

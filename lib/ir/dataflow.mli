@@ -25,3 +25,32 @@ module type S = sig
 end
 
 module Forward (D : DOMAIN) : S with type fact = D.t
+
+module type WIDEN_DOMAIN = sig
+  include DOMAIN
+
+  val widen : t -> t -> t
+  (** [widen old next] over-approximates [join old next] and guarantees
+      that repeated widening of a growing chain stabilizes. *)
+end
+
+module type BRANCHING = sig
+  type fact
+
+  type result = { in_facts : fact array; out_facts : fact array }
+
+  val solve :
+    ?branch:(Cfg.node -> Cfront.Ast.expr -> bool -> fact -> fact) ->
+    Cfg.t ->
+    init:fact ->
+    transfer:(Cfg.node -> fact -> fact) ->
+    result
+  (** Like {!S.solve}, plus: [branch node cond outcome fact] refines the
+      fact flowing along a condition out-edge of known polarity (consulted
+      via {!Cfg.edge_polarity}), and facts entering targets of retreating
+      edges are widened so infinite-height domains terminate. *)
+end
+
+module Forward_widen (D : WIDEN_DOMAIN) : BRANCHING with type fact = D.t
+(** Widening forward solver for abstract-interpretation domains such as
+    intervals: plain [join] at acyclic merges, [widen] at loop heads. *)

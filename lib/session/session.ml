@@ -19,6 +19,7 @@ type options = {
   include_possible : bool;
   many_to_one : bool;
   optimize : bool;
+  sharpen : bool;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     include_possible = false;
     many_to_one = false;
     optimize = false;
+    sharpen = false;
   }
 
 (* --- instrumentation ------------------------------------------------------- *)
@@ -85,6 +87,9 @@ type t = {
   races_c : Analysis.Race.t cell;
   race_diags_c : Diag.t list cell;
   partition_c : Partition.Partitioner.result cell;
+  absint_c : Absint.Oblig.summary cell;
+  bounds_c : Diag.t list cell;
+  sharpen_c : string list cell;
 }
 
 let create ?file ?(options = default_options) program =
@@ -107,6 +112,9 @@ let create ?file ?(options = default_options) program =
     races_c = cell ();
     race_diags_c = cell ();
     partition_c = cell ();
+    absint_c = cell ();
+    bounds_c = cell ();
+    sharpen_c = cell ();
   }
 
 let program t = t.prog
@@ -125,7 +133,10 @@ let invalidate t =
   t.locksets_c.slot <- None;
   t.races_c.slot <- None;
   t.race_diags_c.slot <- None;
-  t.partition_c.slot <- None
+  t.partition_c.slot <- None;
+  t.absint_c.slot <- None;
+  t.bounds_c.slot <- None;
+  t.sharpen_c.slot <- None
 
 let set_program t program =
   t.prog <- program;
@@ -219,11 +230,38 @@ let sharing_snapshots t =
   let _, s3 = points_to_snap t in
   (s1, s2, s3)
 
+(* Thread-modular abstract interpretation over the current generation.
+   Mode (Pthread vs RCCE) is auto-detected from the program shape, so
+   the same fact serves the source program and its translation. *)
+let absint_summary t =
+  demand t t.absint_c "absint" [] (fun () ->
+      Absint.analyze ~ncores:t.opts.ncores t.prog)
+
+let bounds_verdict t =
+  let s = absint_summary t in
+  demand t t.bounds_c "bounds-verdict" [ "absint" ] (fun () ->
+      Absint.diags_of s)
+
+(* Feed proven thread-locality back into the sharing lattice (globals
+   demoted Shared -> Private); returns the demoted names.  Forced by
+   [pipeline] when the session options ask for it, so every downstream
+   consumer (races, partition, the translator) sees the sharpened
+   table. *)
+let sharpened t =
+  let scope = scope t in
+  let threads = threads t in
+  (* sharpen on top of the fully-built Table 4.2 lattice *)
+  let (_ : Analysis.Points_to.t) = points_to t in
+  let s = absint_summary t in
+  demand t t.sharpen_c "sharpen" [ "scope"; "threads"; "points-to"; "absint" ]
+    (fun () -> Absint.Sharpen.apply ~scope ~threads s)
+
 let pipeline t =
   let scope, after_stage1 = scope_snap t in
   let threads, after_stage2 = threads_snap t in
   let points_to, after_stage3 = points_to_snap t in
   let access = access_counts t in
+  let (_ : string list) = if t.opts.sharpen then sharpened t else [] in
   demand t t.pipeline_c "pipeline"
     [ "scope"; "threads"; "points-to"; "access-counts" ] (fun () ->
       { Analysis.Pipeline.scope; threads; points_to; access;

@@ -30,6 +30,10 @@ type options = {
           rejecting programs with more threads than cores *)
   optimize : bool;
       (** constant folding + dead-branch elimination (section 7.3) *)
+  sharpen : bool;
+      (** feed proven thread-locality facts from the abstract
+          interpretation back into the sharing lattice before
+          partitioning *)
 }
 
 val default_options : options
@@ -96,6 +100,21 @@ val races : t -> Analysis.Race.t
 val race_diags : t -> Diag.t list
 val partition : t -> Partition.Partitioner.result
 (** Stage 4, using the session options' strategy and capacity. *)
+
+val absint_summary : t -> Absint.Oblig.summary
+(** Thread-modular abstract interpretation of the current generation:
+    one proof obligation per indexed or dereferenced access, spawn-site
+    thread-id intervals, and per-global thread-extent facts.  The mode
+    (Pthread vs RCCE) is detected from the program shape. *)
+
+val bounds_verdict : t -> Diag.t list
+(** One diagnostic per undischarged obligation of {!absint_summary}
+    (warning when unproved, error when definitely out of bounds). *)
+
+val sharpened : t -> string list
+(** Demote globals the abstract interpretation proved thread-local from
+    [Shared] to [Private]; returns the demoted names.  Forced by
+    {!pipeline} when the session options set [sharpen]. *)
 
 (** {1 Instrumentation} *)
 

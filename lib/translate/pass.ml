@@ -21,6 +21,7 @@ type options = Session.options = {
   include_possible : bool;
   many_to_one : bool;
   optimize : bool;
+  sharpen : bool;
 }
 
 let default_options = Session.default_options

@@ -20,6 +20,10 @@ type options = Session.options = {
           section 7.2 future work) *)
   optimize : bool;
       (** constant folding + dead-branch elimination (section 7.3) *)
+  sharpen : bool;
+      (** feed proven thread-locality facts from the abstract
+          interpretation back into the sharing lattice before
+          partitioning *)
 }
 
 val default_options : options

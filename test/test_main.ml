@@ -22,6 +22,7 @@ let () =
       ("lockset", Test_lockset.suite);
       ("diag", Test_diag.suite);
       ("race", Test_race.suite);
+      ("absint", Test_absint.suite);
       ("optimize", Test_optimize.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);

@@ -1,0 +1,27 @@
+/* Intentionally unsafe: each thread writes the slot above its own, so
+   thread 3 writes out[4] past the end of the 4-element array — and of
+   the shmalloc region the translator allocates for it.  `hsmcc verify`
+   must refuse to prove this program. */
+#include <pthread.h>
+
+int out[4];
+
+void *work(void *arg)
+{
+    int tid = (int)arg;
+    out[tid + 1] = tid;
+    pthread_exit(NULL);
+}
+
+int main()
+{
+    int t;
+    pthread_t threads[4];
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *)t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    return out[0];
+}
