@@ -1,0 +1,190 @@
+(* opt_bench — what does `translate -O` buy on the simulated SCC?
+   Written to BENCH_opt.json.
+
+   Each row translates one shared-data-heavy benchmark twice — the plain
+   pipeline and the optimizer bundle (MPB software caching + PRE of
+   shared loads + folding) — interprets both on the simulated chip, and
+   reports simulated picoseconds, the shared-DRAM load counts, and the
+   speedup.  The two runs must print the same output: the optimizer is
+   only allowed to move loads, never results.
+
+     opt_bench [--quick] [--out FILE] [--check BASELINE] [--min-speedup F]
+
+   --check compares the headline speedup against a previously written
+   BENCH_opt.json and exits 1 when the current speedup falls below
+   max(--min-speedup, 0.9 x baseline) — the CI gate that keeps the
+   optimizer worth shipping (default --min-speedup 1.10, the paper-style
+   >= 10% bar). *)
+
+type row = {
+  label : string;
+  ncores : int;
+  naive_ps : int;
+  opt_ps : int;
+  naive_shared_loads : int;
+  opt_shared_loads : int;
+  speedup : float;
+}
+
+let run_config ~label ~ncores src =
+  let program = Cfront.Parser.program ~file:(label ^ ".c") src in
+  let translate optimize =
+    let options =
+      { Translate.Pass.default_options with
+        Translate.Pass.ncores; optimize }
+    in
+    fst (Translate.Driver.translate_program ~options program)
+  in
+  let interp translated = Cexec.Interp.run_rcce ~ncores translated in
+  let naive = interp (translate false) in
+  let opt = interp (translate true) in
+  if
+    not
+      (String.equal naive.Cexec.Interp.output opt.Cexec.Interp.output)
+  then begin
+    Printf.eprintf
+      "opt_bench: OUTPUT MISMATCH on %s\n  naive: %s\n  -O:    %s\n" label
+      (String.trim naive.Cexec.Interp.output)
+      (String.trim opt.Cexec.Interp.output);
+    exit 1
+  end;
+  let shared_loads (r : Cexec.Interp.result) =
+    Scc.Stats.total_shared_dram_loads (Scc.Engine.stats r.Cexec.Interp.engine)
+  in
+  {
+    label;
+    ncores;
+    naive_ps = naive.Cexec.Interp.elapsed_ps;
+    opt_ps = opt.Cexec.Interp.elapsed_ps;
+    naive_shared_loads = shared_loads naive;
+    opt_shared_loads = shared_loads opt;
+    speedup =
+      float_of_int naive.Cexec.Interp.elapsed_ps
+      /. float_of_int (max 1 opt.Cexec.Interp.elapsed_ps);
+  }
+
+let json_of ~mode ~rows ~headline =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"hsmc-opt-bench-1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"label\": %S, \"ncores\": %d, \"naive_ps\": %d, \
+            \"opt_ps\": %d, \"naive_shared_loads\": %d, \
+            \"opt_shared_loads\": %d, \"speedup\": %.3f}%s\n"
+           r.label r.ncores r.naive_ps r.opt_ps r.naive_shared_loads
+           r.opt_shared_loads r.speedup
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"headline_speedup\": %.3f\n" headline);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Minimal field scan — the file is our own fixed format. *)
+let headline_of_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let key = "\"headline_speedup\":" in
+  let rec find i =
+    if i + String.length key > String.length s then None
+    else if String.sub s i (String.length key) = key then
+      Some (i + String.length key)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+      let k = ref j in
+      while
+        !k < String.length s
+        && (s.[!k] = ' ' || s.[!k] = '.' || s.[!k] = '-'
+           || (s.[!k] >= '0' && s.[!k] <= '9'))
+      do
+        incr k
+      done;
+      float_of_string_opt (String.trim (String.sub s j (!k - j)))
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_opt.json" in
+  let check = ref None in
+  let min_speedup = ref 1.10 in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--check" :: f :: rest ->
+        check := Some f;
+        parse rest
+    | "--min-speedup" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some v when v >= 1.0 ->
+            min_speedup := v;
+            parse rest
+        | _ ->
+            Printf.eprintf
+              "opt_bench: --min-speedup wants a factor >= 1.0, got %S\n" f;
+            exit 64)
+    | a :: _ ->
+        Printf.eprintf
+          "opt_bench: unknown argument %S\n\
+           usage: opt_bench [--quick] [--out FILE] [--check BASELINE] \
+           [--min-speedup F]\n"
+          a;
+        exit 64
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let nt = if !quick then 8 else 32 in
+  let reps = if !quick then 4 else 8 in
+  let rows =
+    [
+      run_config ~label:(Printf.sprintf "dot-nt%d-n512-reps%d" nt reps)
+        ~ncores:nt
+        (Exp.Csrc.dot_reps ~reps ~nt ~n:512);
+      run_config ~label:(Printf.sprintf "hot-loop-nt%d" nt) ~ncores:nt
+        (Exp.Csrc.hot_loop ~nt ~steps:4096);
+    ]
+  in
+  let headline =
+    List.fold_left (fun acc r -> max acc r.speedup) 0.0 rows
+  in
+  let json =
+    json_of ~mode:(if !quick then "quick" else "full") ~rows ~headline
+  in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  match !check with
+  | None -> ()
+  | Some baseline_file -> (
+      match headline_of_file baseline_file with
+      | None ->
+          Printf.eprintf "opt_bench: cannot read baseline %s\n" baseline_file;
+          exit 65
+      | Some base ->
+          let floor = Float.max !min_speedup (0.9 *. base) in
+          if headline < floor then begin
+            Printf.eprintf
+              "opt_bench: REGRESSION: -O speedup %.3fx is below the floor \
+               %.3fx (baseline %.3fx, min %.2fx)\n"
+              headline floor base !min_speedup;
+            exit 1
+          end
+          else
+            Printf.printf
+              "opt_bench: ok: -O speedup %.3fx vs baseline %.3fx (floor \
+               %.3fx)\n"
+              headline base floor)

@@ -135,7 +135,7 @@ let verify_run ~seed ~count ~sabotage ~verbose =
   if !unsound > 0 then 1 else 0
 
 let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
-    verify verbose =
+    verify optimize verbose =
   let sabotage =
     match sabotage with
     | None -> None
@@ -170,7 +170,8 @@ let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
       Printf.printf "  ... %d programs checked\n%!" (index + 1)
   in
   let summary =
-    Conform.Harness.run ~progress ~shrink_budget ?sabotage ~seed ~count ()
+    Conform.Harness.run ~progress ~shrink_budget ?sabotage ~optimize ~seed
+      ~count ()
   in
   let nfail = List.length summary.Conform.Harness.s_failures in
   List.iter (report_failure ~save_dir) summary.s_failures;
@@ -195,7 +196,7 @@ let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
   else if nfail > 0 then 1
   else 0
 
-let replay_cmd files =
+let replay_cmd optimize files =
   let failed = ref 0 in
   List.iter
     (fun file ->
@@ -203,7 +204,7 @@ let replay_cmd files =
       let n = in_channel_length ic in
       let contents = really_input_string ic n in
       close_in ic;
-      match Conform.Harness.replay ~file contents with
+      match Conform.Harness.replay ~force_optimize:optimize ~file contents with
       | Ok () -> Printf.printf "ok   %s\n" file
       | Error e ->
           incr failed;
@@ -276,10 +277,16 @@ let verify_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One line per program.")
 
+let optimize_arg =
+  Arg.(value & flag
+       & info [ "O"; "optimize" ]
+           ~doc:"Force the optimizer bundle (MPB caching, PRE, folding) \
+                 on every configuration checked.")
+
 let run_term =
   Term.(const run_cmd $ seed_arg $ count_arg $ quick_arg $ no_shrink_arg
         $ save_arg $ sabotage_arg $ expect_diverge_arg $ verify_arg
-        $ verbose_arg)
+        $ optimize_arg $ verbose_arg)
 
 let replay_cmd_v =
   let files =
@@ -288,7 +295,7 @@ let replay_cmd_v =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Re-run checked-in conformance corpus files")
-    Term.(const replay_cmd $ files)
+    Term.(const replay_cmd $ optimize_arg $ files)
 
 let emit_cmd_v =
   let dir =

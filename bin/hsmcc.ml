@@ -26,7 +26,7 @@ let parse_source path =
   | exception Sys_error msg -> Error msg
 
 let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
-    ~optimize ~sharpen =
+    ~optimize ~opt_pre ~opt_mpb_cache ~sharpen =
   {
     Translate.Pass.default_options with
     Translate.Pass.ncores;
@@ -37,6 +37,8 @@ let options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
     sound_locals;
     many_to_one;
     optimize;
+    opt_pre;
+    opt_mpb_cache;
     sharpen;
   }
 
@@ -82,12 +84,12 @@ let emit_diags ~out ~warn_error ~diag_format diags =
 (* --- translate ------------------------------------------------------------ *)
 
 let translate_cmd path ncores capacity density sound_locals many_to_one
-    optimize sharpen race_check warn_error diag_format timings
-    timings_format trace_out verbose =
+    optimize opt_pre opt_mpb_cache sharpen race_check warn_error diag_format
+    timings timings_format trace_out verbose =
   let program = or_die (parse_source path) in
   let options =
     options_of ~ncores ~capacity ~density ~sound_locals ~many_to_one
-      ~optimize ~sharpen
+      ~optimize ~opt_pre ~opt_mpb_cache ~sharpen
   in
   (* one session carries the whole command: the race check below reuses
      the very facts the translator demanded — nothing runs twice *)
@@ -360,8 +362,20 @@ let many_to_one_arg =
 let optimize_arg =
   Arg.(value & flag
        & info [ "O"; "optimize" ]
-           ~doc:"Constant folding and dead-branch elimination (the \
-                 paper's section 7.3).")
+           ~doc:"The full optimizer bundle: MPB software caching of hot \
+                 read-only shared data, partial redundancy elimination \
+                 of shared loads, then constant folding and dead-branch \
+                 elimination (the paper's section 7.3).")
+
+let opt_pre_arg =
+  Arg.(value & flag
+       & info [ "opt-pre" ]
+           ~doc:"Just the PRE/load-hoisting pass (a subset of $(b,-O)).")
+
+let opt_mpb_cache_arg =
+  Arg.(value & flag
+       & info [ "opt-mpb-cache" ]
+           ~doc:"Just the MPB software-cache pass (a subset of $(b,-O)).")
 
 let sharpen_arg =
   Arg.(value & flag
@@ -415,8 +429,9 @@ let trace_out_arg =
 let translate_term =
   Term.(const translate_cmd $ file_arg $ cores_arg $ capacity_arg
         $ density_arg $ sound_locals_arg $ many_to_one_arg $ optimize_arg
-        $ sharpen_arg $ race_check_arg $ warn_error_arg $ diag_format_arg
-        $ timings_arg $ timings_format_arg $ trace_out_arg $ verbose_arg)
+        $ opt_pre_arg $ opt_mpb_cache_arg $ sharpen_arg $ race_check_arg
+        $ warn_error_arg $ diag_format_arg $ timings_arg
+        $ timings_format_arg $ trace_out_arg $ verbose_arg)
 
 let translate_cmd_info =
   Cmd.v (Cmd.info "translate" ~doc:"Translate a Pthread program to RCCE")

@@ -1,0 +1,43 @@
+/* A read-traffic-bound kernel: every iteration of the hot loop re-reads
+   the shared parameters `nsteps` and `scale`, which after translation
+   live in uncached shared DRAM.  `hsmcc translate -O` hoists both loads
+   out of the loop into private temporaries (they are written only
+   before the threads start), leaving two shared reads per core instead
+   of two per iteration.  The lock-protected `total` accumulator must
+   NOT be touched by the optimizer. */
+#include <stdio.h>
+#include <pthread.h>
+
+int nsteps;
+double scale;
+double total;
+pthread_mutex_t m;
+
+void *work(void *tid) {
+    int i;
+    double sum = 0.0;
+    for (i = 0; i < nsteps; i++) {
+        sum = sum + scale * i;
+    }
+    pthread_mutex_lock(&m);
+    total = total + sum;
+    pthread_mutex_unlock(&m);
+    pthread_exit(NULL);
+}
+
+int main() {
+    nsteps = 4096;
+    scale = 3.0;
+    total = 0.0;
+    pthread_mutex_init(&m, NULL);
+    int t;
+    pthread_t threads[4];
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("total = %f\n", total);
+    return 0;
+}

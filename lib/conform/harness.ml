@@ -6,6 +6,7 @@ open Cfront
 type sabotage =
   | Drop_pass of string
   | Shrink_shmalloc
+  | Illegal_hoist
 
 let sabotage_of_string s =
   match String.index_opt s ':' with
@@ -24,15 +25,17 @@ let sabotage_of_string s =
              (String.concat ", " known))
   | _ ->
       if s = "shrink-shmalloc" then Ok Shrink_shmalloc
+      else if s = "illegal-hoist" then Ok Illegal_hoist
       else
         Error
           (Printf.sprintf
-             "unrecognized sabotage %S (try drop-pass:<name> or \
-              shrink-shmalloc)" s)
+             "unrecognized sabotage %S (try drop-pass:<name>, \
+              shrink-shmalloc or illegal-hoist)" s)
 
 let sabotage_to_string = function
   | Drop_pass name -> "drop-pass:" ^ name
   | Shrink_shmalloc -> "shrink-shmalloc"
+  | Illegal_hoist -> "illegal-hoist"
 
 (* Under-allocate every multi-element shmalloc region by one element —
    [RCCE_shmalloc(sizeof(T) * n)] becomes [... * (n - 1)] — as a final
@@ -56,7 +59,108 @@ let shrink_shmalloc_pass =
                    [ Ast.Binary (Ast.Mul, sz, Ast.Int_lit (n - 1)) ])
             | e -> e)
           program);
-    forbids_after = [] }
+    forbids_after = [];
+    must_follow = [] }
+
+(* Hoist a lock-protected shared read out of its critical section — the
+   exact transformation the optimizer's legality analysis must refuse.
+   Every adjacent triple
+
+     RCCE_acquire_lock(k); *g = ... *g ...; RCCE_release_lock(k);
+
+   is rewritten to read [*g] into a fresh private temporary BEFORE the
+   acquire and use the stale copy inside the critical section.  Two
+   cores racing through the same critical section then lose updates, so
+   the dual-execution oracle must diverge; if it does not, it has no
+   teeth against an optimizer bug of this shape. *)
+let illegal_hoist_pass =
+  let pointee program g =
+    program.Ast.p_globals
+    |> List.find_map (fun glob ->
+           match glob with
+           | Ast.Gvar d when String.equal d.Ast.d_name g -> (
+               match d.Ast.d_type with
+               | Ctype.Ptr t -> Some t
+               | _ -> None)
+           | _ -> None)
+    |> Option.value ~default:Ctype.Int
+  in
+  { Translate.Pass.name = "illegal-hoist";
+    transform =
+      (fun _ctx program ->
+        let fresh = ref 0 in
+        let rec stmts = function
+          | ({ Ast.s_desc = Ast.Sexpr (Ast.Call ("RCCE_acquire_lock", _));
+               _ } as acq)
+            :: ({ Ast.s_desc =
+                    Ast.Sexpr
+                      (Ast.Assign (op, (Ast.Unary (Ast.Deref, Ast.Var g)
+                                        as lhs), rhs));
+                  _ } as upd)
+            :: ({ Ast.s_desc = Ast.Sexpr (Ast.Call ("RCCE_release_lock", _));
+                  _ } as rel)
+            :: rest ->
+              let tmp = Printf.sprintf "__sab_%d" !fresh in
+              incr fresh;
+              let stale = Ast.var tmp in
+              (* [*g op= rhs] reads *g implicitly; rewrite it to the
+                 explicit [*g = tmp op rhs] over the stale copy.  A plain
+                 [*g = rhs] has its rhs reads of *g redirected. *)
+              let upd' =
+                match op with
+                | Some binop ->
+                    { upd with
+                      Ast.s_desc =
+                        Ast.Sexpr
+                          (Ast.assign lhs (Ast.Binary (binop, stale, rhs))) }
+                | None ->
+                    { upd with
+                      Ast.s_desc =
+                        Ast.Sexpr
+                          (Ast.assign lhs
+                             (Visit.map_expr
+                                (fun e ->
+                                  match e with
+                                  | Ast.Unary (Ast.Deref, Ast.Var x)
+                                    when String.equal x g ->
+                                      stale
+                                  | e -> e)
+                                rhs)) }
+              in
+              Ast.stmt
+                (Ast.Sdecl
+                   [ Ast.decl
+                       ~init:
+                         (Ast.Init_expr (Ast.Unary (Ast.Deref, Ast.var g)))
+                       tmp (pointee program g) ])
+              :: acq :: upd' :: rel :: stmts rest
+          | s :: rest -> into s :: stmts rest
+          | [] -> []
+        and into s =
+          match s.Ast.s_desc with
+          | Ast.Sblock b -> { s with Ast.s_desc = Ast.Sblock (stmts b) }
+          | Ast.Sif (c, a, b) ->
+              { s with Ast.s_desc = Ast.Sif (c, into a, Option.map into b) }
+          | Ast.Swhile (c, body) ->
+              { s with Ast.s_desc = Ast.Swhile (c, into body) }
+          | Ast.Sdo (body, c) ->
+              { s with Ast.s_desc = Ast.Sdo (into body, c) }
+          | Ast.Sfor (i, c, st, body) ->
+              { s with Ast.s_desc = Ast.Sfor (i, c, st, into body) }
+          | _ -> s
+        in
+        let globals =
+          List.map
+            (fun g ->
+              match g with
+              | Ast.Gfunc fn ->
+                  Ast.Gfunc { fn with Ast.f_body = stmts fn.Ast.f_body }
+              | g -> g)
+            program.Ast.p_globals
+        in
+        { program with Ast.p_globals = globals });
+    forbids_after = [];
+    must_follow = [] }
 
 let apply_sabotage sabotage (cfg : Oracle.config) =
   let passes = Translate.Driver.passes_for cfg.Oracle.options in
@@ -65,6 +169,7 @@ let apply_sabotage sabotage (cfg : Oracle.config) =
     | Drop_pass name ->
         List.filter (fun p -> p.Translate.Pass.name <> name) passes
     | Shrink_shmalloc -> passes @ [ shrink_shmalloc_pass ]
+    | Illegal_hoist -> passes @ [ illegal_hoist_pass ]
   in
   { cfg with Oracle.passes = Some passes }
 
@@ -83,12 +188,19 @@ type outcome = {
 type summary = { s_total : int; s_failures : outcome list }
 
 let run ?(progress = fun ~index:_ ~seed:_ _ -> ()) ?(shrink_budget = 250)
-    ?sabotage ~seed ~count () =
+    ?sabotage ?(optimize = false) ~seed ~count () =
   let failures = ref [] in
   for i = 0 to count - 1 do
     let gseed = seed + i in
     let spec, program = Gen.generate ~seed:gseed in
     let cfg = Oracle.config_of_spec spec in
+    let cfg =
+      if optimize then
+        { cfg with
+          Oracle.options =
+            { cfg.Oracle.options with Translate.Pass.optimize = true } }
+      else cfg
+    in
     let cfg =
       match sabotage with None -> cfg | Some s -> apply_sabotage s cfg
     in
@@ -199,10 +311,11 @@ let config_of_directives d =
         optimize = d.d_optimize };
     passes = None }
 
-let replay ~file contents =
+let replay ?(force_optimize = false) ~file contents =
   match parse_directives contents with
   | Error e -> Error e
   | Ok d -> (
+      let d = { d with d_optimize = d.d_optimize || force_optimize } in
       match
         try Ok (Parser.program ~file contents)
         with Srcloc.Error (loc, m) ->

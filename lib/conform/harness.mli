@@ -16,11 +16,15 @@ type sabotage =
       (** under-allocate every multi-element shmalloc region by one
           element after the pipeline — a guaranteed out-of-bounds
           mutation the bounds verifier must flag *)
+  | Illegal_hoist
+      (** hoist every lock-protected shared read out of its critical
+          section — the transformation the optimizer's legality
+          analysis must refuse; the oracle must see the lost updates *)
 
 val sabotage_of_string : string -> (sabotage, string) result
 (** Recognizes ["drop-pass:<name>"] where [<name>] is a Stage-5 pass
-    (e.g. ["mutex-convert"], ["shared-rewrite"]), and
-    ["shrink-shmalloc"]. *)
+    (e.g. ["mutex-convert"], ["shared-rewrite"]), ["shrink-shmalloc"],
+    and ["illegal-hoist"]. *)
 
 val sabotage_to_string : sabotage -> string
 
@@ -47,12 +51,15 @@ val run :
   ?progress:(index:int -> seed:int -> Oracle.verdict -> unit) ->
   ?shrink_budget:int ->
   ?sabotage:sabotage ->
+  ?optimize:bool ->
   seed:int ->
   count:int ->
   unit ->
   summary
 (** [run ~seed ~count ()] fuzzes [count] programs.  [shrink_budget] = 0
-    disables shrinking (default 250 evaluations per failure). *)
+    disables shrinking (default 250 evaluations per failure);
+    [optimize] (default false) forces the [-O] pipeline on every
+    generated configuration. *)
 
 (** {1 Corpus files}
 
@@ -81,7 +88,10 @@ val corpus_file :
 val parse_directives : string -> (directives, string) result
 (** Read the [// conform-*] header of a corpus file's contents. *)
 
-val replay : file:string -> string -> (unit, string) result
+val replay :
+  ?force_optimize:bool -> file:string -> string -> (unit, string) result
 (** [replay ~file contents] parses directives and source, runs the
-    oracle, and checks the verdict against the expectation.  [Error]
-    carries a human-readable explanation. *)
+    oracle, and checks the verdict against the expectation.
+    [force_optimize] replays with the [-O] pipeline even when the file's
+    directives did not record it.  [Error] carries a human-readable
+    explanation. *)

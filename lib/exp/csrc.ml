@@ -144,7 +144,25 @@ int main() {
 |}
     nt bound nt nt nt nt nt
 
-let dot ~nt ~n =
+(* [reps] re-sweeps each chunk; > 1 makes the kernel read-traffic bound
+   (every sweep re-reads the shared a/b arrays), the configuration the
+   optimizer's MPB caching is aimed at. *)
+let dot_reps ~reps ~nt ~n =
+  let sweep =
+    if reps = 1 then
+      {|    for (i = lo; i < hi; i++) {
+        sum = sum + a[i] * b[i];
+    }|}
+    else
+      Printf.sprintf
+        {|    int r;
+    for (r = 0; r < %d; r++) {
+        for (i = lo; i < hi; i++) {
+            sum = sum + a[i] * b[i];
+        }
+    }|}
+        reps
+  in
   Printf.sprintf
     {|#include <stdio.h>
 #include <pthread.h>
@@ -160,9 +178,7 @@ void *work(void *tid) {
     int hi = lo + chunk;
     double sum = 0.0;
     int i;
-    for (i = lo; i < hi; i++) {
-        sum = sum + a[i] * b[i];
-    }
+%s
     partial[id] = sum;
     pthread_exit(NULL);
 }
@@ -189,7 +205,53 @@ int main() {
     return 0;
 }
 |}
-    n n nt n nt n nt nt nt nt
+    n n nt n nt sweep n nt nt nt nt
+
+let dot ~nt ~n = dot_reps ~reps:1 ~nt ~n
+
+(* A read-traffic-bound kernel: the hot loop re-reads the shared
+   parameters nsteps and scale on every iteration, so the -O load
+   hoisting collapses almost all of its shared-DRAM traffic. *)
+let hot_loop ~nt ~steps =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <pthread.h>
+
+int nsteps;
+double scale;
+double total;
+pthread_mutex_t m;
+
+void *work(void *tid) {
+    int i;
+    double sum = 0.0;
+    for (i = 0; i < nsteps; i++) {
+        sum = sum + scale * i;
+    }
+    pthread_mutex_lock(&m);
+    total = total + sum;
+    pthread_mutex_unlock(&m);
+    pthread_exit(NULL);
+}
+
+int main() {
+    nsteps = %d;
+    scale = 3.0;
+    total = 0.0;
+    pthread_mutex_init(&m, NULL);
+    int t;
+    pthread_t threads[%d];
+    for (t = 0; t < %d; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < %d; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("total = %%f\n", total);
+    return 0;
+}
+|}
+    steps nt nt nt
 
 (* The four Stream kernels (the paper's Algorithms 13-16), each thread
    sweeping its chunk, a barrier between kernels. *)

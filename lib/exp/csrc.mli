@@ -6,6 +6,16 @@ val pi : nt:int -> steps:int -> string
 val primes : nt:int -> limit:int -> string
 val sum35 : nt:int -> bound:int -> string
 val dot : nt:int -> n:int -> string
+
+val dot_reps : reps:int -> nt:int -> n:int -> string
+(** [dot] with each chunk re-swept [reps] times, making the kernel
+    read-traffic bound — the shared-load optimizer's target
+    configuration.  [dot] is [dot_reps ~reps:1]. *)
+
+val hot_loop : nt:int -> steps:int -> string
+(** A mutex-guarded accumulator whose hot loop re-reads two shared
+    parameters every iteration — the PRE pass's target configuration. *)
+
 val stream : nt:int -> n:int -> string
 (** The four kernels with a [pthread_barrier_t] between them. *)
 

@@ -546,6 +546,81 @@ let many_to_one_scaling ?(scale = Full) () =
 
 (* --- everything ------------------------------------------------------------- *)
 
+(* --- the shared-traffic optimizer ------------------------------------------ *)
+
+type opt_row = {
+  opt_label : string;
+  opt_ncores : int;
+  opt_naive_ms : float;
+  opt_o_ms : float;
+  opt_naive_loads : int;
+  opt_o_loads : int;
+  opt_speedup : float;
+}
+
+let opt_end_to_end ?(scale = Full) () =
+  let nt, reps = match scale with Full -> (32, 8) | Quick -> (8, 4) in
+  let bench label ncores src =
+    let program = Cfront.Parser.program ~file:(label ^ ".c") src in
+    let run optimize =
+      let options =
+        { Translate.Pass.default_options with
+          Translate.Pass.ncores; optimize }
+      in
+      let translated, _ = Translate.Driver.translate_program ~options program in
+      Cexec.Interp.run_rcce ~ncores translated
+    in
+    let naive = run false in
+    let opt = run true in
+    if not (String.equal naive.Cexec.Interp.output opt.Cexec.Interp.output)
+    then
+      invalid_arg
+        (Printf.sprintf "optimizer changed the output of %s" label);
+    let loads (r : Cexec.Interp.result) =
+      Scc.Stats.total_shared_dram_loads
+        (Scc.Engine.stats r.Cexec.Interp.engine)
+    in
+    {
+      opt_label = label;
+      opt_ncores = ncores;
+      opt_naive_ms = float_of_int naive.Cexec.Interp.elapsed_ps /. 1e9;
+      opt_o_ms = float_of_int opt.Cexec.Interp.elapsed_ps /. 1e9;
+      opt_naive_loads = loads naive;
+      opt_o_loads = loads opt;
+      opt_speedup =
+        float_of_int naive.Cexec.Interp.elapsed_ps
+        /. float_of_int (max 1 opt.Cexec.Interp.elapsed_ps);
+    }
+  in
+  [
+    bench
+      (Printf.sprintf "dot (n=512, reps=%d)" reps)
+      nt
+      (Csrc.dot_reps ~reps ~nt ~n:512);
+    bench "hot-loop (steps=4096)" nt (Csrc.hot_loop ~nt ~steps:4096);
+  ]
+
+let opt_experiment ?scale () =
+  let rows = opt_end_to_end ?scale () in
+  let table =
+    [ "Benchmark"; "Cores"; "Naive (ms)"; "-O (ms)"; "Shared loads";
+      "Shared loads -O"; "Speedup" ]
+    :: List.map
+         (fun r ->
+           [ r.opt_label;
+             string_of_int r.opt_ncores;
+             Printf.sprintf "%.3f" r.opt_naive_ms;
+             Printf.sprintf "%.3f" r.opt_o_ms;
+             string_of_int r.opt_naive_loads;
+             string_of_int r.opt_o_loads;
+             Printf.sprintf "%.2fx" r.opt_speedup ])
+         rows
+  in
+  "Optimized translation: the shared-traffic optimizer (-O) on the \
+   simulated SCC\n(PRE of shared loads + MPB software caching; both \
+   runs print identical output)\n\n"
+  ^ Tabulate.render table
+
 let sections =
   [ ("table-4.1", fun _scale -> table_4_1 ());
     ("table-4.2", fun _scale -> table_4_2 ());
@@ -559,7 +634,8 @@ let sections =
     ("dvfs", fun scale -> dvfs_experiment ~scale ());
     ("sync", fun scale -> sync_sensitivity ~scale ());
     ("model-sensitivity", fun scale -> model_sensitivity ~scale ());
-    ("many-to-one", fun scale -> many_to_one_scaling ~scale ()) ]
+    ("many-to-one", fun scale -> many_to_one_scaling ~scale ());
+    ("opt", fun scale -> opt_experiment ~scale ()) ]
 
 let section_names = List.map fst sections
 

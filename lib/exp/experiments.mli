@@ -120,6 +120,23 @@ val many_to_one_scaling : ?scale:scale -> unit -> string
     the many-to-one task mapping and interpreted at several core
     counts. *)
 
+type opt_row = {
+  opt_label : string;
+  opt_ncores : int;
+  opt_naive_ms : float;
+  opt_o_ms : float;
+  opt_naive_loads : int;
+  opt_o_loads : int;
+  opt_speedup : float;
+}
+
+val opt_end_to_end : ?scale:scale -> unit -> opt_row list
+(** Each shared-data-heavy benchmark translated twice (plain pipeline
+    vs [-O]) and interpreted on the simulated chip; raises
+    [Invalid_argument] if the optimizer changes a program's output. *)
+
+val opt_experiment : ?scale:scale -> unit -> string
+
 val sections : (string * (scale -> string)) list
 (** Every named section, in presentation order — the dispatch table
     behind [bin/experiments]. *)

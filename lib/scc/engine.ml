@@ -512,6 +512,10 @@ let private_line t ctx ~write addr =
    buffer). *)
 let shared_line t ctx ~write addr =
   ctx.stats.Stats.shared_dram_lines <- ctx.stats.Stats.shared_dram_lines + 1;
+  if write then
+    ctx.stats.Stats.shared_dram_stores <- ctx.stats.Stats.shared_dram_stores + 1
+  else
+    ctx.stats.Stats.shared_dram_loads <- ctx.stats.Stats.shared_dram_loads + 1;
   let line = Memmap.offset_of_addr addr / t.cfg.Config.line_bytes in
   let mc = line mod t.cfg.Config.n_mcs in
   let out = t.shared_out_ps.(ctx.core).(mc) in

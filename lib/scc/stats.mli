@@ -10,6 +10,10 @@ type ctx_stats = {
   mutable l2_misses : int;
   mutable private_dram_lines : int;
   mutable shared_dram_lines : int;
+  mutable shared_dram_loads : int;
+      (** read portion of [shared_dram_lines] — the traffic the
+          shared-load optimizer is meant to shrink *)
+  mutable shared_dram_stores : int;
   mutable mpb_lines : int;
   mutable mem_stall_ps : int;
   mutable barrier_wait_ps : int;
@@ -33,6 +37,8 @@ val ctx : t -> int -> ctx_stats
 val total_loads : t -> int
 val total_stores : t -> int
 val total_shared_dram_lines : t -> int
+val total_shared_dram_loads : t -> int
+val total_shared_dram_stores : t -> int
 val total_mpb_lines : t -> int
 
 val max_finish_ps : t -> int

@@ -19,6 +19,8 @@ type options = {
   include_possible : bool;
   many_to_one : bool;
   optimize : bool;
+  opt_pre : bool;
+  opt_mpb_cache : bool;
   sharpen : bool;
 }
 
@@ -31,6 +33,8 @@ let default_options =
     include_possible = false;
     many_to_one = false;
     optimize = false;
+    opt_pre = false;
+    opt_mpb_cache = false;
     sharpen = false;
   }
 
@@ -90,6 +94,8 @@ type t = {
   absint_c : Absint.Oblig.summary cell;
   bounds_c : Diag.t list cell;
   sharpen_c : string list cell;
+  sync_regions_c : Opt.Sync_regions.t cell;
+  opt_plan_c : Opt.Opt_plan.t cell;
 }
 
 let create ?file ?(options = default_options) program =
@@ -115,6 +121,8 @@ let create ?file ?(options = default_options) program =
     absint_c = cell ();
     bounds_c = cell ();
     sharpen_c = cell ();
+    sync_regions_c = cell ();
+    opt_plan_c = cell ();
   }
 
 let program t = t.prog
@@ -136,7 +144,9 @@ let invalidate t =
   t.partition_c.slot <- None;
   t.absint_c.slot <- None;
   t.bounds_c.slot <- None;
-  t.sharpen_c.slot <- None
+  t.sharpen_c.slot <- None;
+  t.sync_regions_c.slot <- None;
+  t.opt_plan_c.slot <- None
 
 let set_program t program =
   t.prog <- program;
@@ -298,6 +308,20 @@ let partition t =
       let items = Partition.Partitioner.items_of_analysis p in
       Partition.Partitioner.partition ~strategy:t.opts.strategy
         Partition.Memspec.scc ~capacity:t.opts.capacity items)
+
+(* Locality facts for the optimizer stage.  Both are per-generation like
+   every other fact: the optimizer passes demand them against the
+   translated generation they are about to rewrite, and --timings lists
+   them as their own provider rows. *)
+let sync_regions t =
+  let cfgs = cfgs t in
+  demand t t.sync_regions_c "sync-regions" [ "cfgs" ] (fun () ->
+      Opt.Sync_regions.analyze ~cfgs t.prog)
+
+let opt_plan t =
+  let access = access_counts t in
+  demand t t.opt_plan_c "opt-plan" [ "access-counts" ] (fun () ->
+      Opt.Opt_plan.build ~ncores:t.opts.ncores ~access t.prog)
 
 (* --- timings report -------------------------------------------------------- *)
 

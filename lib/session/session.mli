@@ -29,7 +29,12 @@ type options = {
       (** map several threads onto one core with a task loop instead of
           rejecting programs with more threads than cores *)
   optimize : bool;
-      (** constant folding + dead-branch elimination (section 7.3) *)
+      (** the full optimizer bundle: MPB software caching, PRE of shared
+          loads, constant folding + dead-branch elimination *)
+  opt_pre : bool;
+      (** just the PRE/load-hoisting pass (also implied by [optimize]) *)
+  opt_mpb_cache : bool;
+      (** just the MPB software-cache pass (also implied by [optimize]) *)
   sharpen : bool;
       (** feed proven thread-locality facts from the abstract
           interpretation back into the sharing lattice before
@@ -110,6 +115,15 @@ val absint_summary : t -> Absint.Oblig.summary
 val bounds_verdict : t -> Diag.t list
 (** One diagnostic per undischarged obligation of {!absint_summary}
     (warning when unproved, error when definitely out of bounds). *)
+
+val sync_regions : t -> Opt.Sync_regions.t
+(** Sync-free regions of the current generation: per-function CFG region
+    ids plus transitive does-this-call-synchronize summaries. *)
+
+val opt_plan : t -> Opt.Opt_plan.t
+(** The locality plan of the current generation: shared allocations,
+    escape/read-only classification, and capacity-checked MPB software-
+    cache candidates.  Meaningful on the translated (RCCE) generation. *)
 
 val sharpened : t -> string list
 (** Demote globals the abstract interpretation proved thread-local from

@@ -72,4 +72,6 @@ let transform env (program : Ast.program) =
     app_name;
   { Ast.p_includes = includes; p_globals = globals }
 
-let pass = { Pass.name = "add-rcce"; transform; forbids_after = [] }
+let pass =
+  { Pass.name = "add-rcce"; transform; forbids_after = [];
+    must_follow = [ "shared-rewrite" ] }

@@ -84,4 +84,6 @@ let transform env (program : Ast.program) =
       (String.concat ", " (List.rev !removed));
   { program with Ast.p_globals = globals }
 
-let pass = { Pass.name = "cleanup"; transform; forbids_after = [] }
+let pass =
+  { Pass.name = "cleanup"; transform; forbids_after = [];
+    must_follow = [ "optimize" ] }

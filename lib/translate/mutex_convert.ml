@@ -72,4 +72,6 @@ let transform env (program : Ast.program) =
     map.table;
   program
 
-let pass = { Pass.name = "mutex-convert"; transform; forbids_after = [] }
+let pass =
+  { Pass.name = "mutex-convert"; transform; forbids_after = [];
+    must_follow = [ "threads-to-processes" ] }

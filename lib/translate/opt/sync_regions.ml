@@ -1,0 +1,188 @@
+open Cfront
+
+(* Sync-free region analysis.
+
+   A region is a maximal set of CFG nodes connected by edges that do not
+   cross a synchronization point.  Within one region no other core's
+   write can be ordered between two reads of the same shared location by
+   this core (in a data-race-free program every cross-thread ordering
+   goes through a synchronization operation), so a shared load is
+   redundant with an earlier one from the same region — the legality
+   backbone of the PRE pass (El-Zawawy & Nayel's multi-threaded PRE,
+   restricted to regions instead of their assertion language).
+
+   Synchronization points are the RCCE primitives (barrier, test-and-set
+   locks, flags, the collective allocators) and their Pthread
+   counterparts, so the analysis is meaningful both on the source
+   program and on the translated generations.  A call to a defined
+   function that (transitively) performs synchronization is itself a
+   synchronization point — the callee summary is a fixpoint over the
+   call graph. *)
+
+let sync_primitives =
+  [
+    "RCCE_barrier"; "RCCE_acquire_lock"; "RCCE_release_lock";
+    "RCCE_flag_write"; "RCCE_flag_read"; "RCCE_wait_until";
+    "RCCE_init"; "RCCE_finalize"; "RCCE_shmalloc"; "RCCE_malloc";
+    "RCCE_free";
+    "pthread_create"; "pthread_join"; "pthread_exit";
+    "pthread_mutex_lock"; "pthread_mutex_unlock";
+    "pthread_barrier_wait"; "pthread_barrier_init";
+    "pthread_cond_wait"; "pthread_cond_signal"; "pthread_cond_broadcast";
+  ]
+
+let is_sync_primitive name = List.mem name sync_primitives
+
+type func_regions = {
+  fr_name : string;
+  fr_region : int array;  (* CFG node id -> region id *)
+  fr_count : int;         (* distinct regions *)
+  fr_boundaries : int;    (* synchronization nodes *)
+}
+
+type t = {
+  funcs : func_regions list;
+  has_sync : (string, bool) Hashtbl.t;
+      (* defined function -> performs synchronization, transitively *)
+}
+
+(* --- callee summaries ---------------------------------------------------- *)
+
+let direct_calls (fn : Ast.func) =
+  let acc = ref [] in
+  List.iter
+    (Visit.iter_exprs_of_stmt (fun e ->
+         match e with
+         | Ast.Call (name, _) -> acc := name :: !acc
+         | _ -> ()))
+    fn.Ast.f_body;
+  !acc
+
+let compute_has_sync (program : Ast.program) =
+  let funcs = Ast.functions program in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (fn : Ast.func) -> Hashtbl.replace tbl fn.Ast.f_name false)
+    funcs;
+  let calls =
+    List.map (fun (fn : Ast.func) -> (fn.Ast.f_name, direct_calls fn)) funcs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, callees) ->
+        if not (Hashtbl.find tbl name) then
+          let syncs =
+            List.exists
+              (fun callee ->
+                is_sync_primitive callee
+                || (match Hashtbl.find_opt tbl callee with
+                   | Some b -> b
+                   | None -> false))
+              callees
+          in
+          if syncs then begin
+            Hashtbl.replace tbl name true;
+            changed := true
+          end)
+      calls
+  done;
+  tbl
+
+let func_has_sync t name =
+  match Hashtbl.find_opt t.has_sync name with Some b -> b | None -> false
+
+(* Does evaluating [e] reach a synchronization point? *)
+let expr_has_sync t e =
+  Visit.fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Ast.Call (name, _) -> is_sync_primitive name || func_has_sync t name
+      | _ -> false)
+    false e
+
+(* Does [s] (or anything nested in it) reach a synchronization point? *)
+let stmt_has_sync t s =
+  let found = ref false in
+  Visit.iter_exprs_of_stmt (fun e ->
+      match e with
+      | Ast.Call (name, _)
+        when is_sync_primitive name || func_has_sync t name ->
+          found := true
+      | _ -> ())
+    s;
+  !found
+
+(* --- region ids over one CFG --------------------------------------------- *)
+
+(* Union-find over node ids; only edges between two non-sync nodes are
+   united, so components are exactly the sync-free regions.  Sync nodes
+   are their own (boundary) regions. *)
+let regions_of_cfg t (cfg : Ir.Cfg.t) =
+  let n = Ir.Cfg.length cfg in
+  let node_sync =
+    Array.init n (fun i ->
+        let node = Ir.Cfg.node cfg i in
+        List.exists (expr_has_sync t) (Ir.Cfg.exprs_of_node node))
+  in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  Array.iteri
+    (fun i node ->
+      if not node_sync.(i) then
+        List.iter
+          (fun j -> if not node_sync.(j) then union i j)
+          node.Ir.Cfg.succs)
+    cfg.Ir.Cfg.nodes;
+  (* densify region ids in node order *)
+  let region = Array.make n (-1) in
+  let next = ref 0 in
+  let ids = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if node_sync.(i) then begin
+      region.(i) <- !next;
+      incr next
+    end
+    else begin
+      let root = find i in
+      match Hashtbl.find_opt ids root with
+      | Some id -> region.(i) <- id
+      | None ->
+          Hashtbl.replace ids root !next;
+          region.(i) <- !next;
+          incr next
+    end
+  done;
+  let boundaries = Array.fold_left (fun a b -> if b then a + 1 else a) 0 node_sync in
+  (region, !next, boundaries)
+
+let analyze ~cfgs (program : Ast.program) =
+  let has_sync = compute_has_sync program in
+  let t0 = { funcs = []; has_sync } in
+  let funcs =
+    List.map
+      (fun (name, cfg) ->
+        let fr_region, fr_count, fr_boundaries = regions_of_cfg t0 cfg in
+        { fr_name = name; fr_region; fr_count; fr_boundaries })
+      cfgs
+  in
+  { funcs; has_sync = t0.has_sync }
+
+let func_regions t name =
+  List.find_opt (fun fr -> String.equal fr.fr_name name) t.funcs
+
+let region_count t name =
+  match func_regions t name with Some fr -> Some fr.fr_count | None -> None
+
+let summary t =
+  t.funcs
+  |> List.map (fun fr ->
+         Printf.sprintf "%s: %d region(s), %d sync node(s)" fr.fr_name
+           fr.fr_count fr.fr_boundaries)
+  |> String.concat "; "

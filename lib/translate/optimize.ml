@@ -74,4 +74,9 @@ let transform env (program : Ast.program) =
     Pass.note env "optimize: removed %d constant branches" !removed_branches;
   program
 
-let pass = { Pass.name = "optimize"; transform; forbids_after = [] }
+(* constant folding runs after the locality passes: folded-away branches
+   can only shrink what the earlier rewrites produced, never reorder a
+   hoisted load back across a barrier *)
+let pass =
+  { Pass.name = "optimize"; transform; forbids_after = [];
+    must_follow = [ "opt-mpb-cache"; "opt-pre" ] }

@@ -21,6 +21,8 @@ type options = Session.options = {
   include_possible : bool;
   many_to_one : bool;
   optimize : bool;
+  opt_pre : bool;
+  opt_mpb_cache : bool;
   sharpen : bool;
 }
 
@@ -33,6 +35,11 @@ type ctx = {
          consume the analysis of what the user wrote, not of the
          half-rewritten intermediate generations *)
   base_partition : Partition.Partitioner.result;
+  base_races : Analysis.Race.t;
+      (* static race report of the source program, pinned: the PRE
+         pass's no-concurrent-writer legality must speak about the
+         program the user wrote (on the RCCE generation every unguarded
+         core-0 init store would look racy) *)
   mutable notes : string list;   (* pass-emitted remarks, reverse order *)
 }
 
@@ -41,6 +48,7 @@ let ctx_of_session session =
     session;
     base_analysis = Session.pipeline session;
     base_partition = Session.partition session;
+    base_races = Session.races session;
     notes = [];
   }
 
@@ -48,6 +56,7 @@ let session ctx = ctx.session
 let options ctx = Session.options ctx.session
 let analysis ctx = ctx.base_analysis
 let partition ctx = ctx.base_partition
+let source_races ctx = ctx.base_races
 
 let note ctx fmt =
   Printf.ksprintf (fun msg -> ctx.notes <- msg :: ctx.notes) fmt
@@ -60,6 +69,11 @@ type t = {
   forbids_after : string list;
       (* identifier/type/call/include prefixes this pass removes; they
          must never reappear in any later generation *)
+  must_follow : string list;
+      (* passes this one depends on: when both are scheduled, every
+         named pass must come earlier.  A pass named here but absent
+         from the schedule (e.g. dropped by a sabotage run) imposes
+         nothing. *)
 }
 
 exception Inconsistent of string * string
@@ -81,7 +95,30 @@ let check_structure ?(forbid = []) pass_name program =
         (Inconsistent
            (pass_name, Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg))
 
+(* Ordering constraints are checked before anything runs: a schedule
+   where a pass precedes one of its [must_follow] dependencies is a
+   driver bug, reported as Inconsistent without touching the program. *)
+let validate_order passes =
+  let scheduled = List.map (fun p -> p.name) passes in
+  let (_ : string list) =
+    List.fold_left
+      (fun seen p ->
+        List.iter
+          (fun dep ->
+            if List.mem dep scheduled && not (List.mem dep seen) then
+              raise
+                (Inconsistent
+                   ( p.name,
+                     Printf.sprintf
+                       "scheduled before '%s', which it must follow" dep )))
+          p.must_follow;
+        p.name :: seen)
+      [] passes
+  in
+  ()
+
 let run_all ?(verify = true) passes ctx program =
+  validate_order passes;
   let _, program =
     List.fold_left
       (fun (forbid, program) pass ->

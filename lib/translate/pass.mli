@@ -19,7 +19,12 @@ type options = Session.options = {
           rejecting programs with more threads than cores (the paper's
           section 7.2 future work) *)
   optimize : bool;
-      (** constant folding + dead-branch elimination (section 7.3) *)
+      (** the full optimizer bundle: MPB software caching, PRE of shared
+          loads, constant folding + dead-branch elimination *)
+  opt_pre : bool;
+      (** just the PRE/load-hoisting pass (also implied by [optimize]) *)
+  opt_mpb_cache : bool;
+      (** just the MPB software-cache pass (also implied by [optimize]) *)
   sharpen : bool;
       (** feed proven thread-locality facts from the abstract
           interpretation back into the sharing lattice before
@@ -48,6 +53,10 @@ val analysis : ctx -> Analysis.Pipeline.t
 val partition : ctx -> Partition.Partitioner.result
 (** The pinned Stage-4 partition of the source program. *)
 
+val source_races : ctx -> Analysis.Race.t
+(** The pinned static race report of the source program — the PRE
+    pass's no-concurrent-writer interference facts. *)
+
 val note : ctx -> ('a, unit, string, unit) format4 -> 'a
 (** Record a remark about what a pass did. *)
 
@@ -61,6 +70,10 @@ type t = {
       (** name prefixes (identifiers, types, calls, includes) this pass
           removes; the structural checker rejects any later generation
           where one survives — e.g. ["pthread"] after the removal pass *)
+  must_follow : string list;
+      (** passes this one depends on: when both are scheduled, every
+          named pass must come earlier; names absent from the schedule
+          impose nothing (so sabotage drop-pass runs stay valid) *)
 }
 
 exception Inconsistent of string * string
@@ -72,8 +85,13 @@ val check_structure : ?forbid:string list -> string -> Ast.program -> unit
     symbol-table rebuild, all in memory.
     @raise Inconsistent on the first violation. *)
 
+val validate_order : t list -> unit
+(** Check the [must_follow] constraints of a schedule.
+    @raise Inconsistent when a pass precedes one of its dependencies. *)
+
 val run_all : ?verify:bool -> t list -> ctx -> Ast.program -> Ast.program
-(** Run passes in order.  Each transform is timed into the session's
-    instrumentation table and publishes a new program generation;
-    [verify] (default true) runs the structural checker after each,
-    with the accumulated [forbids_after] prefixes enforced. *)
+(** Run passes in order ({!validate_order} is checked first).  Each
+    transform is timed into the session's instrumentation table and
+    publishes a new program generation; [verify] (default true) runs the
+    structural checker after each, with the accumulated [forbids_after]
+    prefixes enforced. *)

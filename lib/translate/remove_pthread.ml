@@ -107,4 +107,5 @@ let transform env (program : Ast.program) =
    identifier may survive in any later generation; the structural
    checker enforces it *)
 let pass =
-  { Pass.name = "remove-pthread"; transform; forbids_after = [ "pthread" ] }
+  { Pass.name = "remove-pthread"; transform; forbids_after = [ "pthread" ];
+    must_follow = [ "threads-to-processes"; "mutex-convert" ] }

@@ -311,4 +311,6 @@ let transform env (program : Ast.program) =
   if (Pass.options env).Pass.sound_locals then hoist_shared_locals env program
   else program
 
-let pass = { Pass.name = "shared-rewrite"; transform; forbids_after = [] }
+let pass =
+  { Pass.name = "shared-rewrite"; transform; forbids_after = [];
+    must_follow = [ "threads-to-processes" ] }

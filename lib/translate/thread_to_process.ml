@@ -354,4 +354,5 @@ let transform env (program : Ast.program) =
   }
 
 let pass =
-  { Pass.name = "threads-to-processes"; transform; forbids_after = [] }
+  { Pass.name = "threads-to-processes"; transform; forbids_after = [];
+    must_follow = [] }

@@ -1,0 +1,41 @@
+#include <stdio.h>
+#include "RCCE.h"
+
+int *nsteps;
+double *scale;
+double *total;
+
+void *work(void *tid)
+{
+    int i;
+    double sum = 0.0;
+    {
+        int __pre_nsteps_0 = *nsteps;
+        double __pre_scale_1 = *scale;
+        for (i = 0; i < __pre_nsteps_0; i++)
+        {
+            sum = sum + __pre_scale_1 * i;
+        }
+    }
+    RCCE_acquire_lock(0);
+    *total = *total + sum;
+    RCCE_release_lock(0);
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    nsteps = (int*)RCCE_shmalloc(4);
+    scale = (double*)RCCE_shmalloc(8);
+    total = (double*)RCCE_shmalloc(8);
+    int myID;
+    myID = RCCE_ue();
+    *nsteps = 4096;
+    *scale = 3.0;
+    *total = 0.0;
+    work((void*)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("total = %f\n", *total);
+    RCCE_finalize();
+    return 0;
+}

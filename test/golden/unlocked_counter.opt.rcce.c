@@ -1,0 +1,26 @@
+#include <stdio.h>
+#include "RCCE.h"
+
+int *counter;
+
+void *work(void *tid)
+{
+    int i;
+    for (i = 0; i < 1000; i++)
+    {
+        *counter = *counter + 1;
+    }
+}
+
+int RCCE_APP(int argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    counter = (int*)RCCE_shmalloc(4);
+    int myID;
+    myID = RCCE_ue();
+    work((void*)myID);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("counter = %d\n", *counter);
+    RCCE_finalize();
+    return 0;
+}

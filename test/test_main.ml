@@ -31,4 +31,5 @@ let () =
       ("sweep", Test_sweep.suite);
       ("fuzz", Test_fuzz.suite);
       ("conform", Test_conform.suite);
+      ("opt", Test_opt.suite);
     ]

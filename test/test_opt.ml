@@ -1,0 +1,369 @@
+open Cfront
+
+(* The shared-traffic optimizer: sync-free region analysis, the locality
+   plan, pass-ordering metadata, PRE and MPB-cache behaviour on real
+   translations, the simulated payoff, and the -O conformance story
+   (golden translations, corpus replay, the illegal-hoist killing
+   mutation). *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let data_dir name =
+  if Sys.file_exists ("../" ^ name) then "../" ^ name else name
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let opt_options ~ncores =
+  { Translate.Pass.default_options with Translate.Pass.ncores; optimize = true }
+
+(* ---------------------------------------------------------------- *)
+(* sync-free regions *)
+
+let regions_src =
+  {|#include <stdio.h>
+#include <pthread.h>
+
+int x;
+pthread_mutex_t m;
+
+int pure_add(int a, int b) {
+    return a + b;
+}
+
+void *work(void *arg) {
+    x = x + 1;
+    pthread_mutex_lock(&m);
+    x = x + 2;
+    pthread_mutex_unlock(&m);
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[2];
+    pthread_mutex_init(&m, NULL);
+    for (t = 0; t < 2; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 2; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("x = %d\n", x);
+    return 0;
+}
+|}
+
+let test_sync_primitives () =
+  Alcotest.(check bool) "RCCE_barrier synchronizes" true
+    (Opt.Sync_regions.is_sync_primitive "RCCE_barrier");
+  Alcotest.(check bool) "pthread_mutex_lock synchronizes" true
+    (Opt.Sync_regions.is_sync_primitive "pthread_mutex_lock");
+  Alcotest.(check bool) "printf does not" false
+    (Opt.Sync_regions.is_sync_primitive "printf")
+
+let test_sync_regions_analysis () =
+  let program = Parser.program ~file:"regions.c" regions_src in
+  let session = Session.create program in
+  let regions = Session.sync_regions session in
+  Alcotest.(check bool) "work synchronizes" true
+    (Opt.Sync_regions.func_has_sync regions "work");
+  Alcotest.(check bool) "pure_add is sync-free" false
+    (Opt.Sync_regions.func_has_sync regions "pure_add");
+  (match Opt.Sync_regions.region_count regions "work" with
+  | Some n ->
+      Alcotest.(check bool) "lock/unlock split work into regions" true (n >= 2)
+  | None -> Alcotest.fail "no regions for work");
+  (match Opt.Sync_regions.region_count regions "pure_add" with
+  | Some n -> Alcotest.(check int) "pure_add is one region" 1 n
+  | None -> Alcotest.fail "no regions for pure_add");
+  (* call summaries propagate through expressions and statements *)
+  Alcotest.(check bool) "a call to work synchronizes" true
+    (Opt.Sync_regions.expr_has_sync regions (Ast.call "work" [ Ast.int 0 ]));
+  Alcotest.(check bool) "a call to pure_add does not" false
+    (Opt.Sync_regions.expr_has_sync regions
+       (Ast.call "pure_add" [ Ast.int 1; Ast.int 2 ]))
+
+(* ---------------------------------------------------------------- *)
+(* the locality plan, on the translated generation *)
+
+let test_opt_plan_on_dot () =
+  let src = Exp.Csrc.dot_reps ~reps:4 ~nt:4 ~n:64 in
+  let program = Parser.program ~file:"dot.c" src in
+  let options = { (opt_options ~ncores:4) with Translate.Pass.optimize = false } in
+  let session = Session.create ~options program in
+  let _ = Translate.Driver.translate_session session in
+  let plan = Session.opt_plan session in
+  Alcotest.(check bool) "an insertion point was found" true
+    (plan.Opt.Opt_plan.insert_at <> None);
+  let names = List.map (fun c -> c.Opt.Opt_plan.mc_name) plan.Opt.Opt_plan.mpb in
+  Alcotest.(check bool) "the input vectors are MPB candidates" true
+    (List.mem "a" names && List.mem "b" names);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate fits an MPB slice" true
+        (c.Opt.Opt_plan.mc_bytes <= 8192))
+    plan.Opt.Opt_plan.mpb;
+  (* the partial-sum vector is written during the parallel phase: it
+     must never be classified read-only *)
+  Alcotest.(check bool) "partial sums stay out of the read-only set" false
+    (List.mem "partial" plan.Opt.Opt_plan.read_only)
+
+(* ---------------------------------------------------------------- *)
+(* pass-ordering metadata *)
+
+let test_opt_pipeline_order () =
+  let sched = Translate.Driver.passes_for (opt_options ~ncores:4) in
+  let names = List.map (fun p -> p.Translate.Pass.name) sched in
+  Alcotest.(check (list string))
+    "-O schedule"
+    [
+      "threads-to-processes"; "mutex-convert"; "remove-pthread";
+      "shared-rewrite"; "add-rcce"; "opt-mpb-cache"; "opt-pre"; "optimize";
+      "cleanup";
+    ]
+    names;
+  (* the honest schedule satisfies its own must_follow constraints *)
+  Translate.Pass.validate_order sched
+
+let test_misordered_schedule_rejected () =
+  let sched = Translate.Driver.passes_for (opt_options ~ncores:4) in
+  match Translate.Pass.validate_order (List.rev sched) with
+  | () -> Alcotest.fail "reversed -O schedule was accepted"
+  | exception Translate.Pass.Inconsistent (_, _) -> ()
+
+(* ---------------------------------------------------------------- *)
+(* PRE and MPB caching on real translations *)
+
+let translate_example ?(optimize = true) ~ncores name =
+  let examples = data_dir "examples/c" in
+  let src = read_file (Filename.concat examples (name ^ ".c")) in
+  let options =
+    { (opt_options ~ncores) with Translate.Pass.optimize }
+  in
+  fst (Translate.Driver.translate_to_string ~options ~file:(name ^ ".c") src)
+
+let test_pre_hoists_hot_loop () =
+  let out = translate_example ~ncores:4 "hot_loop" in
+  Alcotest.(check bool) "nsteps load hoisted" true
+    (contains ~needle:"__pre_nsteps" out);
+  Alcotest.(check bool) "scale load hoisted" true
+    (contains ~needle:"__pre_scale" out);
+  (* the lock-protected accumulator must never be cached privately *)
+  Alcotest.(check bool) "total left alone" false
+    (contains ~needle:"__pre_total" out)
+
+let test_mpb_cache_emits_fill_idiom () =
+  let src = Exp.Csrc.dot_reps ~reps:4 ~nt:4 ~n:64 in
+  let options = opt_options ~ncores:4 in
+  let out, _ =
+    Translate.Driver.translate_to_string ~options ~file:"dot.c" src
+  in
+  Alcotest.(check bool) "MPB copies declared" true
+    (contains ~needle:"a__mpb" out && contains ~needle:"b__mpb" out);
+  Alcotest.(check bool) "striped fill uses the core count" true
+    (contains ~needle:"__mpb_nues" out);
+  Alcotest.(check bool) "fill is published by a barrier" true
+    (contains ~needle:"RCCE_barrier" out)
+
+let test_golden_opt_translations () =
+  (* -O output for three examples is pinned: optimizer changes show up
+     as reviewable golden diffs *)
+  let golden = data_dir "test/golden" in
+  let golden = if Sys.file_exists golden then golden else "golden" in
+  List.iter
+    (fun name ->
+      let translated = translate_example ~ncores:4 name in
+      let expected =
+        read_file (Filename.concat golden (name ^ ".opt.rcce.c"))
+      in
+      Alcotest.(check string)
+        (name ^ " matches its -O golden translation")
+        expected translated)
+    [ "locked_counter"; "unlocked_counter"; "hot_loop" ]
+
+(* ---------------------------------------------------------------- *)
+(* the simulated payoff *)
+
+let test_shared_loads_drop () =
+  let examples = data_dir "examples/c" in
+  let src = read_file (Filename.concat examples "hot_loop.c") in
+  let program = Parser.program ~file:"hot_loop.c" src in
+  let run optimize =
+    let options = { (opt_options ~ncores:4) with Translate.Pass.optimize } in
+    let translated, _ = Translate.Driver.translate_program ~options program in
+    Cexec.Interp.run_rcce ~ncores:4 translated
+  in
+  let naive = run false in
+  let opt = run true in
+  Alcotest.(check string) "same output" naive.Cexec.Interp.output
+    opt.Cexec.Interp.output;
+  let loads (r : Cexec.Interp.result) =
+    Scc.Stats.total_shared_dram_loads
+      (Scc.Engine.stats r.Cexec.Interp.engine)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared-DRAM loads drop (%d -> %d)" (loads naive)
+       (loads opt))
+    true
+    (loads opt < loads naive / 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated time improves (%d -> %d ps)"
+       naive.Cexec.Interp.elapsed_ps opt.Cexec.Interp.elapsed_ps)
+    true
+    (opt.Cexec.Interp.elapsed_ps < naive.Cexec.Interp.elapsed_ps)
+
+(* ---------------------------------------------------------------- *)
+(* the -O conformance story *)
+
+let test_fuzz_under_optimizer () =
+  (* the optimizer must be invisible to the oracle on generated
+     programs *)
+  let summary =
+    Conform.Harness.run ~shrink_budget:0 ~optimize:true ~seed:9090 ~count:10 ()
+  in
+  Alcotest.(check int) "all programs agree under -O" 0
+    (List.length summary.Conform.Harness.s_failures)
+
+let test_corpus_replays_under_optimizer () =
+  let dir = data_dir "test/conformance" in
+  let dir = if Sys.file_exists dir then dir else "conformance" in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".c")
+  |> List.sort compare
+  |> List.iter (fun f ->
+         let path = Filename.concat dir f in
+         let contents = read_file path in
+         match Conform.Harness.parse_directives contents with
+         | Error e -> Alcotest.failf "%s: %s" f e
+         | Ok d when d.Conform.Harness.d_expect <> Conform.Harness.Expect_agree
+           ->
+             (* a recorded divergence is about the program's own races,
+                not the optimizer: replay it as recorded only *)
+             ()
+         | Ok _ -> (
+             match
+               Conform.Harness.replay ~force_optimize:true ~file:path contents
+             with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "%s under -O: %s" f e))
+
+let locked_accumulator_src =
+  {|#include <stdio.h>
+#include <pthread.h>
+
+int total;
+pthread_mutex_t m;
+
+void *work(void *arg) {
+    int tid = (int) arg;
+    pthread_mutex_lock(&m);
+    total = total + tid + 1;
+    pthread_mutex_unlock(&m);
+    pthread_exit(NULL);
+}
+
+int main() {
+    int t;
+    pthread_t threads[4];
+    pthread_mutex_init(&m, NULL);
+    total = 0;
+    for (t = 0; t < 4; t++) {
+        pthread_create(&threads[t], NULL, work, (void *) t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("OBS total 0 %d\n", total);
+    return 0;
+}
+|}
+
+let test_illegal_hoist_caught () =
+  (* hoisting a lock-protected read out of its critical section loses
+     updates; the oracle must see the wrong sum.  This is exactly the
+     transformation opt-pre's legality analysis refuses — the sabotage
+     proves the refusal is load-bearing. *)
+  let program = Parser.program ~file:"locked.c" locked_accumulator_src in
+  let cfg = Conform.Oracle.default_config ~ncores:4 in
+  (match Conform.Oracle.check cfg program with
+  | Conform.Oracle.Agree -> ()
+  | Conform.Oracle.Diverge f ->
+      Alcotest.failf "honest pipeline diverges: %s"
+        (Conform.Oracle.failure_to_string f));
+  let sabotage =
+    match Conform.Harness.sabotage_of_string "illegal-hoist" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let broken = Conform.Harness.apply_sabotage sabotage cfg in
+  match Conform.Oracle.check broken program with
+  | Conform.Oracle.Diverge _ -> ()
+  | Conform.Oracle.Agree ->
+      Alcotest.fail "illegal hoist went unnoticed by the oracle"
+
+let test_illegal_hoist_fuzz_caught () =
+  let sabotage =
+    match Conform.Harness.sabotage_of_string "illegal-hoist" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let summary =
+    Conform.Harness.run ~shrink_budget:0 ~sabotage ~seed:7 ~count:8 ()
+  in
+  Alcotest.(check bool) "at least one divergence" true
+    (summary.Conform.Harness.s_failures <> [])
+
+(* ---------------------------------------------------------------- *)
+(* instrumentation *)
+
+let test_timings_list_opt_providers () =
+  let examples = data_dir "examples/c" in
+  let src = read_file (Filename.concat examples "hot_loop.c") in
+  let program = Parser.program ~file:"hot_loop.c" src in
+  let options = opt_options ~ncores:4 in
+  let session = Session.create ~options program in
+  let _ = Translate.Driver.translate_session session in
+  let names = List.map (fun t -> t.Session.t_name) (Session.timings session) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " has a timings row") true (List.mem n names))
+    [ "sync-regions"; "opt-plan"; "opt-mpb-cache"; "opt-pre" ];
+  Alcotest.(check bool) "sync-regions ran" true
+    (Session.invocations session "sync-regions" >= 1);
+  Alcotest.(check bool) "opt-plan ran" true
+    (Session.invocations session "opt-plan" >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "sync primitives" `Quick test_sync_primitives;
+    Alcotest.test_case "sync-free regions" `Quick test_sync_regions_analysis;
+    Alcotest.test_case "locality plan on dot" `Quick test_opt_plan_on_dot;
+    Alcotest.test_case "-O pipeline order" `Quick test_opt_pipeline_order;
+    Alcotest.test_case "misordered schedule rejected" `Quick
+      test_misordered_schedule_rejected;
+    Alcotest.test_case "PRE hoists the hot-loop loads" `Quick
+      test_pre_hoists_hot_loop;
+    Alcotest.test_case "MPB cache fill idiom" `Quick
+      test_mpb_cache_emits_fill_idiom;
+    Alcotest.test_case "golden -O translations" `Quick
+      test_golden_opt_translations;
+    Alcotest.test_case "shared loads drop under -O" `Slow
+      test_shared_loads_drop;
+    Alcotest.test_case "fuzz agrees under -O" `Slow test_fuzz_under_optimizer;
+    Alcotest.test_case "corpus replays under -O" `Slow
+      test_corpus_replays_under_optimizer;
+    Alcotest.test_case "killing mutation: illegal-hoist" `Quick
+      test_illegal_hoist_caught;
+    Alcotest.test_case "killing mutation: illegal-hoist (fuzz)" `Slow
+      test_illegal_hoist_fuzz_caught;
+    Alcotest.test_case "--timings lists the optimizer providers" `Quick
+      test_timings_list_opt_providers;
+  ]

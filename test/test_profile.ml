@@ -329,7 +329,7 @@ let test_stats_summary_golden () =
   Scc.Engine.run eng;
   Alcotest.(check string) "summary line"
     "loads=4 stores=2 l1_hits=0 l2_hits=0 private_lines=0 shared_lines=6 \
-     mpb_lines=0"
+     (r=4 w=2) mpb_lines=0"
     (Scc.Stats.summary (Scc.Engine.stats eng))
 
 let suite =

@@ -156,6 +156,7 @@ let inject_into_main ~name stmt =
   {
     Translate.Pass.name;
     forbids_after = [];
+    must_follow = [];
     transform =
       (fun _env (program : Ast.program) ->
         let globals =
