@@ -1,28 +1,43 @@
 (* sim_bench — simulator throughput, written to BENCH_sim.json.
 
-   Two metrics:
+   Per-component metrics, so a regression names its culprit instead of
+   showing up as one opaque events/s delta:
 
-   - single-run events/s: the scheduler's event rate interpreting the Pi
-     Pthread program, at a many-context count (1024 threads on 48 cores,
-     where scheduling cost dominates) and at a moderate one (8 threads,
-     where interpretation dominates).  "Events" are scheduler resumes
-     (Scc.Engine.events), a pure function of the simulated schedule, so
-     the rate is comparable across implementations that produce the same
-     results.
-
-   - swept configs/s: the Figure 6.1 sweep (each benchmark in Pthread
-     baseline and translated RCCE form) end to end.
+   - interp_compiled (the headline): events/s interpreting the Pi
+     Pthread program at 1024 threads under the closure-compiled
+     interpreter — the configuration every ROADMAP sweep item is gated
+     on.  "Events" are scheduler resumes (Scc.Engine.events), a pure
+     function of the simulated schedule, so the rate is comparable
+     across implementations that produce the same results.
+   - interp_tree: the same run under the tree-walking reference
+     interpreter.  compiled/tree is the measured compilation speedup.
+   - sched_raw: a synthetic workload performing compute/load effects
+     directly against the engine API with no C interpreter at all —
+     the scheduler + effect-machinery + memory-model ceiling.  If this
+     figure regresses, the engine regressed; if it holds while the
+     interp figures drop, the interpreter regressed.
+   - sweep: the Figure 6.1 sweep (each benchmark in Pthread baseline
+     and translated RCCE form) end to end, configs/s.
+   - parallel: (a) the conservative parallel-DES ceiling measured by the
+     LBTS window accounting (Scc.Engine.par_report) on a 32-rank RCCE
+     run partitioned across sim_jobs=8 scheduler partitions, and (b) the
+     wall-clock speedup of running independent simulations on the
+     PR 3 domain pool (Exp.Pool) — >1 on a multi-core host, ~1 in a
+     single-CPU container (the committed baselines come from such a
+     container; see EXPERIMENTS.md).
 
    Each measurement is best-of-N wall time: the simulator is
    deterministic, so the minimum is the least-noise estimate.
 
      sim_bench [--quick] [--out FILE] [--check BASELINE] [--max-regress F]
 
-   --check compares the headline events/s against a previously written
-   BENCH_sim.json and exits 1 on a regression of more than --max-regress
-   (a fraction, default 0.30) — the CI gate.  The observability CI step
-   re-runs the gate at 0.05 to hold the instrumented-but-disabled
-   simulator within 5% of the committed baseline. *)
+   --check compares headline, interp_tree, sched_raw and sweep figures
+   against a previously written BENCH_sim.json and exits 1 when any
+   regresses by more than --max-regress (a fraction, default 0.30),
+   naming the regressed component(s) and the implied attribution.  The
+   observability CI step re-runs the gate at 0.05 to hold the
+   instrumented-but-disabled simulator within 5% of the committed
+   baseline. *)
 
 type meas = {
   label : string;
@@ -31,24 +46,57 @@ type meas = {
   events_per_sec : float;
 }
 
-let bench_pi ~label ~nt ~steps ~iters =
-  let src = Exp.Csrc.pi ~nt ~steps in
-  let program = Cfront.Parser.program ~file:"pi.c" src in
-  ignore (Cexec.Interp.run_pthread program);
+let best_of ~iters f =
   let best = ref infinity in
   let events = ref 0 in
   for _ = 1 to iters do
     let t0 = Unix.gettimeofday () in
-    let r = Cexec.Interp.run_pthread program in
+    let ev = f () in
     let dt = Unix.gettimeofday () -. t0 in
-    events := Scc.Engine.events r.Cexec.Interp.engine;
+    events := ev;
     if dt < !best then best := dt
   done;
+  (!events, !best)
+
+let bench_pi ~label ~interp ~nt ~steps ~iters =
+  let src = Exp.Csrc.pi ~nt ~steps in
+  let program = Cfront.Parser.program ~file:"pi.c" src in
+  ignore (Cexec.Interp.run_pthread ~interp program);
+  let events, best =
+    best_of ~iters (fun () ->
+        let r = Cexec.Interp.run_pthread ~interp program in
+        Scc.Engine.events r.Cexec.Interp.engine)
+  in
+  { label; events; best_s = best; events_per_sec = float_of_int events /. best }
+
+(* The engine with no interpreter in front of it: contexts time-sharing
+   one core, each alternating a short compute burst with a private-line
+   load — the same effect mix the Pi run generates, minus all
+   interpretation.  This is the scheduler/effect/memory-model ceiling. *)
+let bench_sched_raw ~nctx ~rounds ~iters =
+  let run () =
+    let eng = Scc.Engine.create () in
+    let addr =
+      Scc.Memmap.alloc (Scc.Engine.memmap eng) (Scc.Memmap.Private 0) ~bytes:64
+    in
+    for i = 0 to nctx - 1 do
+      ignore
+        (Scc.Engine.spawn eng ~core:0 (fun api ->
+             for r = 0 to rounds - 1 do
+               api.Scc.Engine.compute 20;
+               api.Scc.Engine.load (addr + (((i + r) mod 16) * 4)) ~bytes:4
+             done))
+    done;
+    Scc.Engine.run eng;
+    Scc.Engine.events eng
+  in
+  ignore (run ());
+  let events, best = best_of ~iters run in
   {
-    label;
-    events = !events;
-    best_s = !best;
-    events_per_sec = float_of_int !events /. !best;
+    label = Printf.sprintf "raw-%d-ctx-compute-load" nctx;
+    events;
+    best_s = best;
+    events_per_sec = float_of_int events /. best;
   }
 
 let bench_sweep ~iters =
@@ -57,69 +105,179 @@ let bench_sweep ~iters =
   let configs = ref 0 in
   for _ = 1 to iters do
     let t0 = Unix.gettimeofday () in
-    let rows =
-      Exp.Experiments.fig_6_1_data ~scale:Exp.Experiments.Quick ()
-    in
+    let rows = Exp.Experiments.fig_6_1_data ~scale:Exp.Experiments.Quick () in
     let dt = Unix.gettimeofday () -. t0 in
     configs := 2 * List.length rows;
     if dt < !best then best := dt
   done;
   (!configs, !best, float_of_int !configs /. !best)
 
-let json_of ~mode ~singles ~sweep:(configs, sweep_s, cps) ~headline =
-  let b = Buffer.create 1024 in
+type par_meas = {
+  sim_jobs : int;
+  lookahead_ps : int;
+  windows : int;
+  par_ceiling : float;
+  domain_events : int array;
+  pool_jobs : int;
+  pool_speedup : float;
+}
+
+(* Parallel component: LBTS ceiling of a 32-rank RCCE run under an
+   8-partition scheduler, plus the domain-pool speedup for independent
+   simulations (four Pi runs, jobs=1 vs jobs=pool). *)
+let bench_parallel ~steps ~iters =
+  let sim_jobs = 8 in
+  let src = Exp.Csrc.pi ~nt:32 ~steps in
+  let program = Cfront.Parser.program ~file:"pi.c" src in
+  let translated, _report = Translate.Driver.translate_program program in
+  let r = Cexec.Interp.run_rcce ~sim_jobs ~ncores:32 translated in
+  let rep = Scc.Engine.par_report r.Cexec.Interp.engine in
+  let pool_jobs = min 4 (Exp.Pool.default_jobs ()) in
+  let sim () =
+    ignore (Cexec.Interp.run_pthread program);
+    ()
+  in
+  let thunks = List.init 4 (fun _ -> sim) in
+  let time jobs =
+    let best = ref infinity in
+    for _ = 1 to iters do
+      let t0 = Unix.gettimeofday () in
+      Exp.Pool.map_fixed ~jobs thunks |> ignore;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let seq_s = time 1 in
+  let par_s = time pool_jobs in
+  {
+    sim_jobs = Scc.Engine.n_partitions r.Cexec.Interp.engine;
+    lookahead_ps = rep.Scc.Engine.lookahead_ps;
+    windows = rep.Scc.Engine.windows;
+    par_ceiling = Scc.Engine.par_ceiling rep;
+    domain_events = rep.Scc.Engine.domain_events;
+    pool_jobs;
+    pool_speedup = (if par_s > 0. then seq_s /. par_s else 1.);
+  }
+
+let meas_json m =
+  Printf.sprintf
+    "{\"label\": %S, \"events\": %d, \"best_s\": %.6f, \"events_per_sec\": \
+     %.0f}"
+    m.label m.events m.best_s m.events_per_sec
+
+let json_of ~mode ~compiled ~tree ~moderate ~raw
+    ~sweep:(configs, sweep_s, cps) ~par =
+  let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"hsmc-sim-bench-1\",\n";
+  Buffer.add_string b "  \"schema\": \"hsmc-sim-bench-2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
-  Buffer.add_string b "  \"single_run\": [\n";
-  List.iteri
-    (fun i m ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"label\": %S, \"events\": %d, \"best_s\": %.6f, \
-            \"events_per_sec\": %.0f}%s\n"
-           m.label m.events m.best_s m.events_per_sec
-           (if i = List.length singles - 1 then "" else ",")))
-    singles;
-  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"components\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"interp_compiled\": %s,\n" (meas_json compiled));
+  Buffer.add_string b
+    (Printf.sprintf "    \"interp_tree\": %s,\n" (meas_json tree));
+  Buffer.add_string b
+    (Printf.sprintf "    \"interp_compiled_8\": %s,\n" (meas_json moderate));
+  Buffer.add_string b
+    (Printf.sprintf "    \"sched_raw\": %s,\n" (meas_json raw));
   Buffer.add_string b
     (Printf.sprintf
-       "  \"sweep\": {\"label\": \"fig-6.1-quick\", \"configs\": %d, \
+       "    \"sweep\": {\"label\": \"fig-6.1-quick\", \"configs\": %d, \
         \"best_s\": %.6f, \"configs_per_sec\": %.2f},\n"
        configs sweep_s cps);
   Buffer.add_string b
-    (Printf.sprintf "  \"headline_events_per_sec\": %.0f\n" headline);
+    (Printf.sprintf
+       "    \"parallel\": {\"sim_jobs\": %d, \"lookahead_ps\": %d, \
+        \"windows\": %d, \"par_ceiling\": %.2f, \"domain_events\": [%s], \
+        \"pool_jobs\": %d, \"pool_speedup\": %.2f}\n"
+       par.sim_jobs par.lookahead_ps par.windows par.par_ceiling
+       (String.concat ", "
+          (Array.to_list (Array.map string_of_int par.domain_events)))
+       par.pool_jobs par.pool_speedup);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"compile_speedup\": %.2f,\n"
+       (compiled.events_per_sec /. tree.events_per_sec));
+  Buffer.add_string b
+    (Printf.sprintf "  \"headline_events_per_sec\": %.0f\n"
+       compiled.events_per_sec);
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-(* Minimal field scan — the file is our own fixed format. *)
-let headline_of_file file =
+(* Minimal field scan — the file is our own fixed format.  Finds the
+   number following ["key": ] anywhere in the file. *)
+let scan_number s key =
+  let key = Printf.sprintf "\"%s\":" key in
+  let kl = String.length key in
+  let sl = String.length s in
+  let rec find i =
+    if i + kl > sl then None
+    else if String.sub s i kl = key then Some (i + kl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+      let k = ref j in
+      while
+        !k < sl
+        && (s.[!k] = ' ' || s.[!k] = '.' || s.[!k] = '-'
+           || (s.[!k] >= '0' && s.[!k] <= '9'))
+      do
+        incr k
+      done;
+      float_of_string_opt (String.trim (String.sub s j (!k - j)))
+
+let read_file file =
   let ic = open_in file in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  let key = "\"headline_events_per_sec\":" in
-  match String.index_opt s '}' with
-  | None -> None
-  | Some _ -> (
-      let rec find i =
-        if i + String.length key > String.length s then None
-        else if String.sub s i (String.length key) = key then
-          Some (i + String.length key)
-        else find (i + 1)
-      in
-      match find 0 with
-      | None -> None
-      | Some j ->
-          let k = ref j in
-          while
-            !k < String.length s
-            && (s.[!k] = ' ' || s.[!k] = '.' || s.[!k] = '-'
-               || (s.[!k] >= '0' && s.[!k] <= '9'))
-          do
-            incr k
-          done;
-          float_of_string_opt (String.trim (String.sub s j (!k - j))))
+  s
+
+(* Per-component figures from a baseline file.  The old schema-1 format
+   only carried the headline; missing components are skipped, so a check
+   against an old baseline still gates the headline. *)
+let baseline_figures s =
+  let after key sub = scan_number s sub |> Option.map (fun v -> (key, v)) in
+  List.filter_map
+    (fun x -> x)
+    [
+      after "headline" "headline_events_per_sec";
+      (* events_per_sec inside each component object: scan from the
+         component key onwards *)
+      (let find_component name =
+         let key = Printf.sprintf "\"%s\":" name in
+         let kl = String.length key in
+         let sl = String.length s in
+         let rec find i =
+           if i + kl > sl then None
+           else if String.sub s i kl = key then Some i
+           else find (i + 1)
+         in
+         match find 0 with
+         | None -> None
+         | Some i ->
+             scan_number (String.sub s i (min (sl - i) 400)) "events_per_sec"
+       in
+       find_component "interp_tree"
+       |> Option.map (fun v -> ("interp_tree", v)));
+      (let key = "\"sched_raw\":" in
+       let kl = String.length key in
+       let sl = String.length s in
+       let rec find i =
+         if i + kl > sl then None
+         else if String.sub s i kl = key then Some i
+         else find (i + 1)
+       in
+       match find 0 with
+       | None -> None
+       | Some i ->
+           scan_number (String.sub s i (min (sl - i) 400)) "events_per_sec"
+           |> Option.map (fun v -> ("sched_raw", v)));
+      after "sweep_configs_per_sec" "configs_per_sec";
+    ]
 
 let () =
   let quick = ref false in
@@ -158,16 +316,29 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let steps = if !quick then 16384 else 65536 in
   let iters = if !quick then 3 else 10 in
-  let many =
-    bench_pi ~label:"pi-pthread-1024-threads" ~nt:1024 ~steps ~iters
+  let compiled =
+    bench_pi ~label:"pi-pthread-1024-threads" ~interp:Cexec.Interp.Compiled
+      ~nt:1024 ~steps ~iters
   in
-  let moderate = bench_pi ~label:"pi-pthread-8-threads" ~nt:8 ~steps ~iters in
+  let tree =
+    bench_pi ~label:"pi-pthread-1024-threads-tree" ~interp:Cexec.Interp.Tree
+      ~nt:1024 ~steps ~iters
+  in
+  let moderate =
+    bench_pi ~label:"pi-pthread-8-threads" ~interp:Cexec.Interp.Compiled ~nt:8
+      ~steps ~iters
+  in
+  let raw =
+    bench_sched_raw ~nctx:256
+      ~rounds:(if !quick then 128 else 512)
+      ~iters
+  in
   let sweep = bench_sweep ~iters:(if !quick then 2 else 5) in
-  let headline = many.events_per_sec in
+  let par = bench_parallel ~steps ~iters:(if !quick then 2 else 3) in
   let json =
     json_of
       ~mode:(if !quick then "quick" else "full")
-      ~singles:[ many; moderate ] ~sweep ~headline
+      ~compiled ~tree ~moderate ~raw ~sweep ~par
   in
   let oc = open_out !out in
   output_string oc json;
@@ -175,22 +346,69 @@ let () =
   print_string json;
   match !check with
   | None -> ()
-  | Some baseline_file -> (
-      match headline_of_file baseline_file with
-      | None ->
-          Printf.eprintf "sim_bench: cannot read baseline %s\n" baseline_file;
-          exit 65
-      | Some base ->
-          let floor = (1. -. !max_regress) *. base in
-          if headline < floor then begin
-            Printf.eprintf
-              "sim_bench: REGRESSION: %.0f events/s is more than %.0f%% \
-               below the committed baseline %.0f (floor %.0f)\n"
-              headline (100. *. !max_regress) base floor;
-            exit 1
-          end
-          else
-            Printf.printf
-              "sim_bench: ok: %.0f events/s vs baseline %.0f (floor %.0f, \
-               max regress %.0f%%)\n"
-              headline base floor (100. *. !max_regress))
+  | Some baseline_file ->
+      let base = baseline_figures (read_file baseline_file) in
+      if base = [] then begin
+        Printf.eprintf "sim_bench: cannot read baseline %s\n" baseline_file;
+        exit 65
+      end
+      else begin
+        let current =
+          [
+            ("headline", compiled.events_per_sec);
+            ("interp_tree", tree.events_per_sec);
+            ("sched_raw", raw.events_per_sec);
+            ("sweep_configs_per_sec",
+             let _, _, cps = sweep in
+             cps);
+          ]
+        in
+        let regressed =
+          List.filter_map
+            (fun (key, basev) ->
+              match List.assoc_opt key current with
+              | None -> None
+              | Some now ->
+                  let floor = (1. -. !max_regress) *. basev in
+                  if now < floor then Some (key, basev, now, floor) else None)
+            base
+        in
+        if regressed = [] then begin
+          Printf.printf
+            "sim_bench: ok: headline %.0f events/s vs baseline (max regress \
+             %.0f%%); all components within bounds\n"
+            compiled.events_per_sec
+            (100. *. !max_regress);
+          List.iter
+            (fun (key, basev) ->
+              match List.assoc_opt key current with
+              | Some now ->
+                  Printf.printf "  %-22s %12.0f  (baseline %12.0f)\n" key now
+                    basev
+              | None -> ())
+            base
+        end
+        else begin
+          List.iter
+            (fun (key, basev, now, floor) ->
+              Printf.eprintf
+                "sim_bench: REGRESSION in %s: %.0f is below floor %.0f \
+                 (baseline %.0f, max regress %.0f%%)\n"
+                key now floor basev
+                (100. *. !max_regress))
+            regressed;
+          let r k = List.exists (fun (key, _, _, _) -> key = k) regressed in
+          let attribution =
+            if r "sched_raw" then
+              "engine/scheduler regression (raw effect path slowed down)"
+            else if r "headline" && not (r "interp_tree") then
+              "compiled-interpreter regression (tree reference held steady)"
+            else if r "headline" && r "interp_tree" then
+              "interpreter-wide regression (both modes slowed; engine raw \
+               path held)"
+            else "see component list above"
+          in
+          Printf.eprintf "sim_bench: attribution: %s\n" attribution;
+          exit 1
+        end
+      end

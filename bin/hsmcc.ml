@@ -277,16 +277,28 @@ let cfg_cmd path func =
 
 (* --- run -------------------------------------------------------------------- *)
 
-let run_cmd path ncores detect_races diag_format profile_on trace_out =
+let run_cmd path ncores detect_races diag_format profile_on trace_out
+    interp_name sim_jobs =
   let program = or_die (parse_source path) in
   let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
   let profile = if profile_on then Some (Scc.Profile.create ()) else None in
+  let interp =
+    match interp_name with
+    | "compiled" -> Cexec.Interp.Compiled
+    | "tree" -> Cexec.Interp.Tree
+    | other ->
+        Printf.eprintf "hsmcc: unknown --interp %S (tree | compiled)\n"
+          other;
+        exit 2
+  in
   let result =
     try
       if ncores <= 1 then
-        Cexec.Interp.run_pthread ?trace ?profile ~detect_races program
-      else Cexec.Interp.run_rcce ?trace ?profile ~detect_races ~ncores
-             program
+        Cexec.Interp.run_pthread ?trace ?profile ~interp ~sim_jobs
+          ~detect_races program
+      else
+        Cexec.Interp.run_rcce ?trace ?profile ~interp ~sim_jobs
+          ~detect_races ~ncores program
     with Cexec.Interp.Runtime_error msg ->
       prerr_endline ("hsmcc: runtime error: " ^ msg);
       exit 1
@@ -497,10 +509,26 @@ let run_trace_arg =
            ~doc:"Write a Chrome/Perfetto timeline of the simulated run \
                  (merged into FILE if it already holds a trace).")
 
+let run_interp_arg =
+  Arg.(value & opt string "compiled"
+       & info [ "interp" ] ~docv:"MODE"
+           ~doc:"Interpreter mode: $(b,compiled) (closure-compiled, the \
+                 default) or $(b,tree) (tree-walking reference).  Both \
+                 produce bit-identical output and timings.")
+
+let run_sim_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "sim-jobs" ] ~docv:"N"
+           ~doc:"Scheduler partitions (conservative parallel DES).  \
+                 Results are bit-identical for every value; with N > 1 \
+                 per-domain event counters appear in --profile and \
+                 --trace output.")
+
 let run_cmd_info =
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program on the simulated SCC")
     Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg
-          $ diag_format_arg $ run_profile_arg $ run_trace_arg)
+          $ diag_format_arg $ run_profile_arg $ run_trace_arg
+          $ run_interp_arg $ run_sim_jobs_arg)
 
 let defines_arg =
   Arg.(value & opt_all string []

@@ -7,8 +7,8 @@
 
 open Cmdliner
 
-let run_cmd name name_flag mode units trace_out profile_on metrics_out
-    verbose =
+let run_cmd name name_flag mode units sim_jobs trace_out profile_on
+    metrics_out verbose =
   let name =
     match name, name_flag with
     | Some n, _ | None, Some n -> n
@@ -42,7 +42,7 @@ let run_cmd name name_flag mode units trace_out profile_on metrics_out
           Some (Scc.Profile.create ())
         else None
       in
-      let r = Workloads.Workload.run ?trace ?profile ~cfg w mode in
+      let r = Workloads.Workload.run ?trace ?profile ~sim_jobs ~cfg w mode in
       Printf.printf "workload:   %s\n" r.Workloads.Workload.workload;
       Printf.printf "mode:       %s\n"
         (Workloads.Workload.mode_to_string r.Workloads.Workload.mode);
@@ -127,6 +127,14 @@ let units_arg =
   Arg.(value & opt int 32
        & info [ "units" ] ~docv:"N" ~doc:"Threads or cores.")
 
+let sim_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "sim-jobs" ] ~docv:"N"
+           ~doc:"Scheduler partitions (conservative parallel DES).  \
+                 Results are bit-identical for every value; partitions \
+                 add per-domain event counters to --metrics and \
+                 --trace/--profile output.")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Per-unit time breakdown.")
@@ -156,6 +164,7 @@ let main =
     (Cmd.info "simrun" ~version:"1.0.0"
        ~doc:"Run one benchmark on the simulated SCC")
     Term.(const run_cmd $ name_arg $ name_flag_arg $ mode_arg $ units_arg
-          $ trace_arg $ profile_arg $ metrics_arg $ verbose_arg)
+          $ sim_jobs_arg $ trace_arg $ profile_arg $ metrics_arg
+          $ verbose_arg)
 
 let () = exit (Cmd.eval main)

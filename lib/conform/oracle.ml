@@ -27,11 +27,15 @@ let failure_to_string f =
 type config = {
   options : Translate.Pass.options;
   passes : Translate.Pass.t list option;
+  interp : Cexec.Interp.mode;
+  sim_jobs : int;
 }
 
 let default_config ~ncores =
   { options = { Translate.Pass.default_options with Translate.Pass.ncores };
-    passes = None }
+    passes = None;
+    interp = Cexec.Interp.Compiled;
+    sim_jobs = 1 }
 
 let config_of_spec (sp : Gen.spec) =
   { options =
@@ -39,7 +43,9 @@ let config_of_spec (sp : Gen.spec) =
         Translate.Pass.ncores = sp.Gen.run_cores;
         many_to_one = sp.Gen.many_to_one;
         optimize = sp.Gen.optimize };
-    passes = None }
+    passes = None;
+    interp = Cexec.Interp.Compiled;
+    sim_jobs = 1 }
 
 let translate cfg program =
   match cfg.passes with
@@ -172,11 +178,20 @@ let check cfg program =
   with
   | Error msg -> Diverge (Translation_error msg)
   | Ok translated -> (
-      match try Ok (Cexec.Interp.run_pthread program) with e -> Error e with
+      match
+        try
+          Ok
+            (Cexec.Interp.run_pthread ~interp:cfg.interp
+               ~sim_jobs:cfg.sim_jobs program)
+        with e -> Error e
+      with
       | Error e -> Diverge (Baseline_error (describe_exn e))
       | Ok base -> (
           match
-            try Ok (Cexec.Interp.run_rcce ~ncores translated)
+            try
+              Ok
+                (Cexec.Interp.run_rcce ~interp:cfg.interp
+                   ~sim_jobs:cfg.sim_jobs ~ncores translated)
             with e -> Error e
           with
           | Error e -> Diverge (Converted_error (describe_exn e))

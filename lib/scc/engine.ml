@@ -53,8 +53,6 @@ type api = {
 }
 
 type _ Effect.t +=
-  | E_compute : int -> unit Effect.t
-  | E_access : (bool * int) -> unit Effect.t  (* write?, line address *)
   | E_barrier : unit Effect.t
   | E_acquire : int -> unit Effect.t
   | E_release : int -> unit Effect.t
@@ -65,6 +63,11 @@ type _ Effect.t +=
   | E_set_freq : (int * int) -> unit Effect.t    (* core, MHz (whole tile) *)
   | E_flag_set : (int * bool) -> unit Effect.t   (* flag id, value *)
   | E_flag_wait : int -> unit Effect.t           (* until the flag is set *)
+  | E_yield : unit Effect.t
+      (* yield to the scheduler with the operation's charge already
+         applied — performed by [api.compute]/[load]/[store] only when
+         the in-place fast path could not prove the scheduler would
+         pick this context again *)
 
 type pending =
   | Start of (unit -> unit)
@@ -159,19 +162,43 @@ type t = {
   mc_service_ps : int;
   dram_access_ps : int;
   mesh_transfer_ps : int;
-  (* Ready-queue: a binary min-heap of (local time, ctx id) snapshots with
-     lazy deletion — an entry is live only while its context is still
-     Ready at exactly the recorded time.  Keyed so that heap order equals
-     the old linear scan's tie-break: smaller time first, then smaller
-     context id. *)
-  mutable heap_now : int array;
-  mutable heap_id : int array;
-  mutable heap_len : int;
+  (* Ready-queues: one binary min-heap of (local time, ctx id) snapshots
+     per scheduler partition, with lazy deletion — an entry is live only
+     while its context is still Ready at exactly the recorded time.
+     Keyed so that heap order equals the old linear scan's tie-break:
+     smaller time first, then smaller context id.  With one partition
+     this is exactly the PR 3 scheduler; with several, the run loop
+     merges the partition minima, which preserves the global order. *)
+  heaps : heap array;
+  n_parts : int;
+  part_of_core : int array;
+  part_events : int array;     (* events resumed per partition *)
+  lookahead_ps : int;          (* minimum inter-tile hop latency *)
+  mutable win_end : int;       (* current LBTS window end (exclusive) *)
+  mutable win_mask : int;      (* partitions active in current window *)
+  mutable win_count : int;
+  mutable win_active_sum : int;
+  mutable win_active_max : int;
+  (* Contexts made Ready since the last scheduling decision; the run loop
+     pushes them into their partition heap — except the one it resumes
+     next, which skips the heap round trip entirely. *)
+  mutable just_ready : ctx list;
   mutable shared_cores : int list;  (* cores with more than one context *)
 }
 
-let create ?(cfg = Config.default) ?trace ?profile () =
+and heap = {
+  mutable hnow : int array;
+  mutable hid : int array;
+  mutable hlen : int;
+}
+
+let heap_make () = { hnow = Array.make 64 0; hid = Array.make 64 0; hlen = 0 }
+
+let create ?(cfg = Config.default) ?trace ?profile ?(sim_jobs = 1) () =
   let n = Config.n_cores cfg in
+  if sim_jobs < 1 || sim_jobs > 62 then
+    invalid_arg "Engine.create: sim_jobs must be in 1..62";
+  let n_parts = min sim_jobs n in
   let mesh = Mesh.create cfg in
   {
     cfg;
@@ -238,9 +265,19 @@ let create ?(cfg = Config.default) ?trace ?profile () =
     dram_access_ps = Config.dram_cycles_ps cfg cfg.Config.dram_access_cycles;
     mesh_transfer_ps =
       Config.mesh_cycles_ps cfg cfg.Config.mesh_cycles_per_hop;
-    heap_now = Array.make 64 0;
-    heap_id = Array.make 64 0;
-    heap_len = 0;
+    heaps = Array.init n_parts (fun _ -> heap_make ());
+    n_parts;
+    (* contiguous core ranges: partition p owns cores with
+       core * n_parts / n = p, so tiles stay together *)
+    part_of_core = Array.init n (fun core -> core * n_parts / n);
+    part_events = Array.make n_parts 0;
+    lookahead_ps = Mesh.min_hop_ps mesh;
+    win_end = min_int;
+    win_mask = 0;
+    win_count = 0;
+    win_active_sum = 0;
+    win_active_max = 0;
+    just_ready = [];
     shared_cores = [];
   }
 
@@ -287,6 +324,18 @@ let take_samples t p now =
   in
   Profile.sample p ~ts:now ~name:"mesh utilization"
     ~series:[ ("links-busy", util) ];
+  (* per-partition event totals, only when the scheduler is actually
+     partitioned — a single-partition run keeps its sample set (and the
+     golden profiles that pin it) unchanged *)
+  if t.n_parts > 1 then begin
+    let series = ref [] in
+    for part = t.n_parts - 1 downto 0 do
+      series :=
+        (Printf.sprintf "part%d" part, float_of_int t.part_events.(part))
+        :: !series
+    done;
+    Profile.sample p ~ts:now ~name:"domain events" ~series:!series
+  end;
   t.samp_last_ts <- now;
   t.next_sample_ps <- now + Profile.sample_interval_ps p
 
@@ -310,42 +359,42 @@ let n_ctxs t = t.n_ctx
 
 let events t = t.n_events
 
-(* --- the ready heap ------------------------------------------------------ *)
+(* --- the ready heaps ----------------------------------------------------- *)
 
 (* Strict total order on (time, ctx id): with distinct context ids no two
-   live keys compare equal, so the heap's minimum is unique and pop order
+   live keys compare equal, so a heap's minimum is unique and pop order
    is independent of insertion order — the property that keeps scheduling
    bit-identical to the old fold over the context array. *)
-let heap_less t i j =
-  t.heap_now.(i) < t.heap_now.(j)
-  || (t.heap_now.(i) = t.heap_now.(j) && t.heap_id.(i) < t.heap_id.(j))
+let heap_less h i j =
+  h.hnow.(i) < h.hnow.(j)
+  || (h.hnow.(i) = h.hnow.(j) && h.hid.(i) < h.hid.(j))
 
-let heap_swap t i j =
-  let n = t.heap_now.(i) and d = t.heap_id.(i) in
-  t.heap_now.(i) <- t.heap_now.(j);
-  t.heap_id.(i) <- t.heap_id.(j);
-  t.heap_now.(j) <- n;
-  t.heap_id.(j) <- d
+let heap_swap h i j =
+  let n = h.hnow.(i) and d = h.hid.(i) in
+  h.hnow.(i) <- h.hnow.(j);
+  h.hid.(i) <- h.hid.(j);
+  h.hnow.(j) <- n;
+  h.hid.(j) <- d
 
-let heap_push t ~now ~id =
-  let cap = Array.length t.heap_now in
-  if t.heap_len = cap then begin
+let heap_push h ~now ~id =
+  let cap = Array.length h.hnow in
+  if h.hlen = cap then begin
     let bigger_now = Array.make (2 * cap) 0 in
     let bigger_id = Array.make (2 * cap) 0 in
-    Array.blit t.heap_now 0 bigger_now 0 cap;
-    Array.blit t.heap_id 0 bigger_id 0 cap;
-    t.heap_now <- bigger_now;
-    t.heap_id <- bigger_id
+    Array.blit h.hnow 0 bigger_now 0 cap;
+    Array.blit h.hid 0 bigger_id 0 cap;
+    h.hnow <- bigger_now;
+    h.hid <- bigger_id
   end;
-  let i = t.heap_len in
-  t.heap_now.(i) <- now;
-  t.heap_id.(i) <- id;
-  t.heap_len <- t.heap_len + 1;
+  let i = h.hlen in
+  h.hnow.(i) <- now;
+  h.hid.(i) <- id;
+  h.hlen <- h.hlen + 1;
   let rec up i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
-      if heap_less t i parent then begin
-        heap_swap t i parent;
+      if heap_less h i parent then begin
+        heap_swap h i parent;
         up parent
       end
     end
@@ -353,19 +402,19 @@ let heap_push t ~now ~id =
   up i
 
 (* Remove and return the root; caller checks liveness. *)
-let heap_pop_root t =
-  let now = t.heap_now.(0) and id = t.heap_id.(0) in
-  t.heap_len <- t.heap_len - 1;
-  if t.heap_len > 0 then begin
-    t.heap_now.(0) <- t.heap_now.(t.heap_len);
-    t.heap_id.(0) <- t.heap_id.(t.heap_len);
+let heap_pop_root h =
+  let now = h.hnow.(0) and id = h.hid.(0) in
+  h.hlen <- h.hlen - 1;
+  if h.hlen > 0 then begin
+    h.hnow.(0) <- h.hnow.(h.hlen);
+    h.hid.(0) <- h.hid.(h.hlen);
     let rec down i =
       let l = (2 * i) + 1 and r = (2 * i) + 2 in
       let smallest = ref i in
-      if l < t.heap_len && heap_less t l !smallest then smallest := l;
-      if r < t.heap_len && heap_less t r !smallest then smallest := r;
+      if l < h.hlen && heap_less h l !smallest then smallest := l;
+      if r < h.hlen && heap_less h r !smallest then smallest := r;
       if !smallest <> i then begin
-        heap_swap t i !smallest;
+        heap_swap h i !smallest;
         down !smallest
       end
     in
@@ -373,8 +422,49 @@ let heap_pop_root t =
   end;
   (now, id)
 
-(* Record that [ctx] is runnable at its current local time. *)
-let ready_enqueue t ctx = heap_push t ~now:ctx.now ~id:ctx.id
+(* Drop stale roots until the root is live (the context is still Ready at
+   exactly the recorded time); the partition heap's live minimum is then
+   at the root.  Returns false when the heap ran empty. *)
+let heap_settle t h =
+  let rec go () =
+    if h.hlen = 0 then false
+    else begin
+      let c = t.ctx_arr.(h.hid.(0)) in
+      if c.status = Ready && c.now = h.hnow.(0) then true
+      else begin
+        ignore (heap_pop_root h);
+        go ()
+      end
+    end
+  in
+  go ()
+
+(* Record that [ctx] is runnable at its current local time.  The context
+   is stashed rather than pushed: the run loop pushes stashed contexts
+   into their partition heap, except the one it resumes immediately —
+   which is the common case on a quantum-sliced shared core and skips
+   the heap round trip entirely. *)
+let ready_enqueue t ctx = t.just_ready <- ctx :: t.just_ready
+
+let heap_of_ctx t ctx = t.heaps.(t.part_of_core.(ctx.core))
+
+(* Move stashed ready contexts into their partition heaps; [except]
+   (physical identity, the context about to be resumed) skips the heap. *)
+let flush_ready t except =
+  match t.just_ready with
+  | [] -> ()
+  | cs ->
+      t.just_ready <- [];
+      List.iter
+        (fun c ->
+          if c != except then
+            heap_push (heap_of_ctx t c) ~now:c.now ~id:c.id)
+        cs
+
+let no_ctx : ctx =
+  { id = -1; core = 0; barrier_member = false;
+    stats = Stats.create_ctx (); now = 0; status = Finished;
+    pending = None; joiners = [] }
 
 let add_ctx t ~core ~barrier_member ~now =
   if core < 0 || core >= Config.n_cores t.cfg then
@@ -763,26 +853,114 @@ let finish_ctx t ctx =
 (* Cost of creating a process/thread context, charged to the parent. *)
 let spawn_cost_cycles = 2_000
 
+let count_event t ctx =
+  t.n_events <- t.n_events + 1;
+  t.part_events.(t.part_of_core.(ctx.core)) <-
+    t.part_events.(t.part_of_core.(ctx.core)) + 1
+
+(* LBTS window accounting (measurement only, no scheduling effect): a
+   window is [lbts, lbts + lookahead); the partitions whose events land
+   in the same window could run concurrently under a conservative
+   parallel executor, so the mean active-partition count per window is
+   the measured parallel-DES ceiling for this workload. *)
+let note_window t ctx =
+  if t.n_parts > 1 then begin
+    if ctx.now >= t.win_end then begin
+      if t.win_mask <> 0 then begin
+        let active = ref 0 in
+        let m = ref t.win_mask in
+        while !m <> 0 do
+          m := !m land (!m - 1);
+          incr active
+        done;
+        t.win_count <- t.win_count + 1;
+        t.win_active_sum <- t.win_active_sum + !active;
+        if !active > t.win_active_max then t.win_active_max <- !active
+      end;
+      t.win_end <- ctx.now + t.lookahead_ps;
+      t.win_mask <- 0
+    end;
+    t.win_mask <- t.win_mask lor (1 lsl t.part_of_core.(ctx.core))
+  end
+
+(* Would the run loop, with [ctx] parked ready right now, pick [ctx]
+   again as the very next context?  This emulates the scheduling
+   decision exactly — slice owners always outrank heap contexts, and
+   ties break on (local time, ctx id) — so continuing [ctx] in place
+   preserves the event order bit for bit.  The check is conservative in
+   one place only: it requires the ready-stash to be empty and, when
+   [ctx] is alone on its core, compares against the *settled* partition
+   heap roots.  Stale roots always carry an earlier snapshot time than
+   their context's true time, so settling (which the real pick also
+   does) never changes the answer; a [false] merely forfeits the
+   shortcut, never correctness. *)
+let fast_self_pick t ctx =
+  (match t.just_ready with [] -> true | _ :: _ -> false)
+  &&
+  let proc = t.procs.(ctx.core) in
+  if proc.ctx_count > 1 then
+    (* shared core: [ctx] must still own its slice and beat every other
+       eligible slice owner on (time, id) — mirrors [slice_pick] *)
+    proc.last_ctx = ctx.id
+    && ctx.now <= proc.slice_end
+    && List.for_all
+         (fun core ->
+           core = ctx.core
+           ||
+           let p = t.procs.(core) in
+           p.last_ctx < 0
+           ||
+           let c = t.ctx_arr.(p.last_ctx) in
+           c.status <> Ready || c.now > p.slice_end
+           || ctx.now < c.now
+           || (ctx.now = c.now && ctx.id < c.id))
+         t.shared_cores
+  else
+    (* [ctx] alone on its core: no slice owner anywhere may be eligible
+       (they would outrank it), and it must beat the live minimum of
+       every partition heap — mirrors [slice_pick] + [heap_pick] *)
+    List.for_all
+      (fun core ->
+        let p = t.procs.(core) in
+        p.last_ctx < 0
+        ||
+        let c = t.ctx_arr.(p.last_ctx) in
+        c.status <> Ready || c.now > p.slice_end)
+      t.shared_cores
+    &&
+    let ok = ref true in
+    let p = ref 0 in
+    while !ok && !p < t.n_parts do
+      let h = t.heaps.(!p) in
+      if heap_settle t h then begin
+        let rn = h.hnow.(0) in
+        if rn < ctx.now || (rn = ctx.now && h.hid.(0) < ctx.id) then
+          ok := false
+      end;
+      incr p
+    done;
+    !ok
+
 let rec handler t ctx : (unit, unit) Effect.Deep.handler =
+  (* One yield receiver per context, allocated once: the performer
+     checked [fast_self_pick] before suspending and nothing mutates
+     between that check and this park, so a performed [E_yield] always
+     means "some other context must run next". *)
+  let park : (unit, unit) Effect.Deep.continuation -> unit =
+   fun k -> park_ready t ctx k
+  in
+  let park_opt = Some park in
   {
     Effect.Deep.retc = (fun () -> finish_ctx t ctx);
     exnc = (fun e -> raise e);
     effc =
-      (fun (type a) (eff : a Effect.t) ->
+      (fun (type a) (eff : a Effect.t) :
+           ((a, unit) Effect.Deep.continuation -> unit) option ->
         match eff with
-        | E_compute cycles ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                let dur = ccx t ctx cycles in
-                ctx.stats.Stats.compute_ps <-
-                  ctx.stats.Stats.compute_ps + dur;
-                charge_compute t ctx dur;
-                park_ready t ctx k)
-        | E_access (write, addr) ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                charge_access t ctx ~write addr;
-                park_ready t ctx k)
+        | E_yield ->
+            (* the performer ([api.compute]/[load]/[store]) already
+               applied the operation's charge; this is pure scheduling *)
+            park_opt
         | E_barrier ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -867,19 +1045,42 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
 
 and make_api t ctx =
   let line = t.cfg.Config.line_bytes in
-  (* a block access issues one effect per line, so the scheduler can
-     interleave other contexts' requests between them *)
+  (* Hot-path shortcut, mirroring the [E_compute]/[E_access] handler
+     arms: apply the operation's charge first, then — when the
+     scheduler would provably pick this context again — account for the
+     event in place and return, performing no effect at all (no
+     continuation is reified, no stack grows).  Otherwise yield to the
+     scheduler with the charge already applied.  The state mutations
+     and their order are exactly those of the effect path, so the event
+     stream is bit-identical either way. *)
+  let settle () =
+    if fast_self_pick t ctx then begin
+      count_event t ctx;
+      note_window t ctx
+    end
+    else Effect.perform E_yield
+  in
+  (* a block access issues one scheduling point per line, so the
+     scheduler can interleave other contexts' requests between them *)
   let access write addr ~bytes =
     let nlines = max 1 ((bytes + line - 1) / line) in
     for i = 0 to nlines - 1 do
-      Effect.perform (E_access (write, addr + (i * line)))
+      charge_access t ctx ~write (addr + (i * line));
+      settle ()
     done
   in
   {
     self = ctx.id;
     nunits = n_ctxs t;
     core = ctx.core;
-    compute = (fun n -> if n > 0 then Effect.perform (E_compute n));
+    compute =
+      (fun n ->
+        if n > 0 then begin
+          let dur = ccx t ctx n in
+          ctx.stats.Stats.compute_ps <- ctx.stats.Stats.compute_ps + dur;
+          charge_compute t ctx dur;
+          settle ()
+        end);
     load = (fun addr ~bytes -> access false addr ~bytes);
     store = (fun addr ~bytes -> access true addr ~bytes);
     barrier = (fun () -> Effect.perform E_barrier);
@@ -906,51 +1107,55 @@ let spawn t ~core program =
   ctx.pending <- Some (Start (fun () -> program (make_api t ctx)));
   ctx.id
 
-(* Scheduling policy: the runnable context with the smallest local time —
-   except that on a shared core the OS keeps the current thread running
-   until its time slice expires, so a context that still owns its core's
-   slice is preferred over switching. *)
-let pick_ready t =
-  (* Slice preference: on a shared core the OS keeps the current thread
-     running until its time slice expires.  At most one context per core
-     can own the slice (it must be the core's [last_ctx]), so scanning
-     the shared cores is O(#shared cores), not O(n).  Ties between slice
-     owners on distinct cores break on the smaller local time, then the
-     smaller ctx id — exactly the order the old left-to-right fold
-     produced, since contexts are stored in id order. *)
-  let best = ref None in
+(* Slice preference: on a shared core the OS keeps the current thread
+   running until its time slice expires.  At most one context per core
+   can own the slice (it must be the core's [last_ctx]), so scanning the
+   shared cores is O(#shared cores), not O(n).  Ties between slice
+   owners on distinct cores break on the smaller local time, then the
+   smaller ctx id — exactly the order the original left-to-right fold
+   produced, since contexts are stored in id order.  This scan looks at
+   context records directly, so it is correct whether or not the
+   contexts have been pushed to a heap yet. *)
+let slice_pick t =
+  let best = ref no_ctx in
   List.iter
     (fun core ->
       let proc = t.procs.(core) in
       if proc.last_ctx >= 0 then begin
         let c = t.ctx_arr.(proc.last_ctx) in
-        if c.status = Ready && c.now <= proc.slice_end then
-          match !best with
-          | Some b when b.now < c.now || (b.now = c.now && b.id < c.id) ->
-              ()
-          | _ -> best := Some c
+        if c.status = Ready && c.now <= proc.slice_end then begin
+          let b = !best in
+          if
+            b.id < 0 || c.now < b.now || (c.now = b.now && c.id < b.id)
+          then best := c
+        end
       end)
     t.shared_cores;
-  match !best with
-  | Some _ as r -> r
-  | None ->
-      (* Lazy deletion: heap entries are (now, id) snapshots taken when a
-         context became Ready; an entry is live only if the context is
-         still Ready at that same local time.  Strict (now, id) order
-         means the live minimum is unique, so pop order is independent of
-         push order — bit-identical to the old linear scan. *)
-      let rec pop () =
-        if t.heap_len = 0 then None
-        else begin
-          let now, id = heap_pop_root t in
-          let c = t.ctx_arr.(id) in
-          if c.status = Ready && c.now = now then Some c else pop ()
-        end
-      in
-      pop ()
+  !best
+
+(* The live global minimum across the partition heaps: settle each heap
+   (drop stale roots), then merge the roots by (time, id).  With one
+   partition this is exactly the PR 3 single-heap pop. *)
+let heap_pick t =
+  let best = ref no_ctx in
+  let best_part = ref (-1) in
+  for p = 0 to t.n_parts - 1 do
+    let h = t.heaps.(p) in
+    if heap_settle t h then begin
+      let c = t.ctx_arr.(h.hid.(0)) in
+      let b = !best in
+      if b.id < 0 || c.now < b.now || (c.now = b.now && c.id < b.id)
+      then begin
+        best := c;
+        best_part := p
+      end
+    end
+  done;
+  if !best_part >= 0 then ignore (heap_pop_root t.heaps.(!best_part));
+  !best
 
 let resume t ctx =
-  t.n_events <- t.n_events + 1;
+  count_event t ctx;
   ctx.status <- Running;
   match ctx.pending with
   | Some (Start main) ->
@@ -965,31 +1170,107 @@ let run t =
   if t.started then invalid_arg "Engine.run: simulation already started";
   t.started <- true;
   let rec loop () =
-    match pick_ready t with
-    | Some ctx ->
-        resume t ctx;
+    (* scheduling policy: the runnable context with the smallest local
+       time — except that a context still owning its shared core's time
+       slice is preferred over switching *)
+    let c = slice_pick t in
+    if c.id >= 0 then begin
+      flush_ready t c;
+      note_window t c;
+      resume t c;
+      loop ()
+    end
+    else begin
+      flush_ready t no_ctx;
+      let c = heap_pick t in
+      if c.id >= 0 then begin
+        note_window t c;
+        resume t c;
         loop ()
-    | None ->
-        if t.n_finished < n_ctxs t then
-          raise
-            (Deadlock
-               (Printf.sprintf
-                  "%d of %d contexts parked with no runnable context \
-                   (barrier waiting: %d, join waiting: %d)"
-                  (n_ctxs t - t.n_finished)
-                  (n_ctxs t)
-                  t.n_barrier_waiting t.n_join_waiting))
+      end
+      else if t.n_finished < n_ctxs t then
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "%d of %d contexts parked with no runnable context \
+                 (barrier waiting: %d, join waiting: %d)"
+                (n_ctxs t - t.n_finished)
+                (n_ctxs t)
+                t.n_barrier_waiting t.n_join_waiting))
+    end
   in
   if n_ctxs t > 0 then loop ();
+  (* close the last LBTS window *)
+  if t.n_parts > 1 && t.win_mask <> 0 then begin
+    let active = ref 0 in
+    let m = ref t.win_mask in
+    while !m <> 0 do
+      m := !m land (!m - 1);
+      incr active
+    done;
+    t.win_count <- t.win_count + 1;
+    t.win_active_sum <- t.win_active_sum + !active;
+    if !active > t.win_active_max then t.win_active_max <- !active;
+    t.win_mask <- 0
+  end;
   (* complete inclusive times for frames still open at the end *)
-  match t.profile with None -> () | Some p -> Profile.finalize p
+  match t.profile with
+  | None -> ()
+  | Some p ->
+      (* per-partition event totals for the Prometheus exposition, so
+         parallel-DES load imbalance is countable from --metrics *)
+      if t.n_parts > 1 then begin
+        let reg = Profile.registry p in
+        Array.iteri
+          (fun part ev ->
+            let c =
+              Obs.Registry.counter reg
+                ~help:
+                  (Printf.sprintf
+                     "events resumed by scheduler partition %d" part)
+                (Printf.sprintf "sim_domain_events_part%d_total" part)
+            in
+            Obs.Counter.add c ev)
+          t.part_events
+      end;
+      Profile.finalize p
 
 let stats t =
   {
     Stats.ctxs = Array.init t.n_ctx (fun i -> t.ctx_arr.(i).stats);
     mc_busy_ps = t.mc_busy_ps;
     mc_requests = t.mc_requests;
+    domain_events = Array.copy t.part_events;
   }
+
+let n_partitions t = t.n_parts
+
+let partition_events t = Array.copy t.part_events
+
+type par_report = {
+  partitions : int;
+  lookahead_ps : int;
+  windows : int;
+  active_sum : int;
+  active_max : int;
+  domain_events : int array;
+}
+
+let par_report t =
+  {
+    partitions = t.n_parts;
+    lookahead_ps = t.lookahead_ps;
+    windows = t.win_count;
+    active_sum = t.win_active_sum;
+    active_max = t.win_active_max;
+    domain_events = Array.copy t.part_events;
+  }
+
+(* Mean partitions-with-work per LBTS window: the conservative upper
+   bound on parallel-DES speedup for the simulated schedule. *)
+let par_ceiling r =
+  if r.windows = 0 then 1.0
+  else float_of_int r.active_sum /. float_of_int r.windows
 
 let elapsed_ps t =
   let acc = ref 0 in

@@ -40,13 +40,25 @@ exception Deadlock of string
 
 type t
 
-val create : ?cfg:Config.t -> ?trace:Trace.t -> ?profile:Profile.t -> unit -> t
+val create :
+  ?cfg:Config.t -> ?trace:Trace.t -> ?profile:Profile.t -> ?sim_jobs:int ->
+  unit -> t
 (** With [trace], every compute burst, memory access, barrier wait and
     lock wait is recorded as a timed interval.  With [profile], the same
     picoseconds are additionally attributed to each context's current
     source frame (see {!Profile}), lock and barrier contention is
     tabulated, and machine metrics (L1 hit rate, memory-controller queue
-    depth, mesh utilization) are sampled on the profile's interval. *)
+    depth, mesh utilization) are sampled on the profile's interval.
+
+    [sim_jobs] (default 1, max 62) partitions the mesh's cores into that
+    many contiguous tile groups, each with its own ready heap; the
+    scheduler merges the partition minima, so the event order — and
+    every result — is bit-identical to the sequential scheduler for any
+    value.  With [sim_jobs > 1] the run additionally measures, per
+    lower-bound-timestamp (LBTS) window of one mesh-hop lookahead
+    ({!Mesh.min_hop_ps}), how many partitions had events in the window:
+    the conservative parallel-DES ceiling reported by {!par_report}.
+    Per-partition event counts surface as [Stats.domain_events]. *)
 
 val cfg : t -> Config.t
 val memmap : t -> Memmap.t
@@ -76,3 +88,29 @@ val events : t -> int
 (** Number of scheduler events processed so far: each count is one
     context resume (a compute burst, memory access, or synchronization
     step between two scheduling decisions). *)
+
+val n_partitions : t -> int
+(** Scheduler partitions in use ([sim_jobs] clamped to the core count). *)
+
+val partition_events : t -> int array
+(** Events resumed per partition so far (length {!n_partitions}). *)
+
+type par_report = {
+  partitions : int;
+  lookahead_ps : int;    (** LBTS window width: {!Mesh.min_hop_ps} *)
+  windows : int;         (** LBTS windows the run spanned *)
+  active_sum : int;      (** sum over windows of partitions with events *)
+  active_max : int;      (** peak concurrently-active partitions *)
+  domain_events : int array;
+}
+(** Conservative parallel-DES measurement: with [sim_jobs > 1] the run is
+    divided into lookahead-wide LBTS windows; partitions whose events fall
+    in the same window are causally independent (no cross-tile signal
+    travels faster than one hop), so they could execute concurrently. *)
+
+val par_report : t -> par_report
+
+val par_ceiling : par_report -> float
+(** Mean active partitions per window — the speedup a conservative
+    parallel executor could extract from this workload and partitioning
+    (1.0 when no windows were measured). *)

@@ -65,3 +65,10 @@ let hops_core_to_core t ~from_core ~to_core =
 (* One-way mesh traversal time in picoseconds. *)
 let traverse_ps t ~hops:h =
   Config.mesh_cycles_ps t.cfg (h * t.cfg.Config.mesh_cycles_per_hop)
+
+(* The minimum latency for one tile to affect another: a single-hop mesh
+   traversal.  No cross-tile interaction — a remote MPB access, a
+   memory-controller request, a flag write — can land sooner, so this is
+   the conservative parallel-DES lookahead: events closer together than
+   this on different tiles are causally independent. *)
+let min_hop_ps t = traverse_ps t ~hops:1

@@ -21,3 +21,8 @@ val hops_core_to_core : t -> from_core:int -> to_core:int -> int
 
 val traverse_ps : t -> hops:int -> int
 (** One-way mesh traversal time in picoseconds. *)
+
+val min_hop_ps : t -> int
+(** Minimum latency for one tile to affect another (a single-hop
+    traversal) — the conservative parallel-DES lookahead: events closer
+    together than this on different tiles are causally independent. *)

@@ -32,4 +32,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("conform", Test_conform.suite);
       ("opt", Test_opt.suite);
+      ("modes", Test_modes.suite);
     ]

@@ -1,0 +1,208 @@
+(* Differential tests for the two execution-core refactors: the
+   closure-compiled interpreter against the tree-walking reference, and
+   the partitioned (conservative parallel DES) scheduler against the
+   sequential one.  Every configuration must produce byte-identical
+   output, exit codes and final picosecond times — the compiled mode
+   and the partitioning are pure speed, never semantics. *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let data_dir name =
+  if Sys.file_exists ("../" ^ name) then "../" ^ name else name
+
+let c_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".c")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let parse path =
+  Cfront.Parser.program ~file:path (read_file path)
+
+let exit_strings r =
+  List.map Cexec.Value.to_string r.Cexec.Interp.exit_values
+
+(* Assert two runs of the same program are observationally identical:
+   printf stream (hence OBS lines), per-process exit values, and the
+   final simulated time. *)
+let check_same ~what ~file a b =
+  Alcotest.(check string)
+    (Printf.sprintf "%s: %s output" file what)
+    a.Cexec.Interp.output b.Cexec.Interp.output;
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s: %s exit values" file what)
+    (exit_strings a) (exit_strings b);
+  Alcotest.(check int)
+    (Printf.sprintf "%s: %s elapsed ps" file what)
+    a.Cexec.Interp.elapsed_ps b.Cexec.Interp.elapsed_ps
+
+(* The full checked-in conformance corpus, Pthread side: tree-walked,
+   compiled, and compiled under a partitioned scheduler must agree. *)
+let test_corpus_modes () =
+  let dir = data_dir "test/conformance" in
+  let dir = if Sys.file_exists dir then dir else "conformance" in
+  let files = c_files dir in
+  Alcotest.(check bool) "corpus has at least 10 programs" true
+    (List.length files >= 10);
+  List.iter
+    (fun file ->
+      let program = parse file in
+      let tree = Cexec.Interp.run_pthread ~interp:Cexec.Interp.Tree program in
+      let compiled =
+        Cexec.Interp.run_pthread ~interp:Cexec.Interp.Compiled program
+      in
+      let parts =
+        Cexec.Interp.run_pthread ~interp:Cexec.Interp.Compiled ~sim_jobs:8
+          program
+      in
+      check_same ~what:"tree vs compiled" ~file tree compiled;
+      check_same ~what:"sequential vs partitioned" ~file compiled parts)
+    files
+
+(* The example programs ride along: they use mutexes and racy updates
+   the generator does not emit. *)
+let test_examples_modes () =
+  let files = c_files (data_dir "examples/c") in
+  Alcotest.(check bool) "at least 3 examples" true (List.length files >= 3);
+  List.iter
+    (fun file ->
+      let program = parse file in
+      let tree = Cexec.Interp.run_pthread ~interp:Cexec.Interp.Tree program in
+      let compiled =
+        Cexec.Interp.run_pthread ~interp:Cexec.Interp.Compiled ~sim_jobs:4
+          program
+      in
+      check_same ~what:"tree/seq vs compiled/partitioned" ~file tree compiled)
+    files
+
+(* RCCE side: the translated corpus programs run on many cores, where
+   the partitions actually split the mesh.  Each file carries its own
+   run configuration in its [// conform-*] header; only files expected
+   to agree are translatable-and-runnable by construction. *)
+let test_translated_modes () =
+  let dir = data_dir "test/conformance" in
+  let dir = if Sys.file_exists dir then dir else "conformance" in
+  let checked = ref 0 in
+  List.iter
+    (fun file ->
+      let contents = read_file file in
+      match Conform.Harness.parse_directives contents with
+      | Error e -> Alcotest.failf "%s: %s" file e
+      | Ok d when d.Conform.Harness.d_expect <> Conform.Harness.Expect_agree
+        ->
+          ()
+      | Ok d ->
+          let ncores = d.Conform.Harness.d_cores in
+          let cfg =
+            {
+              (Conform.Oracle.default_config ~ncores) with
+              Conform.Oracle.options =
+                {
+                  Translate.Pass.default_options with
+                  Translate.Pass.ncores;
+                  many_to_one = d.Conform.Harness.d_many_to_one;
+                  optimize = d.Conform.Harness.d_optimize;
+                };
+            }
+          in
+          let translated = Conform.Oracle.translate cfg (parse file) in
+          let tree =
+            Cexec.Interp.run_rcce ~interp:Cexec.Interp.Tree ~ncores
+              translated
+          in
+          let parts =
+            Cexec.Interp.run_rcce ~interp:Cexec.Interp.Compiled ~sim_jobs:8
+              ~ncores translated
+          in
+          incr checked;
+          check_same ~what:"rcce tree/seq vs compiled/partitioned" ~file
+            tree parts)
+    (c_files dir);
+  Alcotest.(check bool) "checked several translated programs" true
+    (!checked >= 5)
+
+(* The oracle itself accepts the mode knobs: a fresh generated program
+   must Agree under every combination. *)
+let test_oracle_modes () =
+  let spec, program = Conform.Gen.generate ~seed:9001 in
+  let base = Conform.Oracle.config_of_spec spec in
+  List.iter
+    (fun (interp, sim_jobs) ->
+      let cfg = { base with Conform.Oracle.interp; sim_jobs } in
+      match Conform.Oracle.check cfg program with
+      | Conform.Oracle.Agree -> ()
+      | Conform.Oracle.Diverge f ->
+          Alcotest.failf "jobs=%d: %s" sim_jobs
+            (Conform.Oracle.failure_to_string f))
+    [
+      (Cexec.Interp.Tree, 1);
+      (Cexec.Interp.Compiled, 1);
+      (Cexec.Interp.Compiled, 6);
+      (Cexec.Interp.Tree, 6);
+    ]
+
+(* Partition accounting: per-domain event counters sum to the total
+   event count, and the LBTS report is sane. *)
+let test_partition_counters () =
+  let src = Exp.Csrc.pi ~nt:8 ~steps:512 in
+  let program = Cfront.Parser.program ~file:"pi.c" src in
+  let translated, _ = Translate.Driver.translate_program program in
+  let r = Cexec.Interp.run_rcce ~sim_jobs:8 ~ncores:8 translated in
+  let eng = r.Cexec.Interp.engine in
+  Alcotest.(check int) "8 partitions" 8 (Scc.Engine.n_partitions eng);
+  let per_part = Scc.Engine.partition_events eng in
+  Alcotest.(check int) "partition events sum to total"
+    (Scc.Engine.events eng)
+    (Array.fold_left ( + ) 0 per_part);
+  let stats = Scc.Engine.stats eng in
+  Alcotest.(check (list int)) "stats carry the same per-domain counters"
+    (Array.to_list per_part)
+    (Array.to_list stats.Scc.Stats.domain_events);
+  let rep = Scc.Engine.par_report eng in
+  Alcotest.(check bool) "lookahead positive" true
+    (rep.Scc.Engine.lookahead_ps > 0);
+  Alcotest.(check bool) "windows counted" true (rep.Scc.Engine.windows > 0);
+  let ceiling = Scc.Engine.par_ceiling rep in
+  Alcotest.(check bool) "ceiling within [1, partitions]" true
+    (ceiling >= 1.0 && ceiling <= 8.0)
+
+(* simrun-style profiling must work under the compiled interpreter: the
+   closures still push/pop frames and set source lines, so the flat
+   profile and line heat tables name the C functions. *)
+let test_profile_under_compiled () =
+  let src = Exp.Csrc.pi ~nt:4 ~steps:256 in
+  let program = Cfront.Parser.program ~file:"pi.c" src in
+  let profile = Scc.Profile.create () in
+  let _ =
+    Cexec.Interp.run_pthread ~profile ~interp:Cexec.Interp.Compiled program
+  in
+  let rendered = Scc.Profile.render profile in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "profile attributes the worker function" true
+    (contains rendered "work");
+  Alcotest.(check bool) "line heat is populated" true
+    (contains rendered "pi.c:")
+
+let suite =
+  [
+    Alcotest.test_case "corpus: tree=compiled, seq=partitioned" `Quick
+      test_corpus_modes;
+    Alcotest.test_case "examples agree across modes" `Quick
+      test_examples_modes;
+    Alcotest.test_case "translated rcce agrees across modes" `Quick
+      test_translated_modes;
+    Alcotest.test_case "oracle accepts mode knobs" `Quick test_oracle_modes;
+    Alcotest.test_case "partition counters are consistent" `Quick
+      test_partition_counters;
+    Alcotest.test_case "profile works under compiled mode" `Quick
+      test_profile_under_compiled;
+  ]
