@@ -241,41 +241,30 @@ let read_file file =
    against an old baseline still gates the headline. *)
 let baseline_figures s =
   let after key sub = scan_number s sub |> Option.map (fun v -> (key, v)) in
+  (* events_per_sec inside one component object: scan from the component
+     key onwards *)
+  let component name =
+    let key = Printf.sprintf "\"%s\":" name in
+    let kl = String.length key in
+    let sl = String.length s in
+    let rec find i =
+      if i + kl > sl then None
+      else if String.sub s i kl = key then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+        scan_number (String.sub s i (min (sl - i) 400)) "events_per_sec"
+        |> Option.map (fun v -> (name, v))
+  in
   List.filter_map
     (fun x -> x)
     [
       after "headline" "headline_events_per_sec";
-      (* events_per_sec inside each component object: scan from the
-         component key onwards *)
-      (let find_component name =
-         let key = Printf.sprintf "\"%s\":" name in
-         let kl = String.length key in
-         let sl = String.length s in
-         let rec find i =
-           if i + kl > sl then None
-           else if String.sub s i kl = key then Some i
-           else find (i + 1)
-         in
-         match find 0 with
-         | None -> None
-         | Some i ->
-             scan_number (String.sub s i (min (sl - i) 400)) "events_per_sec"
-       in
-       find_component "interp_tree"
-       |> Option.map (fun v -> ("interp_tree", v)));
-      (let key = "\"sched_raw\":" in
-       let kl = String.length key in
-       let sl = String.length s in
-       let rec find i =
-         if i + kl > sl then None
-         else if String.sub s i kl = key then Some i
-         else find (i + 1)
-       in
-       match find 0 with
-       | None -> None
-       | Some i ->
-           scan_number (String.sub s i (min (sl - i) 400)) "events_per_sec"
-           |> Option.map (fun v -> ("sched_raw", v)));
+      component "interp_tree";
+      component "interp_compiled_8";
+      component "sched_raw";
       after "sweep_configs_per_sec" "configs_per_sec";
     ]
 
@@ -357,47 +346,47 @@ let () =
           [
             ("headline", compiled.events_per_sec);
             ("interp_tree", tree.events_per_sec);
+            ("interp_compiled_8", moderate.events_per_sec);
             ("sched_raw", raw.events_per_sec);
             ("sweep_configs_per_sec",
              let _, _, cps = sweep in
              cps);
           ]
         in
-        let regressed =
+        (* every compared component gets a verdict in the one run — a
+           multi-component regression shows every culprit at once, never
+           just the first *)
+        let verdicts =
           List.filter_map
             (fun (key, basev) ->
               match List.assoc_opt key current with
               | None -> None
               | Some now ->
                   let floor = (1. -. !max_regress) *. basev in
-                  if now < floor then Some (key, basev, now, floor) else None)
+                  Some (key, basev, now, floor, now >= floor))
             base
         in
-        if regressed = [] then begin
-          Printf.printf
-            "sim_bench: ok: headline %.0f events/s vs baseline (max regress \
-             %.0f%%); all components within bounds\n"
-            compiled.events_per_sec
-            (100. *. !max_regress);
-          List.iter
-            (fun (key, basev) ->
-              match List.assoc_opt key current with
-              | Some now ->
-                  Printf.printf "  %-22s %12.0f  (baseline %12.0f)\n" key now
-                    basev
-              | None -> ())
-            base
-        end
-        else begin
-          List.iter
-            (fun (key, basev, now, floor) ->
-              Printf.eprintf
-                "sim_bench: REGRESSION in %s: %.0f is below floor %.0f \
-                 (baseline %.0f, max regress %.0f%%)\n"
-                key now floor basev
-                (100. *. !max_regress))
-            regressed;
-          let r k = List.exists (fun (key, _, _, _) -> key = k) regressed in
+        let regressed =
+          List.filter (fun (_, _, _, _, ok) -> not ok) verdicts
+        in
+        let out = if regressed = [] then stdout else stderr in
+        Printf.fprintf out
+          "sim_bench: %s: headline %.0f events/s vs baseline (max regress \
+           %.0f%%)\n"
+          (if regressed = [] then "ok" else "REGRESSION")
+          compiled.events_per_sec
+          (100. *. !max_regress);
+        List.iter
+          (fun (key, basev, now, floor, ok) ->
+            Printf.fprintf out
+              "  %-22s %12.0f  (baseline %12.0f, floor %12.0f)  %s\n" key
+              now basev floor
+              (if ok then "ok" else "REGRESSED"))
+          verdicts;
+        if regressed <> [] then begin
+          let r k =
+            List.exists (fun (key, _, _, _, _) -> key = k) regressed
+          in
           let attribution =
             if r "sched_raw" then
               "engine/scheduler regression (raw effect path slowed down)"

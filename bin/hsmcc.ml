@@ -278,10 +278,19 @@ let cfg_cmd path func =
 (* --- run -------------------------------------------------------------------- *)
 
 let run_cmd path ncores detect_races diag_format profile_on trace_out
-    interp_name sim_jobs =
+    interp_name sim_jobs explain_on explain_json =
   let program = or_die (parse_source path) in
   let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
-  let profile = if profile_on then Some (Scc.Profile.create ()) else None in
+  let explain = explain_on || explain_json <> None in
+  (* --explain borrows the profiler's intern tables so critical-path steps
+     carry C function/line names; the profile report itself still prints
+     only under --profile *)
+  let profile =
+    if profile_on || explain then Some (Scc.Profile.create ()) else None
+  in
+  let critpath =
+    if explain then Some (Scc.Critpath.create ()) else None
+  in
   let interp =
     match interp_name with
     | "compiled" -> Cexec.Interp.Compiled
@@ -294,10 +303,10 @@ let run_cmd path ncores detect_races diag_format profile_on trace_out
   let result =
     try
       if ncores <= 1 then
-        Cexec.Interp.run_pthread ?trace ?profile ~interp ~sim_jobs
-          ~detect_races program
+        Cexec.Interp.run_pthread ?trace ?profile ?critpath ~interp
+          ~sim_jobs ~detect_races program
       else
-        Cexec.Interp.run_rcce ?trace ?profile ~interp ~sim_jobs
+        Cexec.Interp.run_rcce ?trace ?profile ?critpath ~interp ~sim_jobs
           ~detect_races ~ncores program
     with Cexec.Interp.Runtime_error msg ->
       prerr_endline ("hsmcc: runtime error: " ^ msg);
@@ -308,18 +317,43 @@ let run_cmd path ncores detect_races diag_format profile_on trace_out
     (float_of_int result.Cexec.Interp.elapsed_ps /. 1e9);
   (match profile with
   | None -> ()
-  | Some p -> prerr_string (Scc.Profile.render p));
+  | Some p -> if profile_on then prerr_string (Scc.Profile.render p));
+  (match critpath with
+  | None -> ()
+  | Some cp ->
+      if explain_on then prerr_string (Scc.Critpath.render ?profile cp);
+      (match explain_json with
+      | None -> ()
+      | Some out ->
+          let oc = open_out out in
+          output_string oc (Scc.Critpath.to_json ?profile cp);
+          close_out oc;
+          Printf.eprintf "-- explain: -> %s (json)\n" out));
   (match trace_out, trace with
   | Some out, Some tr ->
       if Scc.Trace.dropped tr > 0 then
         Printf.eprintf
-          "hsmcc: warning: trace truncated, %d events dropped\n"
-          (Scc.Trace.dropped tr);
+          "hsmcc: warning: trace truncated, %d events dropped%s\n"
+          (Scc.Trace.dropped tr)
+          (if critpath <> None then
+             "; critical-path flow arrows clipped to the retained window"
+           else "");
       let events =
         Scc.Trace.to_chrome_events tr
         @ (match profile with
           | None -> []
           | Some p -> Scc.Profile.counter_events p)
+        @ (match critpath with
+          | None -> []
+          | Some cp ->
+              (* clip the flow chain at the trace horizon so no arrow
+                 points at a dropped slice *)
+              let max_end_ps =
+                if Scc.Trace.dropped tr > 0 then
+                  Some (Scc.Trace.max_end_ps tr)
+                else None
+              in
+              Scc.Critpath.flow_events ?max_end_ps cp)
       in
       Obs.Chrome.write_merge out events;
       Printf.eprintf "-- trace: %d events -> %s (Perfetto)\n"
@@ -524,11 +558,30 @@ let run_sim_jobs_arg =
                  per-domain event counters appear in --profile and \
                  --trace output.")
 
+let run_explain_arg =
+  Arg.(value & flag
+       & info [ "explain" ]
+           ~doc:"Where the time goes: a full picosecond accounting whose \
+                 identity (sum over contexts and categories = wall x \
+                 contexts) is checked exactly, the critical path through \
+                 the event-dependency graph attributed to C \
+                 functions/lines, and what-if speedup ceilings (zero \
+                 mesh, zero lock waits, MPB-speed shared DRAM, ...), on \
+                 stderr.  With $(b,--trace), the critical path is drawn \
+                 as Perfetto flow arrows over the timeline.")
+
+let run_explain_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "explain-json" ] ~docv:"FILE"
+           ~doc:"Write the $(b,--explain) report as one JSON document \
+                 (implies the recording, not the human tables).")
+
 let run_cmd_info =
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program on the simulated SCC")
     Term.(const run_cmd $ file_arg $ run_cores_arg $ detect_races_arg
           $ diag_format_arg $ run_profile_arg $ run_trace_arg
-          $ run_interp_arg $ run_sim_jobs_arg)
+          $ run_interp_arg $ run_sim_jobs_arg $ run_explain_arg
+          $ run_explain_json_arg)
 
 let defines_arg =
   Arg.(value & opt_all string []

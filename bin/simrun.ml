@@ -8,7 +8,7 @@
 open Cmdliner
 
 let run_cmd name name_flag mode units sim_jobs trace_out profile_on
-    metrics_out verbose =
+    metrics_out explain_on explain_json verbose =
   let name =
     match name, name_flag with
     | Some n, _ | None, Some n -> n
@@ -37,12 +37,22 @@ let run_cmd name name_flag mode units sim_jobs trace_out profile_on
       in
       let cfg = Scc.Config.default in
       let trace = Option.map (fun _ -> Scc.Trace.create ()) trace_out in
+      let explain = explain_on || explain_json <> None in
       let profile =
-        if profile_on || metrics_out <> None then
+        (* --explain borrows the profiler's intern tables so critical-path
+           steps carry function names; its report still prints only
+           under --profile *)
+        if profile_on || metrics_out <> None || explain then
           Some (Scc.Profile.create ())
         else None
       in
-      let r = Workloads.Workload.run ?trace ?profile ~sim_jobs ~cfg w mode in
+      let critpath =
+        if explain then Some (Scc.Critpath.create ()) else None
+      in
+      let r =
+        Workloads.Workload.run ?trace ?profile ?critpath ~sim_jobs ~cfg w
+          mode
+      in
       Printf.printf "workload:   %s\n" r.Workloads.Workload.workload;
       Printf.printf "mode:       %s\n"
         (Workloads.Workload.mode_to_string r.Workloads.Workload.mode);
@@ -89,18 +99,47 @@ let run_cmd name name_flag mode units sim_jobs trace_out profile_on
                 (Obs.Registry.to_prometheus (Scc.Profile.registry p));
               close_out oc;
               Printf.printf "metrics:    -> %s (prometheus text)\n" path);
+      (match critpath with
+      | None -> ()
+      | Some cp ->
+          if explain_on then begin
+            print_newline ();
+            print_string (Scc.Critpath.render ?profile cp)
+          end;
+          (match explain_json with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Scc.Critpath.to_json ?profile cp);
+              close_out oc;
+              Printf.printf "explain:    -> %s (json)\n" path));
       (match trace_out, trace with
       | Some path, Some tr ->
           if Scc.Trace.dropped tr > 0 then
             Printf.eprintf
               "simrun: warning: trace truncated, %d events dropped past \
-               the buffer limit\n"
-              (Scc.Trace.dropped tr);
+               the buffer limit%s\n"
+              (Scc.Trace.dropped tr)
+              (if critpath <> None then
+                 "; critical-path flow arrows clipped to the retained \
+                  window"
+               else "");
           let events =
             Scc.Trace.to_chrome_events tr
             @ (match profile with
               | None -> []
               | Some p -> Scc.Profile.counter_events p)
+            @ (match critpath with
+              | None -> []
+              | Some cp ->
+                  (* clip the flow chain at the trace horizon so no arrow
+                     points at a dropped slice *)
+                  let max_end_ps =
+                    if Scc.Trace.dropped tr > 0 then
+                      Some (Scc.Trace.max_end_ps tr)
+                    else None
+                  in
+                  Scc.Critpath.flow_events ?max_end_ps cp)
           in
           (* merge-write: lands in the same JSON array as compiler spans
              when the file came from `hsmcc translate --trace` *)
@@ -159,12 +198,29 @@ let metrics_arg =
            ~doc:"Write aggregate counters and wait histograms in \
                  Prometheus text exposition format.")
 
+let explain_arg =
+  Arg.(value & flag
+       & info [ "explain" ]
+           ~doc:"Where the time goes: a full picosecond accounting whose \
+                 identity (sum over contexts and categories = wall x \
+                 contexts) is checked exactly, the critical path through \
+                 the event-dependency graph, and what-if speedup \
+                 ceilings (zero mesh, zero lock waits, MPB-speed shared \
+                 DRAM, ...).  With $(b,--trace), the critical path is \
+                 drawn as Perfetto flow arrows over the timeline.")
+
+let explain_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "explain-json" ] ~docv:"FILE"
+           ~doc:"Write the $(b,--explain) report as one JSON document \
+                 (implies the recording, not the human tables).")
+
 let main =
   Cmd.v
     (Cmd.info "simrun" ~version:"1.0.0"
        ~doc:"Run one benchmark on the simulated SCC")
     Term.(const run_cmd $ name_arg $ name_flag_arg $ mode_arg $ units_arg
           $ sim_jobs_arg $ trace_arg $ profile_arg $ metrics_arg
-          $ verbose_arg)
+          $ explain_arg $ explain_json_arg $ verbose_arg)
 
 let () = exit (Cmd.eval main)

@@ -1602,9 +1602,9 @@ let setup_globals task =
             es)
     rp.Resolve.rp_globals
 
-let make_shared ?cfg ?trace ?profile ?(interp = Compiled) ?(sim_jobs = 1)
-    ~detect_races ~ncores program =
-  let eng = Scc.Engine.create ?cfg ?trace ?profile ~sim_jobs () in
+let make_shared ?cfg ?trace ?profile ?critpath ?(interp = Compiled)
+    ?(sim_jobs = 1) ~detect_races ~ncores program =
+  let eng = Scc.Engine.create ?cfg ?trace ?profile ?critpath ~sim_jobs () in
   let n = Scc.Config.n_cores (Scc.Engine.cfg eng) in
   let resolved = Resolve.resolve program in
   (* pre-intern every function and statement position, so the profiling
@@ -1721,11 +1721,11 @@ let run_entry sh proc api =
 let race_reports (sh : shared) =
   match sh.races with Some d -> Lockset.reports d | None -> []
 
-let run_pthread ?cfg ?trace ?profile ?interp ?sim_jobs ?(detect_races = false)
-    (program : Ast.program) =
+let run_pthread ?cfg ?trace ?profile ?critpath ?interp ?sim_jobs
+    ?(detect_races = false) (program : Ast.program) =
   let sh =
-    make_shared ?cfg ?trace ?profile ?interp ?sim_jobs ~detect_races ~ncores:1
-      program
+    make_shared ?cfg ?trace ?profile ?critpath ?interp ?sim_jobs ~detect_races
+      ~ncores:1 program
   in
   let proc = make_process sh ~core:0 ~rank:0 in
   let exit_value = ref Value.Vvoid in
@@ -1741,12 +1741,12 @@ let run_pthread ?cfg ?trace ?profile ?interp ?sim_jobs ?(detect_races = false)
     races = race_reports sh;
   }
 
-let run_rcce ?cfg ?trace ?profile ?interp ?sim_jobs ?(detect_races = false)
-    ~ncores (program : Ast.program) =
+let run_rcce ?cfg ?trace ?profile ?critpath ?interp ?sim_jobs
+    ?(detect_races = false) ~ncores (program : Ast.program) =
   if ncores < 1 then invalid_arg "Interp.run_rcce: ncores must be positive";
   let sh =
-    make_shared ?cfg ?trace ?profile ?interp ?sim_jobs ~detect_races ~ncores
-      program
+    make_shared ?cfg ?trace ?profile ?critpath ?interp ?sim_jobs ~detect_races
+      ~ncores program
   in
   let exit_values = Array.make ncores Value.Vvoid in
   for rank = 0 to ncores - 1 do

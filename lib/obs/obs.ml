@@ -31,17 +31,38 @@ let json_escape s =
 (* --- counters ------------------------------------------------------------- *)
 
 module Counter = struct
-  type t = { c_name : string; c_help : string; mutable c_value : int }
+  type t = {
+    c_name : string;
+    c_help : string;
+    c_labels : (string * string) list;   (* sorted by key at [make] *)
+    mutable c_value : int;
+  }
 
-  let make ~name ~help = { c_name = name; c_help = help; c_value = 0 }
+  let make ~name ?(labels = []) ~help () =
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    { c_name = name; c_help = help; c_labels = labels; c_value = 0 }
+
   let name c = c.c_name
   let help c = c.c_help
+  let labels c = c.c_labels
   let value c = c.c_value
   let incr c = c.c_value <- c.c_value + 1
 
   let add c n =
     if n < 0 then invalid_arg "Obs.Counter.add: counters are monotonic";
     c.c_value <- c.c_value + n
+
+  (* Prometheus-style label set, e.g. {partition="3"}; "" when unlabelled. *)
+  let label_string c =
+    match c.c_labels with
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+        ^ "}"
 end
 
 (* --- histograms ------------------------------------------------------------ *)
@@ -132,18 +153,21 @@ module Registry = struct
 
   let create () = { tbl = Hashtbl.create 16; order = [] }
 
-  let register t name item =
-    Hashtbl.replace t.tbl name item;
-    t.order <- name :: t.order
+  let register t key item =
+    Hashtbl.replace t.tbl key item;
+    t.order <- key :: t.order
 
-  let counter t ?(help = "") name =
-    match Hashtbl.find_opt t.tbl name with
+  (* Counters are keyed by name + label set, so one metric family can
+     hold many labelled children (sim_domain_events_total{partition="N"}). *)
+  let counter t ?(help = "") ?(labels = []) name =
+    let probe = Counter.make ~name ~labels ~help () in
+    let key = name ^ Counter.label_string probe in
+    match Hashtbl.find_opt t.tbl key with
     | Some (C c) -> c
-    | Some (H _) -> invalid_arg ("Obs.Registry.counter: " ^ name ^ " is a histogram")
+    | Some (H _) -> invalid_arg ("Obs.Registry.counter: " ^ key ^ " is a histogram")
     | None ->
-        let c = Counter.make ~name ~help in
-        register t name (C c);
-        c
+        register t key (C probe);
+        probe
 
   let histogram t ?(help = "") ~bounds name =
     match Hashtbl.find_opt t.tbl name with
@@ -157,45 +181,78 @@ module Registry = struct
   let items t =
     List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order
 
+  let emit_histogram buf h =
+    let name = Histogram.name h in
+    if h.Histogram.h_help <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name h.Histogram.h_help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+    let bounds = Histogram.bounds h in
+    let counts = Histogram.bucket_counts h in
+    let cum = ref 0 in
+    Array.iteri
+      (fun i b ->
+        cum := !cum + counts.(i);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name b !cum))
+      bounds;
+    cum := !cum + counts.(Array.length bounds);
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+    Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name (Histogram.sum h));
+    Buffer.add_string buf
+      (Printf.sprintf "%s_count %d\n" name (Histogram.count h))
+
   (* Prometheus text exposition: [le] labels are cumulative and include
      the implicit +Inf bucket; metric names pass through unsanitized
-     (callers pick exposition-safe names). *)
+     (callers pick exposition-safe names).  Labelled counters sharing a
+     family name are grouped under one # HELP / # TYPE header, per the
+     exposition format's one-header-per-family rule. *)
   let to_prometheus t =
     let buf = Buffer.create 1024 in
+    (* group items by metric family, preserving first-registration order *)
+    let fam_order = ref [] in
+    let fams : (string, item list ref) Hashtbl.t = Hashtbl.create 16 in
     List.iter
       (fun item ->
-        match item with
-        | C c ->
-            if Counter.help c <> "" then
-              Buffer.add_string buf
-                (Printf.sprintf "# HELP %s %s\n" (Counter.name c)
-                   (Counter.help c));
-            Buffer.add_string buf
-              (Printf.sprintf "# TYPE %s counter\n%s %d\n" (Counter.name c)
-                 (Counter.name c) (Counter.value c))
-        | H h ->
-            let name = Histogram.name h in
-            if h.Histogram.h_help <> "" then
-              Buffer.add_string buf
-                (Printf.sprintf "# HELP %s %s\n" name h.Histogram.h_help);
-            Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
-            let bounds = Histogram.bounds h in
-            let counts = Histogram.bucket_counts h in
-            let cum = ref 0 in
-            Array.iteri
-              (fun i b ->
-                cum := !cum + counts.(i);
-                Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name b !cum))
-              bounds;
-            cum := !cum + counts.(Array.length bounds);
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
-            Buffer.add_string buf
-              (Printf.sprintf "%s_sum %d\n" name (Histogram.sum h));
-            Buffer.add_string buf
-              (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
+        let fam =
+          match item with C c -> Counter.name c | H h -> Histogram.name h
+        in
+        match Hashtbl.find_opt fams fam with
+        | Some cell -> cell := item :: !cell
+        | None ->
+            Hashtbl.add fams fam (ref [ item ]);
+            fam_order := fam :: !fam_order)
       (items t);
+    List.iter
+      (fun fam ->
+        let members = List.rev !(Hashtbl.find fams fam) in
+        let help =
+          List.fold_left
+            (fun acc item ->
+              if acc <> "" then acc
+              else
+                match item with
+                | C c -> Counter.help c
+                | H h -> h.Histogram.h_help)
+            "" members
+        in
+        (match members with
+        | C _ :: _ ->
+            if help <> "" then
+              Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" fam)
+        | _ -> ());
+        List.iter
+          (fun item ->
+            match item with
+            | C c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %d\n" fam (Counter.label_string c)
+                     (Counter.value c))
+            | H h -> emit_histogram buf h)
+          members)
+      (List.rev !fam_order);
     Buffer.contents buf
 
   let to_jsonl t =
@@ -204,11 +261,23 @@ module Registry = struct
       (fun item ->
         (match item with
         | C c ->
+            let labels =
+              match Counter.labels c with
+              | [] -> ""
+              | ls ->
+                  Printf.sprintf {|,"labels":{%s}|}
+                    (String.concat ","
+                       (List.map
+                          (fun (k, v) ->
+                            Printf.sprintf {|"%s":"%s"|} (json_escape k)
+                              (json_escape v))
+                          ls))
+            in
             Buffer.add_string buf
               (Printf.sprintf
-                 {|{"type":"counter","name":"%s","value":%d}|}
+                 {|{"type":"counter","name":"%s"%s,"value":%d}|}
                  (json_escape (Counter.name c))
-                 (Counter.value c))
+                 labels (Counter.value c))
         | H h ->
             let bounds = Histogram.bounds h in
             let counts = Histogram.bucket_counts h in
@@ -231,7 +300,9 @@ module Registry = struct
         (fun item ->
           match item with
           | C c ->
-              [ Counter.name c; "counter"; string_of_int (Counter.value c) ]
+              [ Counter.name c ^ Counter.label_string c;
+                "counter";
+                string_of_int (Counter.value c) ]
           | H h ->
               [ Histogram.name h;
                 "histogram";
@@ -245,7 +316,18 @@ end
 (* --- Chrome trace events ------------------------------------------------------ *)
 
 module Chrome = struct
+  type flow_phase = Flow_start | Flow_step | Flow_end
+
   type event =
+    | Flow of {
+        name : string;
+        cat : string;
+        id : int;
+        pid : int;
+        tid : int;
+        ts_us : float;
+        phase : flow_phase;
+      }
     | Complete of {
         name : string;
         cat : string;
@@ -272,6 +354,18 @@ module Chrome = struct
          args)
 
   let event_json = function
+    | Flow { name; cat; id; pid; tid; ts_us; phase } ->
+        let ph, extra =
+          match phase with
+          | Flow_start -> "s", ""
+          | Flow_step -> "t", ""
+          (* bp:e binds the terminator to its enclosing slice, so the
+             arrow lands on the slice the final event charged *)
+          | Flow_end -> "f", {|,"bp":"e"|}
+        in
+        Printf.sprintf
+          {|{"name":"%s","cat":"%s","ph":"%s","id":%d,"ts":%.3f,"pid":%d,"tid":%d%s}|}
+          (json_escape name) (json_escape cat) ph id ts_us pid tid extra
     | Complete { name; cat; pid; tid; ts_us; dur_us; args } ->
         let base =
           Printf.sprintf

@@ -27,6 +27,14 @@ module Counter : sig
 
   val name : t -> string
   val help : t -> string
+
+  val labels : t -> (string * string) list
+  (** Label pairs, sorted by key.  Empty for unlabelled counters. *)
+
+  val label_string : t -> string
+  (** Prometheus-style rendering of the label set, e.g.
+      [{partition="3"}]; [""] when unlabelled. *)
+
   val value : t -> int
   val incr : t -> unit
   val add : t -> int -> unit
@@ -59,14 +67,19 @@ module Registry : sig
 
   val create : unit -> t
 
-  val counter : t -> ?help:string -> string -> Counter.t
-  (** Idempotent per name: a second call returns the first counter. *)
+  val counter :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+  (** Idempotent per (name, label set): a second call with the same name
+      and labels returns the first counter; distinct label sets under one
+      name form a labelled metric family. *)
 
   val histogram : t -> ?help:string -> bounds:int array -> string -> Histogram.t
 
   val to_prometheus : t -> string
   (** Prometheus text exposition format (counters and histograms, with
-      cumulative [le] buckets, [_sum] and [_count] series). *)
+      cumulative [le] buckets, [_sum] and [_count] series).  Labelled
+      counters sharing a family name are grouped under a single
+      [# HELP] / [# TYPE] header, one [name{k="v"} value] line each. *)
 
   val to_jsonl : t -> string
   (** One JSON object per line, one line per instrument. *)
@@ -82,7 +95,22 @@ end
     metadata ("M") events.  Timestamps are microseconds. *)
 
 module Chrome : sig
+  type flow_phase = Flow_start | Flow_step | Flow_end
+
   type event =
+    | Flow of {
+        name : string;
+        cat : string;
+        id : int;   (** all events of one flow chain share an id *)
+        pid : int;
+        tid : int;
+        ts_us : float;
+        phase : flow_phase;
+      }  (** Flow arrows ("s"/"t"/"f" events): Perfetto draws an arrow
+             chain through the slices enclosing each flow event — used
+             for the critical path through the simulated run.  A
+             well-formed chain starts with [Flow_start] and ends with
+             [Flow_end]. *)
     | Complete of {
         name : string;
         cat : string;

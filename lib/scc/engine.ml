@@ -97,6 +97,7 @@ type proc = {
 type lock = {
   mutable held_by : int option;
   mutable free_time : int;
+  mutable free_ev : int;   (* critpath event that freed the register; -1 none *)
   waiters : (ctx * (unit, unit) Effect.Deep.continuation) Queue.t;
 }
 
@@ -105,6 +106,7 @@ type lock = {
 type flag = {
   mutable value : bool;
   mutable set_time : int;
+  mutable set_ev : int;    (* critpath event of the set; -1 none *)
   mutable flag_waiters : (ctx * (unit, unit) Effect.Deep.continuation) list;
 }
 
@@ -142,6 +144,7 @@ type t = {
   mutable n_events : int;           (* contexts resumed *)
   trace : Trace.t option;
   profile : Profile.t option;
+  critpath : Critpath.t option;
   (* machine-metric sampling state; [next_sample_ps] is [max_int] when
      profiling is off, so the hot path pays one compare *)
   mutable next_sample_ps : int;
@@ -194,7 +197,8 @@ and heap = {
 
 let heap_make () = { hnow = Array.make 64 0; hid = Array.make 64 0; hlen = 0 }
 
-let create ?(cfg = Config.default) ?trace ?profile ?(sim_jobs = 1) () =
+let create ?(cfg = Config.default) ?trace ?profile ?critpath ?(sim_jobs = 1)
+    () =
   let n = Config.n_cores cfg in
   if sim_jobs < 1 || sim_jobs > 62 then
     invalid_arg "Engine.create: sim_jobs must be in 1..62";
@@ -229,12 +233,14 @@ let create ?(cfg = Config.default) ?trace ?profile ?(sim_jobs = 1) () =
     n_join_waiting = 0;
     locks =
       Array.init n (fun _ ->
-          { held_by = None; free_time = 0; waiters = Queue.create () });
+          { held_by = None; free_time = 0; free_ev = -1;
+            waiters = Queue.create () });
     n_finished = 0;
     started = false;
     n_events = 0;
     trace;
     profile;
+    critpath;
     next_sample_ps =
       (match profile with
       | None -> max_int
@@ -286,6 +292,8 @@ let cfg t = t.cfg
 let trace t = t.trace
 
 let profile t = t.profile
+
+let critpath t = t.critpath
 
 (* One machine-metric sample at simulated time [now]: L1 hit rate, memory
    controller queue depths and mesh link utilization, each measured over
@@ -339,13 +347,35 @@ let take_samples t p now =
   t.samp_last_ts <- now;
   t.next_sample_ps <- now + Profile.sample_interval_ps p
 
-(* Record one timed interval: into the trace, and — when profiling — as
-   picoseconds attributed to the context's current source frame. *)
-let record_interval t ctx ~start_ps ~end_ps kind =
+(* One critpath event for [dur] ps of [cat] ending at the context's
+   current local time, stamped with the profiler's current frame.  All
+   critpath recording funnels through here so the disabled cost is one
+   option match per charge site. *)
+let cp_record t ctx cp ~cat ~dur ~end_ps ~pred =
+  let fn, line =
+    match t.profile with
+    | None -> (0, 0)
+    | Some p ->
+        ( Profile.current_fn_slot p ~ctx:ctx.id,
+          Profile.current_line_slot p ~ctx:ctx.id )
+  in
+  Critpath.record cp ~ctx:ctx.id ~core:ctx.core ~cat ~dur ~end_ps ~fn ~line
+    ~pred
+
+(* Record one timed interval: into the trace, into the event-dependency
+   graph ([pred] names the event the interval causally waited on), and —
+   when profiling — as picoseconds attributed to the context's current
+   source frame. *)
+let record_interval ?(pred = -1) t ctx ~start_ps ~end_ps kind =
   (match t.trace with
   | None -> ()
   | Some tr ->
       Trace.record tr ~ctx:ctx.id ~core:ctx.core ~start_ps ~end_ps kind);
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+      cp_record t ctx cp ~cat:(Trace.kind_index kind)
+        ~dur:(end_ps - start_ps) ~end_ps ~pred);
   match t.profile with
   | None -> ()
   | Some p ->
@@ -516,6 +546,21 @@ let acquire_processor t ctx =
     end
     else start
   in
+  (* the issue delay — core busy with another context plus the switch
+     penalty — is scheduler wait, enabled by the previous owner's last
+     event *)
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+      if start > ctx.now then begin
+        let pred =
+          if proc.last_ctx >= 0 && proc.last_ctx <> ctx.id then
+            Critpath.last_event cp ~ctx:proc.last_ctx
+          else -1
+        in
+        cp_record t ctx cp ~cat:Critpath.cat_sched_wait
+          ~dur:(start - ctx.now) ~end_ps:start ~pred
+      end);
   proc.last_ctx <- ctx.id;
   ctx.now <- start;
   start
@@ -579,6 +624,9 @@ let private_line t ctx ~write addr =
       let mc = t.mc_of.(ctx.core) in
       let out = t.mc_out_ps.(ctx.core) in
       t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
+      (match t.critpath with
+      | None -> ()
+      | Some cp -> Critpath.note_mesh cp ~ctx:ctx.id (2 * out));
       let base = ccx t ctx t.cfg.Config.dram_base_cycles in
       let arrive = ctx.now + base + out in
       let back = mc_round_trip t ~mc ~arrive in
@@ -610,6 +658,11 @@ let shared_line t ctx ~write addr =
   let mc = line mod t.cfg.Config.n_mcs in
   let out = t.shared_out_ps.(ctx.core).(mc) in
   t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+      Critpath.note_mesh cp ~ctx:ctx.id (2 * out);
+      Critpath.note_shared_access cp ~ctx:ctx.id);
   let base = ccx t ctx t.cfg.Config.dram_base_cycles in
   let arrive = ctx.now + base + out in
   let back = mc_round_trip t ~mc ~arrive in
@@ -622,6 +675,9 @@ let mpb_line t ctx ~write:_ ~owner _addr =
   ctx.stats.Stats.mpb_lines <- ctx.stats.Stats.mpb_lines + 1;
   let out = t.core_out_ps.(ctx.core).(owner) in
   t.mesh_busy_ps <- t.mesh_busy_ps + (2 * out);
+  (match t.critpath with
+  | None -> ()
+  | Some cp -> Critpath.note_mesh cp ~ctx:ctx.id (2 * out));
   let base = ccx t ctx t.cfg.Config.mpb_base_cycles in
   let transfer = t.mesh_transfer_ps in
   let arrive = ctx.now + base + out in
@@ -678,11 +734,30 @@ let release_barrier_waiters t ~key waiters =
       in
       let last = release - barrier_cost t in
       Profile.barrier_episode p ~key ~spread_ps:(max 0 (last - first)));
+  (* every waiter's release is enabled by the last arriver: capture its
+     latest event before the release intervals overwrite the cursors *)
+  let pred =
+    match t.critpath with
+    | None -> -1
+    | Some cp ->
+        let last_arriver =
+          List.fold_left
+            (fun acc (c, _) ->
+              if acc == no_ctx || c.now > acc.now
+                 || (c.now = acc.now && c.id < acc.id)
+              then c
+              else acc)
+            no_ctx waiters
+        in
+        if last_arriver == no_ctx then -1
+        else Critpath.last_event cp ~ctx:last_arriver.id
+  in
   List.iter
     (fun (c, k) ->
       c.stats.Stats.barrier_wait_ps <-
         c.stats.Stats.barrier_wait_ps + (release - c.now);
-      record_interval t c ~start_ps:c.now ~end_ps:release Trace.Barrier_wait;
+      record_interval ~pred t c ~start_ps:c.now ~end_ps:release
+        Trace.Barrier_wait;
       c.now <- release;
       c.status <- Ready;
       c.pending <- Some (Cont k);
@@ -735,7 +810,7 @@ let get_flag t id =
   match Hashtbl.find_opt t.flags id with
   | Some f -> f
   | None ->
-      let f = { value = false; set_time = 0; flag_waiters = [] } in
+      let f = { value = false; set_time = 0; set_ev = -1; flag_waiters = [] } in
       Hashtbl.replace t.flags id f;
       f
 
@@ -743,13 +818,26 @@ let get_flag t id =
    propagation time. *)
 let do_flag_set t ctx id value k =
   let f = get_flag t id in
+  let before = ctx.now in
   ctx.now <- ctx.now + ccx t ctx t.cfg.Config.mpb_base_cycles;
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+      cp_record t ctx cp ~cat:Critpath.cat_sync ~dur:(ctx.now - before)
+        ~end_ps:ctx.now ~pred:(-1);
+      f.set_ev <- Critpath.last_event cp ~ctx:ctx.id);
   f.value <- value;
   f.set_time <- ctx.now;
   if value then begin
     List.iter
       (fun (w, wk) ->
+        let wbefore = w.now in
         w.now <- max w.now ctx.now + ccx t w t.cfg.Config.mpb_base_cycles;
+        (match t.critpath with
+        | None -> ()
+        | Some cp ->
+            cp_record t w cp ~cat:Critpath.cat_sync ~dur:(w.now - wbefore)
+              ~end_ps:w.now ~pred:f.set_ev);
         w.status <- Ready;
         w.pending <- Some (Cont wk);
         ready_enqueue t w)
@@ -761,8 +849,14 @@ let do_flag_set t ctx id value k =
 let do_flag_wait t ctx id k =
   let f = get_flag t id in
   if f.value then begin
+    let before = ctx.now in
     ctx.now <-
       max ctx.now f.set_time + ccx t ctx t.cfg.Config.mpb_base_cycles;
+    (match t.critpath with
+    | None -> ()
+    | Some cp ->
+        cp_record t ctx cp ~cat:Critpath.cat_sync ~dur:(ctx.now - before)
+          ~end_ps:ctx.now ~pred:f.set_ev);
     park_ready t ctx k
   end
   else begin
@@ -785,7 +879,16 @@ let do_acquire t ctx lock_id k =
   match lock.held_by with
   | None ->
       lock.held_by <- Some ctx.id;
+      let before = ctx.now in
       ctx.now <- max ctx.now lock.free_time + lock_cost t ctx lock_id;
+      (match t.critpath with
+      | None -> ()
+      | Some cp ->
+          (* uncontended: the test-and-set round trip, plus any wait for
+             the register to come free after the previous release *)
+          cp_record t ctx cp ~cat:Critpath.cat_sync ~dur:(ctx.now - before)
+            ~end_ps:ctx.now
+            ~pred:(if lock.free_time > before then lock.free_ev else -1));
       (match t.profile with
       | None -> ()
       | Some p ->
@@ -807,8 +910,17 @@ let do_release t ctx lock_id k =
         (Printf.sprintf
            "Engine: context %d releases lock %d it does not hold" ctx.id
            lock_id));
+  let before = ctx.now in
   ctx.now <- ctx.now + lock_cost t ctx lock_id;
   lock.free_time <- ctx.now;
+  (* the releaser's register round trip, then remember the release event:
+     it is the holder edge for whoever wakes (or next acquires) *)
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+      cp_record t ctx cp ~cat:Critpath.cat_sync ~dur:(ctx.now - before)
+        ~end_ps:ctx.now ~pred:(-1);
+      lock.free_ev <- Critpath.last_event cp ~ctx:ctx.id);
   (match Queue.take_opt lock.waiters with
   | None -> lock.held_by <- None
   | Some (waiter, wk) ->
@@ -818,8 +930,8 @@ let do_release t ctx lock_id k =
       in
       waiter.stats.Stats.lock_wait_ps <-
         waiter.stats.Stats.lock_wait_ps + (wake - waiter.now);
-      record_interval t waiter ~start_ps:waiter.now ~end_ps:wake
-        Trace.Lock_wait;
+      record_interval ~pred:lock.free_ev t waiter ~start_ps:waiter.now
+        ~end_ps:wake Trace.Lock_wait;
       (match t.profile with
       | None -> ()
       | Some p ->
@@ -841,7 +953,15 @@ let finish_ctx t ctx =
   List.iter
     (fun (waiter, k) ->
       t.n_join_waiting <- t.n_join_waiting - 1;
+      let before = waiter.now in
       waiter.now <- max waiter.now ctx.now;
+      (match t.critpath with
+      | None -> ()
+      | Some cp ->
+          if waiter.now > before then
+            cp_record t waiter cp ~cat:Critpath.cat_sync
+              ~dur:(waiter.now - before) ~end_ps:waiter.now
+              ~pred:(Critpath.last_event cp ~ctx:ctx.id));
       waiter.status <- Ready;
       waiter.pending <- Some (Cont k);
       ready_enqueue t waiter)
@@ -986,6 +1106,16 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
                 charge_compute t ctx dur;
                 let child = add_ctx t ~core ~barrier_member:false
                               ~now:ctx.now in
+                (* the child's lane is idle from t=0 until the spawn:
+                   pad it so its accounting also sums to the wall *)
+                (match t.critpath with
+                | None -> ()
+                | Some cp ->
+                    if child.now > 0 then
+                      Critpath.record cp ~ctx:child.id ~core:child.core
+                        ~cat:Critpath.cat_idle ~dur:child.now
+                        ~end_ps:child.now ~fn:0 ~line:0
+                        ~pred:(Critpath.last_event cp ~ctx:ctx.id));
                 let api = make_api t child in
                 child.pending <- Some (Start (fun () -> program api));
                 Effect.Deep.continue k child.id)
@@ -1030,7 +1160,15 @@ let rec handler t ctx : (unit, unit) Effect.Deep.handler =
                 else begin
                   let child = t.ctx_arr.(target) in
                   if child.status = Finished then begin
+                    let before = ctx.now in
                     ctx.now <- max ctx.now child.now;
+                    (match t.critpath with
+                    | None -> ()
+                    | Some cp ->
+                        if ctx.now > before then
+                          cp_record t ctx cp ~cat:Critpath.cat_sync
+                            ~dur:(ctx.now - before) ~end_ps:ctx.now
+                            ~pred:(Critpath.last_event cp ~ctx:child.id));
                     park_ready t ctx k
                   end
                   else begin
@@ -1214,26 +1352,57 @@ let run t =
     t.win_mask <- 0
   end;
   (* complete inclusive times for frames still open at the end *)
-  match t.profile with
+  (match t.profile with
   | None -> ()
   | Some p ->
       (* per-partition event totals for the Prometheus exposition, so
-         parallel-DES load imbalance is countable from --metrics *)
+         parallel-DES load imbalance is countable from --metrics: one
+         labelled metric family, not a name per partition *)
       if t.n_parts > 1 then begin
         let reg = Profile.registry p in
         Array.iteri
           (fun part ev ->
             let c =
               Obs.Registry.counter reg
-                ~help:
-                  (Printf.sprintf
-                     "events resumed by scheduler partition %d" part)
-                (Printf.sprintf "sim_domain_events_part%d_total" part)
+                ~help:"events resumed per scheduler partition"
+                ~labels:[ ("partition", string_of_int part) ]
+                "sim_domain_events_total"
             in
             Obs.Counter.add c ev)
           t.part_events
       end;
-      Profile.finalize p
+      Profile.finalize p);
+  (* close the causal account: idle tails up to the wall, the nominal
+     MPB line cost for the MPB-speed counterfactual, and the
+     parallel-DES lookahead ceilings *)
+  match t.critpath with
+  | None -> ()
+  | Some cp ->
+      let wall = ref 0 in
+      for i = 0 to t.n_ctx - 1 do
+        wall := max !wall t.ctx_arr.(i).stats.Stats.finish_ps
+      done;
+      let mpb_line_ps =
+        cc t t.cfg.Config.mpb_base_cycles
+        + (2 * t.lookahead_ps) + t.mesh_transfer_ps
+      in
+      Critpath.finalize cp ~wall_ps:!wall ~mpb_line_ps;
+      if t.n_parts > 1 then begin
+        let windowed =
+          if t.win_count = 0 then 1.0
+          else float_of_int t.win_active_sum /. float_of_int t.win_count
+        in
+        let total = Array.fold_left ( + ) 0 t.part_events in
+        let busiest = Array.fold_left max 1 t.part_events in
+        let infinite =
+          if total = 0 then 1.0
+          else float_of_int total /. float_of_int busiest
+        in
+        Critpath.set_lookahead cp ~parts:t.n_parts ~windowed ~infinite
+      end;
+      (match t.profile with
+      | None -> ()
+      | Some p -> Critpath.register_metrics cp (Profile.registry p))
 
 let stats t =
   {

@@ -41,14 +41,23 @@ exception Deadlock of string
 type t
 
 val create :
-  ?cfg:Config.t -> ?trace:Trace.t -> ?profile:Profile.t -> ?sim_jobs:int ->
-  unit -> t
+  ?cfg:Config.t -> ?trace:Trace.t -> ?profile:Profile.t ->
+  ?critpath:Critpath.t -> ?sim_jobs:int -> unit -> t
 (** With [trace], every compute burst, memory access, barrier wait and
     lock wait is recorded as a timed interval.  With [profile], the same
     picoseconds are additionally attributed to each context's current
     source frame (see {!Profile}), lock and barrier contention is
     tabulated, and machine metrics (L1 hit rate, memory-controller queue
     depth, mesh utilization) are sampled on the profile's interval.
+
+    With [critpath], {e every} local-clock advance — including scheduler
+    waits, sync protocol costs and idle padding the trace never sees —
+    is reported to the causal recorder with its dependency edge (lock
+    holder, barrier last-arriver, flag setter, join target, spawn
+    parent), so that after {!run} the accounting identity
+    [sum == wall * contexts] holds exactly and {!Critpath.critical_path}
+    / {!Critpath.whatifs} explain where the time went.  All three are
+    optional and cost nothing when absent.
 
     [sim_jobs] (default 1, max 62) partitions the mesh's cores into that
     many contiguous tile groups, each with its own ready heap; the
@@ -78,6 +87,8 @@ val stats : t -> Stats.t
 val trace : t -> Trace.t option
 
 val profile : t -> Profile.t option
+
+val critpath : t -> Critpath.t option
 
 val elapsed_ps : t -> int
 (** Completion time of the slowest context. *)

@@ -454,6 +454,23 @@ let barriers t =
 
 let registry t = t.reg
 
+(* --- allocation-free introspection (for the critical-path recorder) ------- *)
+
+let current_fn_slot t ~ctx =
+  if ctx < t.n_ctx then begin
+    let d = t.depths.(ctx) in
+    if d = 0 then 0 else t.stacks.(ctx).(d - 1)
+  end
+  else 0
+
+let current_line_slot t ~ctx = if ctx < t.n_ctx then t.cur_line.(ctx) else 0
+
+let fn_name t slot =
+  if slot >= 0 && slot < t.n_fns then t.fn_names.(slot) else "?"
+
+let line_name t slot =
+  if slot >= 0 && slot < t.n_lines then t.line_names.(slot) else "?"
+
 let counter_events t =
   let metrics_pid = 9998 in
   Obs.Chrome.Process_name { pid = metrics_pid; name = "machine metrics" }

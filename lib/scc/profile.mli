@@ -111,6 +111,20 @@ type barrier_row = {
 
 val barriers : t -> barrier_row list
 
+val current_fn_slot : t -> ctx:int -> int
+(** The interned slot of the frame on top of the context's stack
+    (0 = ["<toplevel>"]).  Allocation-free; used by the critical-path
+    recorder to stamp dependency-graph events. *)
+
+val current_line_slot : t -> ctx:int -> int
+(** The context's current line slot (0 = ["<unknown>"]). *)
+
+val fn_name : t -> int -> string
+(** Name for an interned function slot (["?"] when out of range). *)
+
+val line_name : t -> int -> string
+(** Key for an interned line slot (["?"] when out of range). *)
+
 val registry : t -> Obs.Registry.t
 (** Aggregate counters (attributed ps per kind, lock/barrier totals) and
     wait/spread histograms, for [Obs.Registry.to_prometheus] and

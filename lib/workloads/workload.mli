@@ -53,7 +53,7 @@ val elapsed_ms : result -> float
 
 val run :
   ?cfg:Scc.Config.t -> ?trace:Scc.Trace.t -> ?profile:Scc.Profile.t ->
-  ?sim_jobs:int -> t -> mode -> result
+  ?critpath:Scc.Critpath.t -> ?sim_jobs:int -> t -> mode -> result
 (** With [trace], the run records a timeline (see {!Scc.Trace}).  With
     [profile], every simulated picosecond is attributed to a root frame
     named after the workload, and contention/machine-metric timelines

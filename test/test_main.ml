@@ -33,4 +33,5 @@ let () =
       ("conform", Test_conform.suite);
       ("opt", Test_opt.suite);
       ("modes", Test_modes.suite);
+      ("critpath", Test_critpath.suite);
     ]

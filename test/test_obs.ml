@@ -198,6 +198,81 @@ let test_render_table () =
     (Obs.render_table
        [ [ "ab"; "c" ]; [ "a"; "bcdef" ]; [ "abcd"; "e" ] ])
 
+(* --- labelled counters (one family, many label sets) ------------------ *)
+
+let count_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let n = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr n
+  done;
+  !n
+
+let test_labelled_counters () =
+  let r = Obs.Registry.create () in
+  let c0 =
+    Obs.Registry.counter r ~help:"events resumed per scheduler partition"
+      ~labels:[ ("partition", "0") ] "sim_domain_events_total"
+  in
+  let c1 =
+    Obs.Registry.counter r ~help:"events resumed per scheduler partition"
+      ~labels:[ ("partition", "1") ] "sim_domain_events_total"
+  in
+  Obs.Counter.add c0 5;
+  Obs.Counter.add c1 7;
+  (* same (name, labels) -> same instrument; distinct labels -> distinct *)
+  let c0' =
+    Obs.Registry.counter r ~labels:[ ("partition", "0") ]
+      "sim_domain_events_total"
+  in
+  Obs.Counter.incr c0';
+  Alcotest.(check int) "same instrument per label set" 6
+    (Obs.Counter.value c0);
+  Alcotest.(check int) "other label set untouched" 7 (Obs.Counter.value c1);
+  let text = Obs.Registry.to_prometheus r in
+  Alcotest.(check int) "one # HELP per family" 1
+    (count_substring ~needle:"# HELP sim_domain_events_total" text);
+  Alcotest.(check int) "one # TYPE per family" 1
+    (count_substring ~needle:"# TYPE sim_domain_events_total counter" text);
+  Alcotest.(check bool) "partition 0 sample" true
+    (contains text {|sim_domain_events_total{partition="0"} 6|});
+  Alcotest.(check bool) "partition 1 sample" true
+    (contains text {|sim_domain_events_total{partition="1"} 7|})
+
+let test_label_string_sorted () =
+  let r = Obs.Registry.create () in
+  let c =
+    Obs.Registry.counter r ~labels:[ ("b", "2"); ("a", "1") ] "x_total"
+  in
+  Alcotest.(check string) "labels render sorted by key" {|{a="1",b="2"}|}
+    (Obs.Counter.label_string c);
+  let plain = Obs.Registry.counter r "y_total" in
+  Alcotest.(check string) "no labels, no braces" ""
+    (Obs.Counter.label_string plain)
+
+let test_flow_json () =
+  let flow phase ts_us =
+    Obs.Chrome.Flow
+      { name = "critical-path"; cat = "critpath"; id = 9; pid = 1; tid = 2;
+        ts_us; phase }
+  in
+  let json =
+    Obs.Chrome.to_json
+      [ flow Obs.Chrome.Flow_start 1.0;
+        flow Obs.Chrome.Flow_step 2.0;
+        flow Obs.Chrome.Flow_end 3.0 ]
+  in
+  Alcotest.(check int) "one start" 1
+    (count_substring ~needle:{|"ph":"s"|} json);
+  Alcotest.(check int) "one step" 1
+    (count_substring ~needle:{|"ph":"t"|} json);
+  Alcotest.(check int) "one end" 1
+    (count_substring ~needle:{|"ph":"f"|} json);
+  Alcotest.(check int) "terminator binds to enclosing slice" 1
+    (count_substring ~needle:{|"bp":"e"|} json);
+  Alcotest.(check int) "shared flow id" 3
+    (count_substring ~needle:{|"id":9|} json)
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -219,4 +294,7 @@ let suite =
     Alcotest.test_case "spans epoch rebase" `Quick test_spans_epoch_rebase;
     Alcotest.test_case "us_of" `Quick test_us_of;
     Alcotest.test_case "render_table" `Quick test_render_table;
+    Alcotest.test_case "labelled counters" `Quick test_labelled_counters;
+    Alcotest.test_case "label_string sorted" `Quick test_label_string_sorted;
+    Alcotest.test_case "flow event json" `Quick test_flow_json;
   ]
