@@ -204,9 +204,75 @@ let diff_modes_run ~seed ~count ~sim_jobs ~verbose =
     count sim_jobs !fails;
   if !fails > 0 then 1 else 0
 
+(* Synthetic-workload stressor: every config of the synth sweep grid
+   (lib/synth) emits a deterministic Pthread program; each runs through
+   the dual-execution oracle with the optimizer forced on — the same
+   programs whose direct-route twins the characterization sweep times.
+   Divergences delta-debug to minimal counterexamples like any other. *)
+let synth_run ~quick ~count ~no_shrink ~save_dir ~verbose =
+  let grid = if quick then Synth.Spec.Quick else Synth.Spec.Full in
+  let specs = Synth.Spec.grid grid in
+  let total_grid = List.length specs in
+  let specs = List.filteri (fun i _ -> i < count) specs in
+  let fails = ref 0 in
+  List.iteri
+    (fun i sp ->
+      let program = Synth.Emit.program_of_spec sp in
+      let cfg = Synth.Emit.oracle_config sp in
+      (match Conform.Oracle.check cfg program with
+      | Conform.Oracle.Agree ->
+          if verbose then
+            Printf.printf "[%d] %s: agree\n%!" i (Synth.Spec.describe sp)
+      | Conform.Oracle.Diverge f ->
+          incr fails;
+          let kind = Conform.Oracle.kind_of_failure f in
+          let budget = if no_shrink then 0 else if quick then 60 else 250 in
+          let shrunk, evals =
+            Conform.Shrink.shrink ~budget cfg ~kind program
+          in
+          Printf.printf "FAIL %s\n  %s\n  shrunk from %d to %d (%d oracle \
+                         evals)\n"
+            (Synth.Spec.describe sp)
+            (Conform.Oracle.failure_to_string f)
+            (Conform.Shrink.size program)
+            (Conform.Shrink.size shrunk) evals;
+          (match save_dir with
+          | Some dir ->
+              ensure_dir dir;
+              let base =
+                Filename.concat dir
+                  (Printf.sprintf "synth_seed%d" sp.Synth.Spec.seed)
+              in
+              let header =
+                Printf.sprintf "// synth spec: %s\n// failure: %s\n"
+                  (Synth.Spec.describe sp)
+                  (Conform.Oracle.failure_to_string f)
+              in
+              write_file (base ^ ".min.c")
+                (header ^ Conform.Gen.source_of_program shrunk);
+              write_file (base ^ ".orig.c")
+                (header ^ Conform.Gen.source_of_program program);
+              Printf.printf "  saved counterexample to %s.min.c\n" base
+          | None -> ());
+          print_string "  --- minimized counterexample ---\n";
+          print_string (Conform.Gen.source_of_program shrunk);
+          print_string "  --------------------------------\n");
+      if (not verbose) && (i + 1) mod 25 = 0 then
+        Printf.printf "  ... %d configs checked\n%!" (i + 1))
+    specs;
+  Printf.printf
+    "%d synth config(s) of the %s grid (%d total), optimizer on: %d \
+     divergence(s)\n"
+    (List.length specs)
+    (Synth.Spec.grid_to_string grid)
+    total_grid !fails;
+  if !fails > 0 then 1 else 0
+
 let run_cmd seed count quick no_shrink save_dir sabotage expect_diverge
-    verify diff_modes sim_jobs optimize verbose =
+    verify diff_modes synth sim_jobs optimize verbose =
   if diff_modes then exit (diff_modes_run ~seed ~count ~sim_jobs ~verbose);
+  if synth then
+    exit (synth_run ~quick ~count ~no_shrink ~save_dir ~verbose);
   let sabotage =
     match sabotage with
     | None -> None
@@ -354,6 +420,14 @@ let diff_modes_arg =
                  sequential vs partitioned (--sim-jobs) scheduler, on \
                  both the Pthread baseline and the RCCE translation.")
 
+let synth_arg =
+  Arg.(value & flag
+       & info [ "synth" ]
+           ~doc:"Synthetic-workload stressor: run the lib/synth sweep \
+                 grid's emitted Pthread programs (first --count configs; \
+                 --quick selects the CI grid) through the dual-execution \
+                 oracle with the optimizer on, shrinking any divergence.")
+
 let sim_jobs_arg =
   Arg.(value & opt int 8
        & info [ "sim-jobs" ] ~docv:"N"
@@ -371,7 +445,8 @@ let optimize_arg =
 let run_term =
   Term.(const run_cmd $ seed_arg $ count_arg $ quick_arg $ no_shrink_arg
         $ save_arg $ sabotage_arg $ expect_diverge_arg $ verify_arg
-        $ diff_modes_arg $ sim_jobs_arg $ optimize_arg $ verbose_arg)
+        $ diff_modes_arg $ synth_arg $ sim_jobs_arg $ optimize_arg
+        $ verbose_arg)
 
 let replay_cmd_v =
   let files =

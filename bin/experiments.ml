@@ -4,24 +4,48 @@
      experiments all --quick          everything, small parameters
      experiments all --jobs 4         sections across a 4-domain pool
      experiments fig-6.1              one section
+     experiments sweep --quick --jobs 4 --jsonl rows.jsonl
+                                      characterization sweep: synthetic
+                                      configs x placement policies
+     experiments sweep --quick --find-losses
+                                      also report configs where greedy
+                                      placement loses to a forced
+                                      alternative
+     experiments sweep --quick --limit 12
+                                      only the first 12 grid configs
 
    Unknown sections exit with status 2.  Output is byte-identical for
    any --jobs value (fixed-order gather). *)
 
 open Cmdliner
 
-let run_cmd which quick jobs =
+let run_cmd which quick jobs jsonl find_losses limit =
   let scale =
     if quick then Exp.Experiments.Quick else Exp.Experiments.Full
   in
   let jobs =
     match jobs with Some n -> max 1 n | None -> Exp.Pool.default_jobs ()
   in
-  match Exp.Experiments.run_section ~scale ~jobs which with
-  | Ok out -> print_string out
-  | Error msg ->
-      Printf.eprintf "experiments: %s\n" msg;
-      exit 2
+  match which with
+  | "sweep" ->
+      let r = Exp.Experiments.run_sweep ~scale ~jobs ?limit () in
+      (match jsonl with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc r.Exp.Experiments.sweep_jsonl;
+          close_out oc);
+      print_string r.Exp.Experiments.sweep_summary;
+      if find_losses then
+        print_string
+          (Exp.Experiments.losses_report r.Exp.Experiments.sweep_losses)
+  | which -> begin
+      match Exp.Experiments.run_section ~scale ~jobs which with
+      | Ok out -> print_string out
+      | Error msg ->
+          Printf.eprintf "experiments: %s\n" msg;
+          exit 2
+    end
 
 let which_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"SECTION")
@@ -38,10 +62,31 @@ let jobs_arg =
              "Run sections on $(docv) domains (default: the recommended \
               domain count).  The output is byte-identical for any N.")
 
+let jsonl_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"(sweep) Write one JSON line per (config, policy) to \
+                 $(docv).")
+
+let find_losses_arg =
+  Arg.(value & flag
+       & info [ "find-losses" ]
+           ~doc:"(sweep) Report configs where the greedy Algorithm 3 \
+                 placement is beaten by a forced alternative by more \
+                 than 5%.")
+
+let limit_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "limit" ] ~docv:"N"
+           ~doc:"(sweep) Only the first $(docv) configs of the grid.")
+
 let main =
   Cmd.v
     (Cmd.info "experiments" ~version:"1.0.0"
        ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_cmd $ which_arg $ quick_arg $ jobs_arg)
+    Term.(const run_cmd $ which_arg $ quick_arg $ jobs_arg $ jsonl_arg
+          $ find_losses_arg $ limit_arg)
 
 let () = exit (Cmd.eval main)

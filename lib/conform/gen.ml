@@ -378,6 +378,25 @@ let generate ~seed =
   in
   (sp, program)
 
+(* Re-export the AST shorthands so other seeded generators (lib/synth's
+   Graphite-style kernel emitter) build programs with the same idioms —
+   in particular [for_to], whose canonical counted-loop shape is what
+   [Analysis.Thread_analysis.loop_bounds] recognizes. *)
+module Build = struct
+  let s = s
+  let ex = ex
+  let il = il
+  let v = v
+  let bin = bin
+  let idx = idx
+  let addr = addr
+  let deref = deref
+  let null = null
+  let printf_ = printf_
+  let for_to = for_to
+  let decl_stmt = decl_stmt
+end
+
 let describe sp =
   Printf.sprintf
     "%s nt=%d cores=%d phases=%d accs=%d mutexes=%d slots=%d ro=%d%s%s%s"

@@ -64,3 +64,21 @@ val describe : spec -> string
 
 val source_of_program : Ast.program -> string
 (** Pretty-print back to C (the canonical corpus file body). *)
+
+(** AST shorthands shared with other seeded program generators
+    ([Synth.Emit]): statement/expression wrappers and the canonical
+    counted-loop shape the thread analysis recognizes. *)
+module Build : sig
+  val s : Ast.stmt_desc -> Ast.stmt
+  val ex : Ast.expr -> Ast.stmt
+  val il : int -> Ast.expr
+  val v : string -> Ast.expr
+  val bin : Ast.binop -> Ast.expr -> Ast.expr -> Ast.expr
+  val idx : Ast.expr -> Ast.expr -> Ast.expr
+  val addr : Ast.expr -> Ast.expr
+  val deref : Ast.expr -> Ast.expr
+  val null : Ast.expr
+  val printf_ : string -> Ast.expr list -> Ast.expr
+  val for_to : string -> Ast.expr -> Ast.stmt list -> Ast.stmt
+  val decl_stmt : ?init:Ast.init -> string -> Ctype.t -> Ast.stmt
+end

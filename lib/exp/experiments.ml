@@ -621,6 +621,167 @@ let opt_experiment ?scale () =
    runs print identical output)\n\n"
   ^ Tabulate.render table
 
+(* --- characterization sweep (lib/synth) ----------------------------------- *)
+
+(* Thousands of synthetic configs through the fixed-order domain pool:
+   each config runs all four placement policies on its own engine, so the
+   thunks are independent and [Pool.map_fixed] keeps the row order — and
+   therefore the JSONL and every summary table — byte-identical for any
+   [--jobs].  [Quick] is the CI grid; [Full] is the characterization grid
+   EXPERIMENTS.md reports (hours of simulation). *)
+
+type sweep_result = {
+  sweep_jsonl : string;
+  sweep_summary : string;
+  sweep_configs : int;
+  sweep_losses : Synth.Sweep.loss list;
+}
+
+let sweep_ratio rows num_policy den_policy =
+  match
+    ( Synth.Sweep.find_measurement rows num_policy,
+      Synth.Sweep.find_measurement rows den_policy )
+  with
+  | Some n, Some d when d.Synth.Sweep.r_m.Synth.Kernel.m_elapsed_ps > 0 ->
+      Some
+        (float_of_int n.Synth.Sweep.r_m.Synth.Kernel.m_elapsed_ps
+        /. float_of_int d.Synth.Sweep.r_m.Synth.Kernel.m_elapsed_ps)
+  | _ -> None
+
+let sweep_surface groups =
+  (* one table per DVFS point: mean (all-dram / greedy) elapsed ratio
+     over the configs at each (threads, sharing) cell *)
+  let uniq f =
+    List.sort_uniq compare
+      (List.map (fun (sp, _) -> f sp) groups)
+  in
+  let dvfs_points = uniq (fun sp -> sp.Synth.Spec.dvfs_mhz) in
+  let threads_vals = uniq (fun sp -> sp.Synth.Spec.threads) in
+  let sharing_vals = uniq (fun sp -> sp.Synth.Spec.sharing) in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun dvfs ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "Speedup of greedy placement over all-off-chip at %d MHz\n\
+            (mean elapsed ratio all-dram / greedy; > 1.00x = greedy wins)\n\n"
+           dvfs);
+      let header =
+        "threads \\ sharing"
+        :: List.map string_of_int sharing_vals
+      in
+      let rows =
+        List.map
+          (fun t ->
+            string_of_int t
+            :: List.map
+                 (fun d ->
+                   let samples =
+                     List.filter_map
+                       (fun (sp, rows) ->
+                         if
+                           sp.Synth.Spec.threads = t
+                           && sp.Synth.Spec.sharing = d
+                           && sp.Synth.Spec.dvfs_mhz = dvfs
+                         then
+                           sweep_ratio rows Synth.Kernel.All_dram
+                             Synth.Kernel.Greedy
+                         else None)
+                       groups
+                   in
+                   match samples with
+                   | [] -> "-"
+                   | l ->
+                       Printf.sprintf "%.2fx"
+                         (List.fold_left ( +. ) 0.0 l
+                         /. float_of_int (List.length l)))
+                 sharing_vals)
+          threads_vals
+      in
+      Buffer.add_string buf (Tabulate.render (header :: rows));
+      Buffer.add_char buf '\n')
+    dvfs_points;
+  Buffer.contents buf
+
+let sweep_best_policy groups =
+  (* a config's best policy is the argmin of elapsed time, ties going to
+     the first policy in [Kernel.policies] order *)
+  let best_of (_, rows) =
+    let elapsed q =
+      match Synth.Sweep.find_measurement rows q with
+      | Some r -> r.Synth.Sweep.r_m.Synth.Kernel.m_elapsed_ps
+      | None -> max_int
+    in
+    List.fold_left
+      (fun acc q -> if elapsed q < elapsed acc then q else acc)
+      (List.hd Synth.Kernel.policies)
+      Synth.Kernel.policies
+  in
+  let bests = List.map best_of groups in
+  Tabulate.render
+    ([ "Policy"; "Fastest on (configs)" ]
+    :: List.map
+         (fun p ->
+           [ Synth.Kernel.policy_to_string p;
+             string_of_int (List.length (List.filter (fun b -> b = p) bests)) ])
+         Synth.Kernel.policies)
+
+let losses_report losses =
+  match losses with
+  | [] ->
+      "Greedy-placement losses (> "
+      ^ string_of_int Synth.Sweep.loss_threshold_pct
+      ^ "% vs best forced alternative): none found on this grid.\n"
+  | l ->
+      Printf.sprintf
+        "Greedy-placement losses (> %d%% vs best forced alternative): %d\n%s"
+        Synth.Sweep.loss_threshold_pct (List.length l)
+        (String.concat "\n"
+           (List.map (fun x -> "  " ^ Synth.Sweep.loss_to_string x) l))
+      ^ "\n"
+
+let run_sweep ?(scale = Full) ?(jobs = 1) ?limit () =
+  let g =
+    match scale with Quick -> Synth.Spec.Quick | Full -> Synth.Spec.Full
+  in
+  let specs = Synth.Spec.grid g in
+  let specs =
+    match limit with
+    | Some n when n >= 0 -> List.filteri (fun i _ -> i < n) specs
+    | _ -> specs
+  in
+  let row_groups =
+    Pool.map_fixed ~jobs
+      (List.map (fun sp () -> Synth.Sweep.rows_of_spec sp) specs)
+  in
+  let groups = List.combine specs row_groups in
+  let all_rows = List.concat row_groups in
+  let jsonl = Synth.Sweep.jsonl_of_rows all_rows ^ "\n" in
+  let losses = List.filter_map Synth.Sweep.loss_of_rows row_groups in
+  let unverified =
+    List.length
+      (List.filter
+         (fun r -> not r.Synth.Sweep.r_m.Synth.Kernel.m_verified)
+         all_rows)
+  in
+  let summary =
+    Printf.sprintf
+      "Characterization sweep: %d configs x %d policies (grid=%s)\n\
+       Row order is the canonical grid order; identical for any --jobs.\n\
+       Verified: %s\n\n"
+      (List.length specs)
+      (List.length Synth.Kernel.policies)
+      (Synth.Spec.grid_to_string g)
+      (if unverified = 0 then "all rows"
+       else Printf.sprintf "%d rows FAILED verification" unverified)
+    ^ sweep_surface groups ^ "\n" ^ sweep_best_policy groups ^ "\n\n"
+    ^ losses_report losses
+  in
+  { sweep_jsonl = jsonl;
+    sweep_summary = summary;
+    sweep_configs = List.length specs;
+    sweep_losses = losses }
+
 let sections =
   [ ("table-4.1", fun _scale -> table_4_1 ());
     ("table-4.2", fun _scale -> table_4_2 ());
@@ -655,11 +816,12 @@ let run_all ?(scale = Full) ?(jobs = 1) () =
 let run_section ?(scale = Full) ?(jobs = 1) name =
   match name with
   | "all" -> Ok (run_all ~scale ~jobs ())
+  | "sweep" -> Ok ((run_sweep ~scale ~jobs ()).sweep_summary)
   | name -> begin
       match List.assoc_opt name sections with
       | Some f -> Ok (f scale)
       | None ->
           Error
-            (Printf.sprintf "unknown section %S (have: all, %s)" name
+            (Printf.sprintf "unknown section %S (have: all, sweep, %s)" name
                (String.concat ", " section_names))
     end

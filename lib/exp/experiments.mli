@@ -137,6 +137,33 @@ val opt_end_to_end : ?scale:scale -> unit -> opt_row list
 
 val opt_experiment : ?scale:scale -> unit -> string
 
+(** {1 Characterization sweep}
+
+    Thousands of synthetic configs (lib/synth) through the fixed-order
+    domain pool: speedup surfaces over threads x sharing-degree x
+    placement x DVFS, plus the greedy-placement loss hunter. *)
+
+type sweep_result = {
+  sweep_jsonl : string;
+      (** one JSONL line per (config, policy), trailing newline; row
+          order is the canonical grid order *)
+  sweep_summary : string;
+      (** speedup surfaces, best-policy table, losses line *)
+  sweep_configs : int;
+  sweep_losses : Synth.Sweep.loss list;
+}
+
+val run_sweep :
+  ?scale:scale -> ?jobs:int -> ?limit:int -> unit -> sweep_result
+(** [Quick] runs {!Synth.Spec.grid} [Quick] (the CI grid, seconds);
+    [Full] is the characterization grid EXPERIMENTS.md reports.  [limit]
+    keeps only the first [n] configs of the grid (goldens).  Per-config
+    work is an independent engine run, gathered fixed-order: the JSONL
+    and summary are byte-identical for any [jobs]. *)
+
+val losses_report : Synth.Sweep.loss list -> string
+(** The [--find-losses] report; explicit wording when none were found. *)
+
 val sections : (string * (scale -> string)) list
 (** Every named section, in presentation order — the dispatch table
     behind [bin/experiments]. *)

@@ -1,0 +1,205 @@
+(* The C route of the synthetic workload engine: a spec emits a
+   well-typed Pthread program inside the translatable subset, so every
+   sweep point can also run through [Cexec.Interp.run_pthread], the [-O]
+   translator and the conformance oracle.
+
+   The kernel mirrors the direct route's shape — an in-C LCG drives the
+   private/shared mix, the read fraction, and hot-group indexing — but
+   is data-race-free by construction with exactly one defined outcome:
+
+   - the hot and cold tables are read-only, initialized idempotently in
+     [main] (every core of the translated program re-runs the writes
+     with identical values);
+   - shared writes land in [wr0], each thread owning the disjoint slot
+     range [tid*WL .. tid*WL+WL);
+   - the [g0] accumulator is additive under its mutex and each thread's
+     contribution is a pure function of [tid], so the sum commutes;
+   - per-thread results go to [out0[tid]] and are printed as tagged
+     [OBS] observations by [main] after the joins. *)
+
+open Cfront
+open Conform.Gen.Build
+
+let lcg_mod = 65537
+
+(* Every spec parameter is baked in as a literal, like the paper's
+   benchmarks were "built for 32 threads". *)
+let worker_body (sp : Spec.t) =
+  let wl = max 1 sp.Spec.n_private in
+  let x0 = (sp.Spec.seed mod 9973) + 1 in
+  let read_e =
+    (* one shared read, dispatched hot/cold on the LCG state *)
+    let hot_read =
+      let d = sp.Spec.sharing in
+      let gl = Spec.group_len sp in
+      (* sh0[((tid / d) * gl + x % gl) % ns] *)
+      Ast.Assign
+        ( Some Ast.Add,
+          v "sum",
+          idx (v "sh0")
+            (bin Ast.Mod
+               (bin Ast.Add
+                  (bin Ast.Mul (bin Ast.Div (v "tid") (il d)) (il gl))
+                  (bin Ast.Mod (v "x") (il gl)))
+               (il sp.Spec.n_shared)) )
+    in
+    let cold_read =
+      Ast.Assign
+        ( Some Ast.Add,
+          v "sum",
+          idx (v "cd0") (bin Ast.Mod (v "x") (il sp.Spec.n_cold)) )
+    in
+    match (sp.Spec.n_shared > 0, sp.Spec.n_cold > 0) with
+    | true, true ->
+        s
+          (Ast.Sif
+             ( bin Ast.Eq (bin Ast.Mod (v "x") (il 16)) (il 0),
+               ex cold_read,
+               Some (ex hot_read) ))
+    | true, false -> ex hot_read
+    | false, true -> ex cold_read
+    | false, false ->
+        ex (Ast.Assign (Some Ast.Add, v "sum", bin Ast.Mod (v "x") (il 5)))
+  in
+  let write_s =
+    (* wr0[tid * wl + x % wl] = (sum + i) % 9973 *)
+    ex
+      (Ast.assign
+         (idx (v "wr0")
+            (bin Ast.Add
+               (bin Ast.Mul (v "tid") (il wl))
+               (bin Ast.Mod (v "x") (il wl))))
+         (bin Ast.Mod (bin Ast.Add (v "sum") (v "i")) (il 9973)))
+  in
+  let iteration =
+    [ ex
+        (Ast.assign (v "x")
+           (bin Ast.Mod
+              (bin Ast.Add (bin Ast.Mul (v "x") (il 75)) (il 74))
+              (il lcg_mod)));
+      s
+        (Ast.Sif
+           ( bin Ast.Lt (bin Ast.Mod (v "x") (il 100)) (il sp.Spec.shared_pct),
+             s
+               (Ast.Sblock
+                  [ s
+                      (Ast.Sif
+                         ( bin Ast.Lt
+                             (bin Ast.Mod (bin Ast.Div (v "x") (il 100))
+                                (il 100))
+                             (il sp.Spec.read_pct),
+                           read_e,
+                           Some write_s )) ]),
+             Some
+               (ex
+                  (Ast.assign (v "sum")
+                     (bin Ast.Add (v "sum") (bin Ast.Mod (v "x") (il 9))))) ))
+    ]
+  in
+  let phase_loop = for_to "i" (il sp.Spec.insns) iteration in
+  let phase_blocks =
+    List.concat
+      (List.init sp.Spec.phases (fun p ->
+           (if p > 0 then
+              [ ex (Ast.call "pthread_barrier_wait" [ addr (v "bar") ]) ]
+            else [])
+           @ [ phase_loop ]))
+  in
+  [ decl_stmt ~init:(Ast.Init_expr (Ast.Cast (Ctype.Int, v "arg"))) "tid"
+      Ctype.Int;
+    decl_stmt
+      ~init:
+        (Ast.Init_expr (bin Ast.Add (il x0) (bin Ast.Mul (v "tid") (il 131))))
+      "x" Ctype.Int;
+    decl_stmt ~init:(Ast.Init_expr (il 0)) "sum" Ctype.Int;
+    decl_stmt "i" Ctype.Int ]
+  @ phase_blocks
+  @ [ ex (Ast.assign (idx (v "out0") (v "tid")) (v "sum"));
+      ex (Ast.call "pthread_mutex_lock" [ addr (v "m0") ]);
+      ex
+        (Ast.Assign
+           (Some Ast.Add, v "g0", bin Ast.Mod (v "sum") (il 1000)));
+      ex (Ast.call "pthread_mutex_unlock" [ addr (v "m0") ]);
+      ex (Ast.call "pthread_exit" [ null ]) ]
+
+let program_of_spec (sp : Spec.t) =
+  (match Spec.validate sp with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Synth.Emit.program_of_spec: " ^ m));
+  let nt = sp.Spec.threads in
+  let wl = max 1 sp.Spec.n_private in
+  let void_ptr = Ctype.Ptr Ctype.Void in
+  let globals =
+    (if sp.Spec.n_shared > 0 then
+       [ Ast.Gvar (Ast.decl "sh0" (Ctype.Array (Ctype.Int, Some sp.Spec.n_shared))) ]
+     else [])
+    @ (if sp.Spec.n_cold > 0 then
+         [ Ast.Gvar (Ast.decl "cd0" (Ctype.Array (Ctype.Int, Some sp.Spec.n_cold))) ]
+       else [])
+    @ [ Ast.Gvar (Ast.decl "wr0" (Ctype.Array (Ctype.Int, Some (nt * wl))));
+        Ast.Gvar (Ast.decl "out0" (Ctype.Array (Ctype.Int, Some nt)));
+        Ast.Gvar (Ast.decl "g0" Ctype.Int);
+        Ast.Gvar (Ast.decl "m0" (Ctype.Named "pthread_mutex_t")) ]
+    @
+    if sp.Spec.phases > 1 then
+      [ Ast.Gvar (Ast.decl "bar" (Ctype.Named "pthread_barrier_t")) ]
+    else []
+  in
+  let ro_init name n f =
+    (* for (t..n) name[t] = f-formula(t); idempotent across cores *)
+    for_to "t" (il n) [ ex (Ast.assign (idx (v name) (v "t")) (f (v "t"))) ]
+  in
+  let main_body =
+    [ decl_stmt "t" Ctype.Int;
+      decl_stmt "threads" (Ctype.Array (Ctype.Named "pthread_t", Some nt));
+      ex (Ast.call "pthread_mutex_init" [ addr (v "m0"); null ]) ]
+    @ (if sp.Spec.phases > 1 then
+         [ ex (Ast.call "pthread_barrier_init" [ addr (v "bar"); null; il nt ]) ]
+       else [])
+    @ (if sp.Spec.n_shared > 0 then
+         [ ro_init "sh0" sp.Spec.n_shared (fun t ->
+               bin Ast.Mod
+                 (bin Ast.Add (bin Ast.Mul t (il 7)) (il 3))
+                 (il 101)) ]
+       else [])
+    @ (if sp.Spec.n_cold > 0 then
+         [ ro_init "cd0" sp.Spec.n_cold (fun t ->
+               bin Ast.Mod
+                 (bin Ast.Add (bin Ast.Mul t (il 5)) (il 1))
+                 (il 89)) ]
+       else [])
+    @ [ for_to "t" (il nt)
+          [ ex
+              (Ast.call "pthread_create"
+                 [ addr (idx (v "threads") (v "t")); null; v "work";
+                   Ast.Cast (void_ptr, v "t") ]) ];
+        for_to "t" (il nt)
+          [ ex (Ast.call "pthread_join" [ idx (v "threads") (v "t"); null ]) ];
+        ex (printf_ "OBS g0 0 %d\n" [ v "g0" ]);
+        for_to "t" (il nt)
+          [ ex (printf_ "OBS out %d %d\n" [ v "t"; idx (v "out0") (v "t") ]) ];
+        for_to "t" (il nt)
+          [ ex
+              (printf_ "OBS wr %d %d\n"
+                 [ v "t"; idx (v "wr0") (bin Ast.Mul (v "t") (il wl)) ]) ];
+        s (Ast.Sreturn (Some (il 0))) ]
+  in
+  { Ast.p_includes = [ "#include <stdio.h>"; "#include <pthread.h>" ];
+    p_globals =
+      globals
+      @ [ Ast.Gfunc
+            (Ast.func "work" ~ret:void_ptr
+               ~params:[ ("arg", void_ptr) ]
+               (worker_body sp));
+          Ast.Gfunc (Ast.func "main" ~ret:Ctype.Int ~params:[] main_body) ] }
+
+let source_of_spec sp = Conform.Gen.source_of_program (program_of_spec sp)
+
+(* The oracle configuration for a spec's C program: the translated RCCE
+   execution runs on [threads] cores through the [-O] pipeline (the
+   sweep's differential stressor forces the optimizer on every point). *)
+let oracle_config ?(optimize = true) (sp : Spec.t) =
+  let c = Conform.Oracle.default_config ~ncores:sp.Spec.threads in
+  { c with
+    Conform.Oracle.options =
+      { c.Conform.Oracle.options with Translate.Pass.optimize } }

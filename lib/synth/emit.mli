@@ -1,0 +1,18 @@
+(** The C route: a spec emits a well-typed, data-race-free Pthread
+    program inside the translatable subset, so every sweep point can
+    also run through {!Cexec.Interp.run_pthread}, the [-O] translator,
+    and the conformance oracle. *)
+
+open Cfront
+
+val program_of_spec : Spec.t -> Ast.program
+(** Pure function of the spec: the same spec yields a byte-identical
+    program on every run and machine.  Raises [Invalid_argument] on a
+    spec that fails {!Spec.validate}. *)
+
+val source_of_spec : Spec.t -> string
+(** {!program_of_spec} pretty-printed as C source. *)
+
+val oracle_config : ?optimize:bool -> Spec.t -> Conform.Oracle.config
+(** Oracle configuration for the spec's program: RCCE leg on
+    [sp.threads] cores, optimizer on by default. *)

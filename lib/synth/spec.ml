@@ -1,0 +1,144 @@
+(* The parameter space of the synthetic workload engine.
+
+   One [t] pins every knob of a Graphite-style synthetic-memory kernel
+   (SNIPPETS.md snippets 2-3): thread count, degree of sharing, hot and
+   cold shared footprints, the private/shared access mix, the read
+   fraction, instructions per core, barrier phase count, and the DVFS
+   operating point.  A spec is plain integers, so a sweep row is a pure
+   function of its spec and the enumeration order of a grid is the
+   canonical config order everywhere (JSONL, goldens, the domain pool). *)
+
+type t = {
+  seed : int;         (* stream seed; grids derive it from the index *)
+  threads : int;      (* execution units (RCCE cores), 1..48 *)
+  sharing : int;      (* degree of sharing: readers per hot group, 1..threads *)
+  n_shared : int;     (* hot shared array elements (8 bytes each); 0 = none *)
+  n_cold : int;       (* cold shared table elements; 0 = none *)
+  n_private : int;    (* per-thread private array elements; 0 = none *)
+  read_pct : int;     (* reads as % of shared accesses, 0..100 *)
+  shared_pct : int;   (* shared accesses as % of all accesses, 0..100 *)
+  insns : int;        (* accesses per thread per phase *)
+  compute : int;      (* core cycles burned between accesses *)
+  phases : int;       (* barrier-separated phases, >= 1 *)
+  dvfs_mhz : int;     (* core frequency, 100..1000 (section 5.1) *)
+}
+
+let validate sp =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if sp.threads < 1 || sp.threads > 48 then
+    fail "threads=%d outside 1..48" sp.threads
+  else if sp.sharing < 1 || sp.sharing > sp.threads then
+    fail "sharing=%d outside 1..threads=%d" sp.sharing sp.threads
+  else if sp.n_shared < 0 || sp.n_cold < 0 || sp.n_private < 0 then
+    fail "negative array size"
+  else if sp.read_pct < 0 || sp.read_pct > 100 then
+    fail "read_pct=%d outside 0..100" sp.read_pct
+  else if sp.shared_pct < 0 || sp.shared_pct > 100 then
+    fail "shared_pct=%d outside 0..100" sp.shared_pct
+  else if sp.insns < 0 then fail "insns=%d negative" sp.insns
+  else if sp.compute < 0 then fail "compute=%d negative" sp.compute
+  else if sp.phases < 1 then fail "phases=%d < 1" sp.phases
+  else if sp.dvfs_mhz < 100 || sp.dvfs_mhz > 1000 then
+    fail "dvfs_mhz=%d outside 100..1000" sp.dvfs_mhz
+  else Ok ()
+
+let describe sp =
+  Printf.sprintf
+    "seed=%d t=%d share=%d hot=%d cold=%d priv=%d rd=%d%% sh=%d%% \
+     insns=%d ph=%d %dMHz"
+    sp.seed sp.threads sp.sharing sp.n_shared sp.n_cold sp.n_private
+    sp.read_pct sp.shared_pct sp.insns sp.phases sp.dvfs_mhz
+
+(* Hot-group geometry: [sharing] threads share one contiguous slice of
+   the hot array, so the number of distinct sharer groups is
+   [ceil (threads / sharing)].  Degenerate sizes clamp to one element so
+   every index expression stays in bounds. *)
+let n_groups sp = (sp.threads + sp.sharing - 1) / sp.sharing
+let group_len sp =
+  if sp.n_shared = 0 then 0 else max 1 (sp.n_shared / n_groups sp)
+let group_of_thread sp tid = tid / sp.sharing
+
+let elt_bytes = 8
+
+(* ------------------------------------------------------------------ *)
+(* Grids                                                              *)
+
+type grid = Quick | Full
+
+let grid_to_string = function Quick -> "quick" | Full -> "full"
+
+(* Enumeration order is the contract: config [i] of a grid is the same
+   on every machine and for every [--jobs], and its seed is [base + i].
+   Order: threads, sharing, n_shared, n_cold, read_pct, shared_pct,
+   phases, dvfs — the first axes vary slowest. *)
+let axes = function
+  | Quick ->
+      ( [ 2; 4; 8 ],          (* threads *)
+        [ 1; 2; 4 ],          (* sharing (clamped to threads, deduped) *)
+        [ 256; 2048 ],        (* n_shared *)
+        [ 64; 512 ],          (* n_cold *)
+        [ 50; 95; 100 ],      (* read_pct *)
+        [ 80 ],               (* shared_pct *)
+        [ 1; 2 ],             (* phases *)
+        [ 533; 800 ],         (* dvfs_mhz *)
+        200,                  (* insns *)
+        8,                    (* compute cycles *)
+        64 )                  (* n_private *)
+  | Full ->
+      ( [ 2; 4; 8; 16; 32 ],
+        [ 1; 2; 4; 8; 16; 32 ],
+        [ 256; 2048; 8192 ],
+        [ 64; 2048 ],
+        [ 50; 95; 100 ],
+        [ 50; 90 ],
+        [ 1; 2 ],
+        [ 320; 800 ],
+        400,
+        8,
+        128 )
+
+let grid_seed_base = 10_000
+
+let grid g =
+  let ( threads_axis, sharing_axis, shared_axis, cold_axis, read_axis,
+        mix_axis, phase_axis, dvfs_axis, insns, compute, n_private ) =
+    axes g
+  in
+  let specs = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun threads ->
+      let sharings =
+        List.sort_uniq compare
+          (List.map (fun d -> min d threads) sharing_axis)
+      in
+      List.iter
+        (fun sharing ->
+          List.iter
+            (fun n_shared ->
+              List.iter
+                (fun n_cold ->
+                  List.iter
+                    (fun read_pct ->
+                      List.iter
+                        (fun shared_pct ->
+                          List.iter
+                            (fun phases ->
+                              List.iter
+                                (fun dvfs_mhz ->
+                                  specs :=
+                                    { seed = grid_seed_base + !idx;
+                                      threads; sharing; n_shared; n_cold;
+                                      n_private; read_pct; shared_pct;
+                                      insns; compute; phases; dvfs_mhz }
+                                    :: !specs;
+                                  incr idx)
+                                dvfs_axis)
+                            phase_axis)
+                        mix_axis)
+                    read_axis)
+                cold_axis)
+            shared_axis)
+        sharings)
+    threads_axis;
+  List.rev !specs

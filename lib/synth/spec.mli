@@ -1,0 +1,47 @@
+(** The parameter space of the synthetic workload engine: one [t] pins
+    every knob of a Graphite-style synthetic-memory kernel, and a {!grid}
+    enumerates the characterization sweep in a fixed canonical order. *)
+
+type t = {
+  seed : int;        (** stream seed; grids derive it from the index *)
+  threads : int;     (** execution units (RCCE cores), 1..48 *)
+  sharing : int;     (** degree of sharing: readers per hot group *)
+  n_shared : int;    (** hot shared array elements (8 bytes each) *)
+  n_cold : int;      (** cold shared table elements *)
+  n_private : int;   (** per-thread private array elements *)
+  read_pct : int;    (** reads as %% of shared accesses, 0..100 *)
+  shared_pct : int;  (** shared accesses as %% of all accesses, 0..100 *)
+  insns : int;       (** accesses per thread per phase *)
+  compute : int;     (** core cycles burned between accesses *)
+  phases : int;      (** barrier-separated phases, >= 1 *)
+  dvfs_mhz : int;    (** core frequency, 100..1000 *)
+}
+
+val validate : t -> (unit, string) result
+
+val describe : t -> string
+(** One line: ["seed=.. t=4 share=2 hot=2048 ..."]. *)
+
+val n_groups : t -> int
+(** Distinct sharer groups: [ceil (threads / sharing)]. *)
+
+val group_len : t -> int
+(** Hot elements per sharer group (0 when the spec has no hot array). *)
+
+val group_of_thread : t -> int -> int
+
+val elt_bytes : int
+(** Bytes per simulated shared element (8). *)
+
+(** {1 Grids} *)
+
+type grid = Quick | Full
+
+val grid_to_string : grid -> string
+
+val grid_seed_base : int
+
+val grid : grid -> t list
+(** The sweep's configurations in canonical order; config [i] carries
+    seed [grid_seed_base + i].  The enumeration is a pure function of
+    the grid name — the byte-identity contract of the sweep. *)

@@ -1,0 +1,134 @@
+(* Sweep rows: one JSONL line per (config, policy) measurement, plus the
+   greedy-loss detector.
+
+   The encoding is byte-stable by construction — every field is an int
+   or a fixed-vocabulary string, the field order is pinned, and a row is
+   a pure function of its spec — so goldens, the jobs-N identity test,
+   and cross-machine diffs all compare with [diff]. *)
+
+type row = { r_spec : Spec.t; r_m : Kernel.measurement }
+
+let rows_of_spec ?critpath sp =
+  List.map (fun m -> { r_spec = sp; r_m = m }) (Kernel.run_config ?critpath sp)
+
+let schema = "hsmc-sweep-1"
+
+let place_field = function
+  | None -> "none"
+  | Some p -> Kernel.place_to_string p
+
+(* Only ints and fixed-vocabulary strings reach a row, so escaping never
+   actually fires; it is here so the encoder is honest JSON anyway. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jsonl_of_row { r_spec = sp; r_m = m } =
+  let b = Buffer.create 256 in
+  let first = ref true in
+  let field k enc =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b (json_string k);
+    Buffer.add_char b ':';
+    Buffer.add_string b enc
+  in
+  let int_ k n = field k (string_of_int n) in
+  let str k s = field k (json_string s) in
+  Buffer.add_char b '{';
+  str "schema" schema;
+  int_ "seed" sp.Spec.seed;
+  int_ "threads" sp.Spec.threads;
+  int_ "sharing" sp.Spec.sharing;
+  int_ "n_shared" sp.Spec.n_shared;
+  int_ "n_cold" sp.Spec.n_cold;
+  int_ "n_private" sp.Spec.n_private;
+  int_ "read_pct" sp.Spec.read_pct;
+  int_ "shared_pct" sp.Spec.shared_pct;
+  int_ "insns" sp.Spec.insns;
+  int_ "compute" sp.Spec.compute;
+  int_ "phases" sp.Spec.phases;
+  int_ "dvfs_mhz" sp.Spec.dvfs_mhz;
+  str "policy" (Kernel.policy_to_string m.Kernel.m_policy);
+  str "hot" (place_field m.Kernel.m_hot);
+  str "cold" (place_field m.Kernel.m_cold);
+  int_ "elapsed_ps" m.Kernel.m_elapsed_ps;
+  int_ "shared_dram_loads" m.Kernel.m_shared_dram_loads;
+  int_ "mpb_lines" m.Kernel.m_mpb_lines;
+  int_ "verified" (if m.Kernel.m_verified then 1 else 0);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let jsonl_of_rows rows = String.concat "\n" (List.map jsonl_of_row rows)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy-loss detection                                              *)
+
+(* Algorithm 3 "loses" on a config when some forced alternative beats
+   its simulated time by more than [loss_threshold_pct].  5% filters the
+   sub-percent jitter-level differences the ISSUE does not care about. *)
+
+let loss_threshold_pct = 5
+
+type loss = {
+  lo_spec : Spec.t;
+  lo_greedy_ps : int;
+  lo_best_policy : Kernel.policy;
+  lo_best_ps : int;
+  lo_pct_x100 : int;  (* loss in percent, scaled by 100 (int-stable) *)
+}
+
+let find_measurement rows policy =
+  List.find_opt (fun r -> r.r_m.Kernel.m_policy = policy) rows
+
+let loss_of_rows rows =
+  match find_measurement rows Kernel.Greedy with
+  | None -> None
+  | Some g ->
+      let alternatives =
+        List.filter (fun r -> r.r_m.Kernel.m_policy <> Kernel.Greedy) rows
+      in
+      let best =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | None -> Some r
+            | Some b ->
+                if r.r_m.Kernel.m_elapsed_ps < b.r_m.Kernel.m_elapsed_ps then
+                  Some r
+                else acc)
+          None alternatives
+      in
+      match best with
+      | None -> None
+      | Some b ->
+          let g_ps = g.r_m.Kernel.m_elapsed_ps in
+          let b_ps = b.r_m.Kernel.m_elapsed_ps in
+          if b_ps <= 0 then None
+          else
+            let pct_x100 = (g_ps - b_ps) * 10_000 / b_ps in
+            if pct_x100 > loss_threshold_pct * 100 then
+              Some
+                { lo_spec = g.r_spec;
+                  lo_greedy_ps = g_ps;
+                  lo_best_policy = b.r_m.Kernel.m_policy;
+                  lo_best_ps = b_ps;
+                  lo_pct_x100 = pct_x100 }
+            else None
+
+let loss_to_string l =
+  Printf.sprintf "%s: greedy %d ps vs %s %d ps (+%d.%02d%%)"
+    (Spec.describe l.lo_spec) l.lo_greedy_ps
+    (Kernel.policy_to_string l.lo_best_policy)
+    l.lo_best_ps (l.lo_pct_x100 / 100) (l.lo_pct_x100 mod 100)

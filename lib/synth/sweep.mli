@@ -1,0 +1,39 @@
+(** Sweep rows — one JSONL line per (config, policy) measurement — and
+    the greedy-loss detector.  Rows are byte-stable: all fields are ints
+    or fixed-vocabulary strings, the field order is pinned, and a row is
+    a pure function of its spec. *)
+
+type row = { r_spec : Spec.t; r_m : Kernel.measurement }
+
+val rows_of_spec : ?critpath:Scc.Critpath.t -> Spec.t -> row list
+(** All four policies over one shared trace set ({!Kernel.run_config}),
+    in {!Kernel.policies} order. *)
+
+val schema : string
+(** The ["schema"] field value of every row: ["hsmc-sweep-1"]. *)
+
+val jsonl_of_row : row -> string
+val jsonl_of_rows : row list -> string
+(** Rows joined by ["\n"], no trailing newline. *)
+
+val find_measurement : row list -> Kernel.policy -> row option
+(** The row of one policy within a config's row group. *)
+
+(** {1 Greedy-loss detection} *)
+
+val loss_threshold_pct : int
+(** A config counts as a greedy loss only past this margin (5%%). *)
+
+type loss = {
+  lo_spec : Spec.t;
+  lo_greedy_ps : int;
+  lo_best_policy : Kernel.policy;
+  lo_best_ps : int;
+  lo_pct_x100 : int;  (** loss in percent, scaled by 100 *)
+}
+
+val loss_of_rows : row list -> loss option
+(** Over one config's rows: [Some] when a forced alternative beats
+    Algorithm 3's greedy placement by more than {!loss_threshold_pct}. *)
+
+val loss_to_string : loss -> string

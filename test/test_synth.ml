@@ -1,0 +1,244 @@
+(* The synthetic workload engine: seeded determinism of both emission
+   routes, edge-case specs through the simulator with the causal
+   accounting identity, the emitted-C differential against the oracle,
+   sweep byte-identity across the domain pool, and the golden sweep
+   snapshot. *)
+
+let base_spec =
+  { Synth.Spec.seed = 777;
+    threads = 4;
+    sharing = 2;
+    n_shared = 128;
+    n_cold = 32;
+    n_private = 16;
+    read_pct = 90;
+    shared_pct = 80;
+    insns = 60;
+    compute = 4;
+    phases = 2;
+    dvfs_mhz = 533 }
+
+(* cwd is the test dir under `dune runtest` but the project root under
+   `dune exec test/test_main.exe` — accept both. *)
+let read_file path =
+  let path = if Sys.file_exists path then path else "test/" ^ path in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- seeded determinism ---------------------------------------------------- *)
+
+let test_trace_deterministic () =
+  let a = Synth.Kernel.traces_of_spec base_spec in
+  let b = Synth.Kernel.traces_of_spec base_spec in
+  Alcotest.(check bool) "same seed, same traces" true (a = b);
+  let c =
+    Synth.Kernel.traces_of_spec { base_spec with Synth.Spec.seed = 778 }
+  in
+  Alcotest.(check bool) "different seed, different traces" false (a = c)
+
+let test_emit_deterministic () =
+  let a = Synth.Emit.source_of_spec base_spec in
+  let b = Synth.Emit.source_of_spec base_spec in
+  Alcotest.(check string) "same seed, byte-identical C" a b;
+  let c =
+    Synth.Emit.source_of_spec { base_spec with Synth.Spec.seed = 778 }
+  in
+  Alcotest.(check bool) "different seed, different C" true (a <> c)
+
+let test_rows_deterministic () =
+  let jsonl sp = Synth.Sweep.jsonl_of_rows (Synth.Sweep.rows_of_spec sp) in
+  Alcotest.(check string) "same seed, identical rows" (jsonl base_spec)
+    (jsonl base_spec)
+
+let test_grid_shape () =
+  let specs = Synth.Spec.grid Synth.Spec.Quick in
+  Alcotest.(check bool) "quick grid has >= 200 configs" true
+    (List.length specs >= 200);
+  List.iteri
+    (fun i sp ->
+      (match Synth.Spec.validate sp with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "config %d invalid: %s" i m);
+      Alcotest.(check int) "seed = base + index"
+        (Synth.Spec.grid_seed_base + i) sp.Synth.Spec.seed)
+    specs
+
+(* --- edge cases through the simulator -------------------------------------- *)
+
+(* Every policy runs with a fresh causal accounting; the PR 9 identity
+   [sum over categories == wall * contexts] must hold exactly, and the
+   commutative-sum verification must pass. *)
+let run_edge name sp =
+  (match Synth.Spec.validate sp with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: invalid spec: %s" name m);
+  let traces = Synth.Kernel.traces_of_spec sp in
+  List.iter
+    (fun policy ->
+      let cp = Scc.Critpath.create () in
+      let m = Synth.Kernel.run_one ~critpath:cp sp traces policy in
+      let tag =
+        Printf.sprintf "%s/%s" name (Synth.Kernel.policy_to_string policy)
+      in
+      Alcotest.(check bool) (tag ^ ": verified") true m.Synth.Kernel.m_verified;
+      Alcotest.(check bool)
+        (tag ^ ": elapsed > 0")
+        true
+        (m.Synth.Kernel.m_elapsed_ps > 0);
+      Alcotest.(check bool)
+        (tag ^ ": accounting identity")
+        true
+        (Scc.Critpath.identity_ok cp))
+    Synth.Kernel.policies
+
+let test_edge_no_shared () =
+  run_edge "no-hot-array" { base_spec with Synth.Spec.n_shared = 0 }
+
+let test_edge_fully_private () =
+  run_edge "fully-private"
+    { base_spec with Synth.Spec.n_shared = 0; n_cold = 0; shared_pct = 0 }
+
+let test_edge_sharing_eq_threads () =
+  run_edge "sharing=threads"
+    { base_spec with Synth.Spec.sharing = base_spec.Synth.Spec.threads }
+
+let test_edge_read_pct_0 () =
+  run_edge "read_pct=0" { base_spec with Synth.Spec.read_pct = 0 }
+
+let test_edge_read_pct_100 () =
+  run_edge "read_pct=100" { base_spec with Synth.Spec.read_pct = 100 }
+
+let test_edge_one_thread () =
+  run_edge "one-thread" { base_spec with Synth.Spec.threads = 1; sharing = 1 }
+
+(* --- the C route against the oracle ----------------------------------------- *)
+
+(* A stratified sample of the quick grid through the full dual-execution
+   oracle with the optimizer on; `conform --synth` covers the rest. *)
+let test_emitted_c_conforms () =
+  let specs = Synth.Spec.grid Synth.Spec.Quick in
+  let sample = List.filteri (fun i _ -> i mod 48 = 0) specs in
+  List.iter
+    (fun sp ->
+      let program = Synth.Emit.program_of_spec sp in
+      let cfg = Synth.Emit.oracle_config sp in
+      match Conform.Oracle.check cfg program with
+      | Conform.Oracle.Agree -> ()
+      | Conform.Oracle.Diverge f ->
+          Alcotest.failf "%s: %s" (Synth.Spec.describe sp)
+            (Conform.Oracle.failure_to_string f))
+    sample
+
+(* --- sweep byte-identity across the pool ------------------------------------ *)
+
+let test_sweep_jobs_byte_identical () =
+  let run jobs =
+    let r =
+      Exp.Experiments.run_sweep ~scale:Exp.Experiments.Quick ~jobs ~limit:12
+        ()
+    in
+    (r.Exp.Experiments.sweep_jsonl, r.Exp.Experiments.sweep_summary)
+  in
+  let j1, s1 = run 1 in
+  let j4, s4 = run 4 in
+  Alcotest.(check string) "jsonl: jobs=4 equals jobs=1" j1 j4;
+  Alcotest.(check string) "summary: jobs=4 equals jobs=1" s1 s4
+
+(* --- golden snapshot --------------------------------------------------------- *)
+
+(* The first 12 quick-grid configs, pinned byte-for-byte.  Regenerate
+   with:  experiments sweep --quick --limit 12 --jsonl <file>  *)
+let test_sweep_golden () =
+  let r =
+    Exp.Experiments.run_sweep ~scale:Exp.Experiments.Quick ~jobs:1 ~limit:12
+      ()
+  in
+  Alcotest.(check string) "golden JSONL"
+    (read_file "golden/sweep_mini.jsonl")
+    r.Exp.Experiments.sweep_jsonl;
+  Alcotest.(check string) "golden summary"
+    (read_file "golden/sweep_mini.summary.txt")
+    r.Exp.Experiments.sweep_summary
+
+(* --- JSONL shape -------------------------------------------------------------- *)
+
+let test_jsonl_fields () =
+  let rows = Synth.Sweep.rows_of_spec base_spec in
+  Alcotest.(check int) "one row per policy"
+    (List.length Synth.Kernel.policies)
+    (List.length rows);
+  List.iter
+    (fun row ->
+      let line = Synth.Sweep.jsonl_of_row row in
+      Alcotest.(check bool) "carries the schema tag" true
+        (String.length line > 0
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}');
+      List.iter
+        (fun key ->
+          let needle = Printf.sprintf "\"%s\":" key in
+          let found =
+            let rec scan i =
+              i + String.length needle <= String.length line
+              && (String.sub line i (String.length needle) = needle
+                 || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool) ("field " ^ key) true found)
+        [ "schema"; "seed"; "threads"; "sharing"; "policy"; "hot"; "cold";
+          "elapsed_ps"; "verified" ])
+    rows
+
+(* --- unknown sweep sections exit 2 ------------------------------------------- *)
+
+let test_unknown_sweep_section () =
+  (match Exp.Experiments.run_section "sweep-bogus" with
+  | Ok _ -> Alcotest.fail "expected Error for sweep-bogus"
+  | Error msg ->
+      Alcotest.(check bool) "message lists sweep" true
+        (let needle = "sweep" in
+         let rec scan i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle
+              || scan (i + 1))
+         in
+         scan 0));
+  (* same through the installed CLI: exit status 2 *)
+  let exe =
+    if Sys.file_exists "../bin/experiments.exe" then "../bin/experiments.exe"
+    else "_build/default/bin/experiments.exe"
+  in
+  if Sys.file_exists exe then
+    let code = Sys.command (exe ^ " sweep-bogus 2>/dev/null") in
+    Alcotest.(check int) "CLI exit status" 2 code
+  else Printf.eprintf "skipping CLI exit test: %s not built\n" exe
+
+let suite =
+  [
+    Alcotest.test_case "traces deterministic per seed" `Quick
+      test_trace_deterministic;
+    Alcotest.test_case "emitted C byte-identical per seed" `Quick
+      test_emit_deterministic;
+    Alcotest.test_case "sweep rows deterministic per seed" `Quick
+      test_rows_deterministic;
+    Alcotest.test_case "quick grid shape and seeds" `Quick test_grid_shape;
+    Alcotest.test_case "edge: no hot array" `Quick test_edge_no_shared;
+    Alcotest.test_case "edge: fully private" `Quick test_edge_fully_private;
+    Alcotest.test_case "edge: sharing = threads" `Quick
+      test_edge_sharing_eq_threads;
+    Alcotest.test_case "edge: read_pct = 0" `Quick test_edge_read_pct_0;
+    Alcotest.test_case "edge: read_pct = 100" `Quick test_edge_read_pct_100;
+    Alcotest.test_case "edge: one thread" `Quick test_edge_one_thread;
+    Alcotest.test_case "emitted C conforms (oracle, -O)" `Slow
+      test_emitted_c_conforms;
+    Alcotest.test_case "sweep byte-identical across jobs" `Slow
+      test_sweep_jobs_byte_identical;
+    Alcotest.test_case "sweep golden snapshot" `Quick test_sweep_golden;
+    Alcotest.test_case "JSONL row shape" `Quick test_jsonl_fields;
+    Alcotest.test_case "unknown sweep section exits 2" `Quick
+      test_unknown_sweep_section;
+  ]
